@@ -1,0 +1,53 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation section.  By default the benchmarks run on *scaled-down* datasets
+and window parameters so the whole suite completes in a few minutes; the
+scale can be raised (up to 1.0 = the paper's full configuration) with::
+
+    REPRO_BENCH_SCALE=1.0 pytest benchmarks/ --benchmark-only
+
+and the dataset selection widened with ``REPRO_BENCH_DATASETS="V1 V2 D1 D2 M1 M2"``.
+
+Every module prints the same series the paper plots (method x parameter ->
+seconds), so the numbers used in EXPERIMENTS.md can be read directly from the
+benchmark output.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+import pytest
+
+#: Proportional scale of datasets and window parameters.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.12"))
+
+#: Datasets exercised by the per-figure benchmarks (a light default subset;
+#: the harness and EXPERIMENTS.md cover all six).
+_default_datasets = "V1 D2 M2"
+BENCH_DATASETS: List[str] = os.environ.get(
+    "REPRO_BENCH_DATASETS", _default_datasets
+).split()
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """The dataset / parameter scale used by the benchmarks."""
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_datasets() -> Sequence[str]:
+    """The datasets exercised by the per-figure benchmarks."""
+    return tuple(BENCH_DATASETS)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    The underlying experiments already iterate over hundreds of frames, so a
+    single round gives a stable measurement while keeping the suite fast.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,32 @@
+"""Figure 10: end-to-end average evaluation time per query, per dataset.
+
+Includes the object detection and tracking time (simulated pipeline), MCOS
+generation and CNF query evaluation, averaged over a 50-query workload --
+the same accounting as the paper's final end-to-end comparison, where MFS and
+SSG both clearly beat the NAIVE baseline.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.engine.config import MCOSMethod
+from repro.experiments.figures import figure10_end_to_end
+from repro.experiments.report import render_series_table
+
+
+@pytest.mark.parametrize("method", [MCOSMethod.NAIVE, MCOSMethod.MFS, MCOSMethod.SSG])
+def test_figure10_end_to_end(benchmark, method, bench_scale, bench_datasets):
+    """Regenerate Figure 10 for one method across the benchmark datasets."""
+    result = run_once(
+        benchmark,
+        figure10_end_to_end,
+        datasets=bench_datasets,
+        scale=bench_scale,
+        num_queries=20,
+        methods=[method],
+    )
+    print()
+    print(render_series_table(result))
+    series = result.series()[method.value]
+    assert set(series) == set(bench_datasets)
+    assert all(value > 0 for value in series.values())

@@ -1,0 +1,35 @@
+"""Figure 5: MCOS generation time as the duration threshold d varies.
+
+The paper varies d from 180 to 270 frames with w = 300 and observes that all
+methods are largely insensitive to d (the duration only filters the result
+state set); the same flat series is regenerated here.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.engine.config import MCOSMethod
+from repro.experiments.figures import figure5_duration
+from repro.experiments.report import render_series_table
+
+
+@pytest.mark.parametrize("method", [MCOSMethod.NAIVE, MCOSMethod.MFS, MCOSMethod.SSG])
+def test_figure5_duration(benchmark, method, bench_scale, bench_datasets):
+    """Regenerate Figure 5 for one method across the benchmark datasets."""
+    result = run_once(
+        benchmark,
+        figure5_duration,
+        datasets=bench_datasets,
+        scale=bench_scale,
+        methods=[method],
+    )
+    print()
+    for dataset in result.datasets():
+        print(f"-- {dataset} --")
+        print(render_series_table(result, dataset))
+    for dataset in result.datasets():
+        timings = [t.seconds for t in result.timings if t.dataset == dataset]
+        assert len(timings) == 4
+        # The duration parameter barely influences maintenance cost: the series
+        # stays within a small factor of its own minimum.
+        assert max(timings) <= max(10 * min(timings), min(timings) + 0.5)

@@ -1,0 +1,37 @@
+"""Figure 6: MCOS generation time as the window size w grows.
+
+The paper varies w from 300 to 600 frames with d = 240 and observes that all
+methods become more expensive with larger windows (more live states), with the
+scan-based methods (NAIVE, MFS) penalised most on the dense datasets.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.engine.config import MCOSMethod
+from repro.experiments.figures import figure6_window_size
+from repro.experiments.report import render_series_table
+
+
+@pytest.mark.parametrize("method", [MCOSMethod.NAIVE, MCOSMethod.MFS, MCOSMethod.SSG])
+def test_figure6_window_size(benchmark, method, bench_scale, bench_datasets):
+    """Regenerate Figure 6 for one method across the benchmark datasets."""
+    result = run_once(
+        benchmark,
+        figure6_window_size,
+        datasets=bench_datasets,
+        scale=bench_scale,
+        methods=[method],
+    )
+    print()
+    for dataset in result.datasets():
+        print(f"-- {dataset} --")
+        print(render_series_table(result, dataset))
+    # Larger windows mean more live states and therefore more work: the series
+    # must be (weakly) increasing from the smallest to the largest window.
+    for dataset in result.datasets():
+        per_window = {
+            t.value: t.seconds for t in result.timings if t.dataset == dataset
+        }
+        windows = sorted(per_window)
+        assert per_window[windows[-1]] >= per_window[windows[0]] * 0.8

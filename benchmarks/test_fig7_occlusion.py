@@ -1,0 +1,38 @@
+"""Figure 7: MCOS generation time as the occlusion parameter po grows.
+
+Object identifiers are reused up to ``po`` times (Section 6.2), which raises
+the number of occlusions per object, makes object-set intersections non-empty
+more often and therefore increases the number of maintained states; every
+method slows down as po grows, with MFS/SSG retaining an advantage because
+they still remove invalid states early.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.engine.config import MCOSMethod
+from repro.experiments.figures import figure7_occlusion
+from repro.experiments.report import render_series_table
+
+
+@pytest.mark.parametrize("method", [MCOSMethod.NAIVE, MCOSMethod.MFS, MCOSMethod.SSG])
+def test_figure7_occlusion(benchmark, method, bench_scale, bench_datasets):
+    """Regenerate Figure 7 for one method across the benchmark datasets."""
+    result = run_once(
+        benchmark,
+        figure7_occlusion,
+        datasets=bench_datasets,
+        scale=bench_scale,
+        po_values=(0, 1, 2, 3),
+        methods=[method],
+    )
+    print()
+    for dataset in result.datasets():
+        print(f"-- {dataset} --")
+        print(render_series_table(result, dataset))
+    for dataset in result.datasets():
+        per_po = {t.value: t.seconds for t in result.timings if t.dataset == dataset}
+        assert set(per_po) == {0, 1, 2, 3}
+        # Reusing identifiers increases the amount of state-maintenance work
+        # (allow slack for timing noise at small benchmark scales).
+        assert per_po[3] >= per_po[0] * 0.5

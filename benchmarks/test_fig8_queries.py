@@ -1,0 +1,36 @@
+"""Figure 8: end-to-end time as the number of registered queries grows.
+
+The paper registers 10..50 CNF queries on V1 (synthetic) and M2 (real) and
+shows that the total cost is dominated by MCOS generation: the query
+evaluation overhead of the CNFEvalE inverted index is negligible, so the
+curves stay flat as queries are added.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.engine.config import MCOSMethod
+from repro.experiments.figures import figure8_query_count
+from repro.experiments.report import render_series_table
+
+
+@pytest.mark.parametrize("method", [MCOSMethod.NAIVE, MCOSMethod.MFS, MCOSMethod.SSG])
+def test_figure8_query_count(benchmark, method, bench_scale):
+    """Regenerate Figure 8 (V1 and M2) for one method."""
+    result = run_once(
+        benchmark,
+        figure8_query_count,
+        datasets=("V1", "M2"),
+        scale=bench_scale,
+        query_counts=(10, 30, 50),
+        methods=[method],
+    )
+    print()
+    for dataset in result.datasets():
+        print(f"-- {dataset} --")
+        print(render_series_table(result, dataset))
+    for dataset in result.datasets():
+        per_count = {t.value: t.seconds for t in result.timings if t.dataset == dataset}
+        # Query evaluation overhead is negligible: registering 5x more queries
+        # must not blow the runtime up (paper: the curves are flat).
+        assert per_count[50] <= per_count[10] * 3 + 0.5

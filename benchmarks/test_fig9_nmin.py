@@ -1,0 +1,45 @@
+"""Figure 9: >=-only query workloads and the Proposition-1 pruning strategy.
+
+The paper's headline optimisation: with workloads containing only ``>=``
+conditions, states whose MCOS fails every query can be terminated during MCOS
+generation (``MFS_O`` / ``SSG_O``).  As the minimum threshold n_min grows the
+workload becomes more selective and the pruned variants become dramatically
+faster than the evaluate-afterwards variants (``*_E``) -- more than 100x in
+the paper at n_min = 9.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure9_nmin
+from repro.experiments.report import render_series_table
+
+#: Datasets used by the paper for this figure.
+FIGURE9_DATASETS = ("D1", "D2", "M1", "M2")
+
+
+@pytest.mark.parametrize("dataset", FIGURE9_DATASETS)
+def test_figure9_nmin(benchmark, dataset, bench_scale):
+    """Regenerate Figure 9 for one dataset (all five method variants)."""
+    result = run_once(
+        benchmark,
+        figure9_nmin,
+        datasets=(dataset,),
+        scale=bench_scale,
+        nmin_values=(1, 5, 9),
+        num_queries=50,
+    )
+    print()
+    print(render_series_table(result, dataset))
+    series = result.series()
+    assert set(series) == {"NAIVE_E", "MFS_E", "SSG_E", "MFS_O", "SSG_O"}
+    # At the most selective setting the pruning variants must beat their
+    # evaluate-afterwards counterparts decisively.
+    assert series["SSG_O"][9] < series["SSG_E"][9]
+    assert series["MFS_O"][9] < series["MFS_E"][9]
+    speedup = series["NAIVE_E"][9] / max(series["SSG_O"][9], 1e-9)
+    print(f"speedup of SSG_O over NAIVE_E at n_min=9: {speedup:.1f}x")
+    # The advantage grows with dataset size and n_min (it exceeds 50x at full
+    # scale, see EXPERIMENTS.md); at the default small benchmark scale we only
+    # assert that the pruning variant is clearly ahead.
+    assert speedup > 1.2

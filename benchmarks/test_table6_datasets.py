@@ -1,0 +1,42 @@
+"""Table 6: dataset statistics after object detection and tracking.
+
+Regenerates the per-dataset statistics (frames, objects, objects per frame,
+occlusions per object, frames per object) by running the full simulated
+detection + tracking pipeline, and benchmarks the pipeline itself.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.datasets import DATASET_NAMES, dataset_statistics, load_dataset
+from repro.datasets.statistics import statistics_table
+
+#: The statistics reported in Table 6 of the paper, for comparison.
+PAPER_TABLE6 = {
+    "V1": (1800, 173, 7.37, 3.60, 76.71),
+    "V2": (1700, 127, 5.94, 6.33, 79.84),
+    "D1": (1150, 179, 7.56, 5.20, 48.61),
+    "D2": (1145, 158, 8.99, 7.23, 65.18),
+    "M1": (1194, 342, 6.75, 3.37, 23.67),
+    "M2": (750, 186, 11.59, 3.48, 46.96),
+}
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_table6_dataset_pipeline(benchmark, dataset, bench_scale):
+    """Benchmark detection+tracking for one dataset and print its statistics."""
+    result = run_once(benchmark, load_dataset, dataset, scale=bench_scale)
+    stats = dataset_statistics(result.relation, dataset)
+    paper = PAPER_TABLE6[dataset]
+    print()
+    print(statistics_table([stats]))
+    print(
+        f"paper (full size): frames={paper[0]} objects={paper[1]} "
+        f"Obj/F={paper[2]} Occ/Obj={paper[3]} F/Obj={paper[4]}"
+    )
+    assert stats.frames > 0
+    assert stats.objects > 0
+    # The generated relations preserve the qualitative profile of Table 6:
+    # objects appear in multiple frames and occlusions do occur.
+    assert stats.frames_per_object > 1.0
+    assert stats.obj_per_frame > 1.0

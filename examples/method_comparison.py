@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Compare NAIVE, MFS and SSG state maintenance on one dataset.
+
+Reproduces, at a reduced scale, the trade-off analysis of the paper's
+Section 6.2: how much state-maintenance work each strategy performs as the
+window size grows, on a dense dataset (M2, the moving-camera pedestrian
+scene with the most objects per frame).
+
+Run with::
+
+    python examples/method_comparison.py
+"""
+
+from repro.core import MarkedFrameSetGenerator, NaiveGenerator, StrictStateGraphGenerator
+from repro.datasets import load_relation
+from repro.experiments.harness import time_mcos_generation
+from repro.engine.config import MCOSMethod
+
+
+def main() -> None:
+    relation = load_relation("M2", scale=0.5)
+    duration_ratio = 0.8
+    print(f"Dataset M2 (scaled): {relation.num_frames} frames, "
+          f"{len(relation.object_ids())} objects\n")
+
+    header = f"{'window':>8} {'method':>7} {'seconds':>9} {'visits':>10} {'max states':>11} {'results':>8}"
+    print(header)
+    print("-" * len(header))
+    for window in (60, 90, 120, 150):
+        duration = int(window * duration_ratio)
+        for method in (MCOSMethod.NAIVE, MCOSMethod.MFS, MCOSMethod.SSG):
+            timing = time_mcos_generation(relation, method, window, duration)
+            stats = timing.stats
+            print(f"{window:>8} {timing.method:>7} {timing.seconds:>9.3f} "
+                  f"{stats.state_visits:>10} {stats.max_live_states:>11} "
+                  f"{timing.result_states:>8}")
+        print()
+
+    print("The marked-frame-set and graph approaches prune invalid states "
+          "early; the SSG additionally skips whole subtrees whose\n"
+          "intersection with the arriving frame is empty, which shows up as "
+          "the lower state-visit counts above.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro: a reproduction of "Evaluating Temporal Queries Over Video Feeds".
+
+The package implements the full three-layer architecture of the paper
+(Chen, Yu, Koudas):
+
+* ``repro.vision`` -- a simulated object detection and tracking substrate
+  standing in for Faster R-CNN + Deep SORT;
+* ``repro.datamodel`` -- the structured relation ``VR(fid, id, class)``;
+* ``repro.core`` -- MCOS generation with the NAIVE baseline, the Marked Frame
+  Set (MFS) approach and the Strict State Graph (SSG) approach;
+* ``repro.query`` -- CNF count queries and their inverted-index evaluation
+  (CNFEval / CNFEvalE) plus the Proposition-1 pruning strategy;
+* ``repro.engine`` -- the end-to-end query engine;
+* ``repro.datasets`` / ``repro.workloads`` / ``repro.experiments`` -- the
+  datasets, query workloads and harness reproducing the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import TemporalVideoQueryEngine, EngineConfig, parse_query
+>>> from repro.datasets import load_relation
+>>> relation = load_relation("D1", scale=0.2)
+>>> query = parse_query("car >= 2 AND person >= 1",
+...                     window=60, duration=45)
+>>> engine = TemporalVideoQueryEngine(
+...     [query], EngineConfig(method="SSG", window_size=60, duration=45))
+>>> result = engine.run(relation)
+>>> len(result.matches) >= 0
+True
+"""
+
+from repro.core import (
+    MarkedFrameSetGenerator,
+    MCOSGenerator,
+    NaiveGenerator,
+    ReferenceGenerator,
+    ResultState,
+    ResultStateSet,
+    State,
+    StrictStateGraphGenerator,
+)
+from repro.datamodel import FrameObservation, ObjectObservation, VideoRelation
+from repro.engine import EngineConfig, EngineRunResult, MCOSMethod, TemporalVideoQueryEngine
+from repro.query import CNFQuery, QueryEvaluator, parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "VideoRelation",
+    "FrameObservation",
+    "ObjectObservation",
+    "State",
+    "ResultState",
+    "ResultStateSet",
+    "MCOSGenerator",
+    "NaiveGenerator",
+    "MarkedFrameSetGenerator",
+    "StrictStateGraphGenerator",
+    "ReferenceGenerator",
+    "CNFQuery",
+    "parse_query",
+    "QueryEvaluator",
+    "MCOSMethod",
+    "EngineConfig",
+    "TemporalVideoQueryEngine",
+    "EngineRunResult",
+]

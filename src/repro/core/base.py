@@ -1,0 +1,228 @@
+"""Common interface and instrumentation for MCOS generators.
+
+Every generator consumes a stream of :class:`~repro.datamodel.observation.FrameObservation`
+objects, maintains states over a sliding window of ``window_size`` frames and,
+after each frame, reports the :class:`~repro.core.result.ResultStateSet` of
+satisfied, valid states (those with at least ``duration`` frames).
+
+Generators optionally apply two query-driven optimisations described in the
+paper:
+
+* *label projection* (Section 3) -- objects whose class is not requested by
+  any query are dropped on entry;
+* *result-driven pruning* (Section 5.3) -- a ``state_filter`` callback can mark
+  freshly created states as terminated when their MCOS cannot satisfy any
+  registered >=-only query.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, Optional, Set
+
+from repro.core.result import ResultState, ResultStateSet
+from repro.core.state import State
+from repro.datamodel.observation import FrameObservation
+from repro.datamodel.relation import VideoRelation
+
+#: Callback deciding whether a freshly created state should be terminated.
+#: Receives the object set of the new state and returns ``True`` to keep it,
+#: ``False`` to terminate it (Proposition 1).
+StateFilter = Callable[[FrozenSet[int], Dict[str, int]], bool]
+
+
+@dataclass
+class GeneratorStats:
+    """Work counters collected during state maintenance.
+
+    Wall-clock time in Python is noisy; these counters provide a deterministic
+    measure of the amount of work each approach performs and are reported by
+    the benchmark harness alongside the timings.
+    """
+
+    frames_processed: int = 0
+    states_created: int = 0
+    states_removed: int = 0
+    states_terminated: int = 0
+    state_visits: int = 0
+    intersections: int = 0
+    frames_appended: int = 0
+    max_live_states: int = 0
+    result_states_emitted: int = 0
+    edges_added: int = 0
+    edges_removed: int = 0
+
+    def merge(self, other: "GeneratorStats") -> "GeneratorStats":
+        """Return the field-wise sum of two counter sets."""
+        merged = GeneratorStats()
+        for name in self.__dataclass_fields__:
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        merged.max_live_states = max(self.max_live_states, other.max_live_states)
+        return merged
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the counters as a plain dictionary."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+
+@dataclass
+class GeneratorConfig:
+    """Configuration shared by all MCOS generators.
+
+    Attributes
+    ----------
+    window_size:
+        Sliding window size ``w`` in frames.
+    duration:
+        Duration threshold ``d`` in frames; a state is *satisfied* when its
+        frame set holds at least ``d`` frames.  Must satisfy ``0 <= d <= w``.
+    labels_of_interest:
+        Optional set of class labels requested by the query workload.  Objects
+        of other classes are dropped before state maintenance.
+    """
+
+    window_size: int
+    duration: int
+    labels_of_interest: Optional[Set[str]] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.window_size <= 0:
+            raise ValueError("window_size must be positive")
+        if not 0 <= self.duration <= self.window_size:
+            raise ValueError("duration must satisfy 0 <= d <= window_size")
+
+
+class MCOSGenerator(abc.ABC):
+    """Abstract base class of the MCOS generation strategies."""
+
+    #: Short name used by the experiment harness (e.g. ``"MFS"``).
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        window_size: int,
+        duration: int,
+        labels_of_interest: Optional[Iterable[str]] = None,
+        state_filter: Optional[StateFilter] = None,
+        label_lookup: Optional[Dict[int, str]] = None,
+    ):
+        labels = set(labels_of_interest) if labels_of_interest is not None else None
+        self.config = GeneratorConfig(window_size, duration, labels)
+        self.stats = GeneratorStats()
+        self._state_filter = state_filter
+        #: Mapping from object id to class label, needed only when a state
+        #: filter is installed (the filter receives per-class counts).
+        self._label_lookup: Dict[int, str] = dict(label_lookup or {})
+        self._last_frame_id: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def window_size(self) -> int:
+        """The sliding window size ``w``."""
+        return self.config.window_size
+
+    @property
+    def duration(self) -> int:
+        """The duration threshold ``d``."""
+        return self.config.duration
+
+    def process_frame(self, frame: FrameObservation) -> ResultStateSet:
+        """Advance the window by one frame and return the result state set."""
+        if self._last_frame_id is not None and frame.frame_id <= self._last_frame_id:
+            raise ValueError(
+                f"frames must arrive in increasing order; got {frame.frame_id} "
+                f"after {self._last_frame_id}"
+            )
+        self._last_frame_id = frame.frame_id
+        projected = frame.restricted_to_labels(self.config.labels_of_interest)
+        if self._state_filter is not None or self.config.labels_of_interest is not None:
+            for oid in projected.object_ids:
+                self._label_lookup.setdefault(oid, projected.label_of(oid))
+        self.stats.frames_processed += 1
+        result = self._process(projected)
+        self.stats.result_states_emitted += len(result)
+        return result
+
+    def process_relation(self, relation: VideoRelation) -> Iterator[ResultStateSet]:
+        """Process every frame of a relation, yielding one result per frame."""
+        for frame in relation.frames():
+            yield self.process_frame(frame)
+
+    def run(self, relation: VideoRelation) -> "GeneratorRun":
+        """Process an entire relation and return an aggregated run summary."""
+        per_frame = []
+        total_results = 0
+        for result in self.process_relation(relation):
+            per_frame.append(result)
+            total_results += len(result)
+        return GeneratorRun(self.name, per_frame, total_results, self.stats)
+
+    def reset(self) -> None:
+        """Discard all maintained states and counters."""
+        self.stats = GeneratorStats()
+        self._last_frame_id = None
+        self._label_lookup = {}
+        self._reset_impl()
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _process(self, frame: FrameObservation) -> ResultStateSet:
+        """Strategy-specific maintenance for one (projected) frame."""
+
+    @abc.abstractmethod
+    def _reset_impl(self) -> None:
+        """Strategy-specific reset."""
+
+    @abc.abstractmethod
+    def live_state_count(self) -> int:
+        """Number of states currently maintained (for diagnostics/tests)."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _oldest_valid_frame(self, current_frame_id: int) -> int:
+        """First frame id that is still inside the window ending at ``current_frame_id``."""
+        return current_frame_id - self.config.window_size + 1
+
+    def _keep_new_state(self, object_ids: FrozenSet[int]) -> bool:
+        """Apply the Proposition-1 state filter to a freshly created state."""
+        if self._state_filter is None:
+            return True
+        counts: Dict[str, int] = {}
+        for oid in object_ids:
+            label = self._label_lookup.get(oid)
+            if label is None:
+                continue
+            counts[label] = counts.get(label, 0) + 1
+        keep = self._state_filter(object_ids, counts)
+        if not keep:
+            self.stats.states_terminated += 1
+        return keep
+
+    def _result_from_state(self, state: State) -> ResultState:
+        """Convert a live state into an immutable result record."""
+        return ResultState(state.object_ids, state.frame_ids)
+
+    def _track_live_states(self, count: int) -> None:
+        """Update the maximum-live-states counter."""
+        if count > self.stats.max_live_states:
+            self.stats.max_live_states = count
+
+
+@dataclass
+class GeneratorRun:
+    """Aggregated outcome of processing a full relation with one generator."""
+
+    generator_name: str
+    per_frame_results: list
+    total_result_states: int
+    stats: GeneratorStats
+
+    def result_at(self, frame_id: int) -> ResultStateSet:
+        """Result state set reported after processing ``frame_id``."""
+        return self.per_frame_results[frame_id]

@@ -1,0 +1,125 @@
+"""The NAIVE baseline for MCOS generation (Section 6.2).
+
+The baseline follows the "first attempt" state maintenance of Section 4.2.2:
+every arriving frame is intersected with every existing state, new states are
+created for previously unseen intersections, and states are only discarded
+once every frame of their frame set has expired.  No marking is performed, so
+invalid states (object sets that are no longer maximal) linger in the state
+table; they are filtered out at report time by grouping states that share the
+same frame set and keeping only the largest object set, exactly as described
+for the NAIVE method in the experimental section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+from repro.core.base import MCOSGenerator
+from repro.core.result import ResultState, ResultStateSet
+from repro.core.state import State, StateTable
+from repro.datamodel.observation import FrameObservation
+
+
+class NaiveGenerator(MCOSGenerator):
+    """Baseline generator: keep everything, deduplicate when reporting."""
+
+    name = "NAIVE"
+
+    def __init__(self, window_size: int, duration: int, **kwargs):
+        super().__init__(window_size, duration, **kwargs)
+        self._states = StateTable()
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _process(self, frame: FrameObservation) -> ResultStateSet:
+        oldest_valid = self._oldest_valid_frame(frame.frame_id)
+        self._expire(oldest_valid)
+
+        objects = frame.object_ids
+        if objects:
+            self._integrate_frame(frame.frame_id, objects)
+
+        self._track_live_states(len(self._states))
+        return self._report(frame.frame_id)
+
+    def _expire(self, oldest_valid: int) -> None:
+        """Remove expired frames; drop states whose frame set became empty."""
+        for state in self._states.states():
+            state.expire_before(oldest_valid)
+            if state.is_empty:
+                self._states.remove(state)
+                self.stats.states_removed += 1
+
+    def _integrate_frame(self, frame_id: int, objects: FrozenSet[int]) -> None:
+        """Intersect the new frame with every existing state (Section 4.2.2)."""
+        existing = self._states.states()
+        for state in existing:
+            if state.terminated:
+                continue
+            self.stats.state_visits += 1
+            self.stats.intersections += 1
+            inter = state.object_ids & objects
+            if not inter:
+                continue
+            target, created = self._states.get_or_create(inter)
+            if created:
+                self.stats.states_created += 1
+                if not self._keep_new_state(inter):
+                    # Proposition 1: the state (and every state derivable from
+                    # it) can never satisfy a query; keep it as a terminated
+                    # marker so it is not re-created, but stop processing it.
+                    target.terminated = True
+                    target.add_frame(frame_id)
+                    continue
+            if target.terminated:
+                continue
+            target.merge_from(state, copy_marks=False)
+            target.add_frame(frame_id)
+            self.stats.frames_appended += 1
+
+        # The arriving frame itself always yields a (principal) state.
+        principal, created = self._states.get_or_create(objects)
+        if created:
+            self.stats.states_created += 1
+            if not self._keep_new_state(objects):
+                principal.terminated = True
+                principal.add_frame(frame_id)
+                return
+        if principal.terminated:
+            return
+        principal.add_frame(frame_id)
+        self.stats.frames_appended += 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _report(self, frame_id: int) -> ResultStateSet:
+        """Deduplicate satisfied states that share a frame set (keep the largest)."""
+        duration = self.config.duration
+        best_by_frames: Dict[FrozenSet[int], State] = {}
+        for state in self._states:
+            if state.terminated or not state.is_satisfied(duration):
+                continue
+            key = frozenset(state.frame_ids)
+            incumbent = best_by_frames.get(key)
+            if incumbent is None or len(state.object_ids) > len(incumbent.object_ids):
+                best_by_frames[key] = state
+
+        result = ResultStateSet(frame_id)
+        for state in best_by_frames.values():
+            result.add(ResultState(state.object_ids, state.frame_ids))
+        return result
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _reset_impl(self) -> None:
+        self._states = StateTable()
+
+    def live_state_count(self) -> int:
+        return len(self._states)
+
+    def live_states(self) -> List[State]:
+        """Snapshot of the currently maintained states (for tests)."""
+        return self._states.states()

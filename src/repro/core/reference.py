@@ -1,0 +1,101 @@
+"""Exact, per-window recomputation of MCOSs (the correctness oracle).
+
+The Maximum Co-occurrence Object Sets of a window (Definitions 1 and 2) are
+exactly the *closed* object sets of the window frames: an object set ``X`` is
+an MCOS of the frame set ``cover(X) = {f : X subseteq objects(f)}`` iff ``X``
+equals the intersection of the object sets of the frames in ``cover(X)``.
+
+This module recomputes the closed sets of every window from scratch.  It is
+deliberately simple (and therefore slow) so that it can serve as the ground
+truth against which the incremental NAIVE / MFS / SSG generators are verified
+in the unit and property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence
+
+from repro.core.base import MCOSGenerator
+from repro.core.result import ResultState, ResultStateSet
+from repro.datamodel.observation import FrameObservation
+
+
+def closed_object_sets(
+    frames: Sequence[FrameObservation],
+) -> Dict[FrozenSet[int], FrozenSet[int]]:
+    """Compute every closed object set of the given frames.
+
+    Returns a mapping ``{object set -> frame ids containing it}`` restricted to
+    object sets that are MCOSs of their frame set (i.e. closed sets).
+
+    The computation builds the closure incrementally: the set of closed sets of
+    ``n + 1`` frames is the set of closed sets of ``n`` frames, plus the new
+    frame's object set, plus all intersections of the new frame with previous
+    closed sets.
+    """
+    closed: Dict[FrozenSet[int], None] = {}
+    for frame in frames:
+        objects = frame.object_ids
+        if not objects:
+            continue
+        new_sets = {objects}
+        for existing in closed:
+            inter = existing & objects
+            if inter:
+                new_sets.add(inter)
+        for candidate in new_sets:
+            closed[candidate] = None
+
+    result: Dict[FrozenSet[int], FrozenSet[int]] = {}
+    covers: Dict[FrozenSet[int], List[int]] = {}
+    for candidate in closed:
+        covers[candidate] = [
+            f.frame_id for f in frames if candidate <= f.object_ids
+        ]
+    # A candidate is closed (an MCOS of its cover) iff it equals the
+    # intersection of the frames in its cover.
+    by_frame: Dict[int, FrozenSet[int]] = {f.frame_id: f.object_ids for f in frames}
+    for candidate, cover in covers.items():
+        if not cover:
+            continue
+        intersection = by_frame[cover[0]]
+        for fid in cover[1:]:
+            intersection = intersection & by_frame[fid]
+        if intersection == candidate:
+            result[candidate] = frozenset(cover)
+    return result
+
+
+class ReferenceGenerator(MCOSGenerator):
+    """Oracle generator: recompute the exact result of every window.
+
+    This generator ignores all incremental machinery: for each incoming frame
+    it recomputes the closed object sets of the current window and reports
+    those whose cover meets the duration threshold.  It is quadratic in the
+    window size and only intended for tests and for very small examples.
+    """
+
+    name = "REFERENCE"
+
+    def __init__(self, window_size: int, duration: int, **kwargs):
+        super().__init__(window_size, duration, **kwargs)
+        self._window: List[FrameObservation] = []
+
+    def _process(self, frame: FrameObservation) -> ResultStateSet:
+        self._window.append(frame)
+        oldest_valid = self._oldest_valid_frame(frame.frame_id)
+        while self._window and self._window[0].frame_id < oldest_valid:
+            self._window.pop(0)
+
+        result = ResultStateSet(frame.frame_id)
+        for object_ids, cover in closed_object_sets(self._window).items():
+            if len(cover) >= self.config.duration:
+                result.add(ResultState(object_ids, tuple(sorted(cover))))
+        self._track_live_states(len(self._window))
+        return result
+
+    def _reset_impl(self) -> None:
+        self._window = []
+
+    def live_state_count(self) -> int:
+        return 0

@@ -1,0 +1,421 @@
+"""The Strict State Graph (SSG) approach (Section 4.3).
+
+SSG organises the maintained states in a directed graph whose edges point from
+larger object sets to smaller ones (Property 1).  Principal states -- states
+whose object set equals the object set of some frame still inside the window
+-- act as traversal roots.  When a new frame arrives, the State Traversal (ST)
+algorithm walks the graph starting from the roots, computing intersections
+with the arriving frame and *pruning entire subtrees as soon as an
+intersection becomes empty* (every descendant of a state is a subset of it, so
+its intersection is empty as well).  This is where SSG saves work compared to
+MFS, which must intersect every live state with every arriving frame.
+
+Two auxiliary procedures complete the approach:
+
+* edge maintenance keeps the graph *strict* (Property 2: no child of a node is
+  a subset of a sibling), re-parenting states when a newly created state
+  subsumes an existing child;
+* the CNPS procedure (Algorithm 2) connects the new principal state to the
+  graph, choosing candidate children in descending object-set size and
+  skipping candidates already reachable from previously selected ones.
+
+Frame marking follows the same semantics as
+:class:`~repro.core.mfs.MarkedFrameSetGenerator`, so both approaches report
+identical result state sets; only the amount of maintenance work differs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.base import MCOSGenerator
+from repro.core.result import ResultState, ResultStateSet
+from repro.core.state import State, StateTable
+from repro.datamodel.observation import FrameObservation
+
+ObjectSet = FrozenSet[int]
+
+
+class StrictStateGraphGenerator(MCOSGenerator):
+    """MCOS generator maintaining states in a Strict State Graph."""
+
+    name = "SSG"
+
+    def __init__(self, window_size: int, duration: int, **kwargs):
+        super().__init__(window_size, duration, **kwargs)
+        self._states = StateTable()
+        # Graph adjacency keyed by object set (object sets are unique per state).
+        self._children: Dict[ObjectSet, Set[ObjectSet]] = {}
+        self._parents: Dict[ObjectSet, Set[ObjectSet]] = {}
+        # Parentless nodes, maintained incrementally (traversal roots).
+        self._root_keys: Dict[ObjectSet, None] = {}
+        # Principal states: object set -> creating frame ids still in window,
+        # kept in arrival order (dict preserves insertion order).
+        self._principals: Dict[ObjectSet, List[int]] = {}
+        # Result carry-over (Section 4.3.7): satisfied valid states from the
+        # previous window that were not revisited may still be part of the
+        # result of the current window.
+        self._previous_results: Dict[ObjectSet, State] = {}
+
+    # ------------------------------------------------------------------
+    # Graph helpers
+    # ------------------------------------------------------------------
+    def _register_node(self, object_ids: ObjectSet) -> None:
+        if object_ids not in self._parents:
+            self._children[object_ids] = set()
+            self._parents[object_ids] = set()
+            self._root_keys[object_ids] = None
+
+    def _add_edge(self, parent: ObjectSet, child: ObjectSet) -> None:
+        """Add ``parent -> child`` and repair Property 2 among the siblings."""
+        if parent == child:
+            return
+        self._register_node(parent)
+        self._register_node(child)
+        siblings = self._children[parent]
+        if child in siblings:
+            return
+        # Property-2 repair: a sibling that is a subset of the new child moves
+        # below it; if the new child is a subset of a sibling, attach it below
+        # that sibling instead of below ``parent``.  Length comparisons gate
+        # the (comparatively expensive) subset checks.
+        child_len = len(child)
+        for sibling in list(siblings):
+            sibling_len = len(sibling)
+            if sibling_len < child_len and sibling < child:
+                siblings.discard(sibling)
+                self._parents[sibling].discard(parent)
+                self.stats.edges_removed += 1
+                self._add_edge(child, sibling)
+            elif child_len < sibling_len and child < sibling:
+                self._add_edge(sibling, child)
+                return
+        siblings.add(child)
+        self._parents[child].add(parent)
+        self._root_keys.pop(child, None)
+        self.stats.edges_added += 1
+
+    def _remove_node(self, object_ids: ObjectSet) -> None:
+        """Remove a state's node, re-attaching its children to its parents."""
+        children = self._children.pop(object_ids, set())
+        parents = self._parents.pop(object_ids, set())
+        self._root_keys.pop(object_ids, None)
+        for parent in parents:
+            self._children.get(parent, set()).discard(object_ids)
+            self.stats.edges_removed += 1
+        for child in children:
+            child_parents = self._parents.get(child)
+            if child_parents is None:
+                continue
+            child_parents.discard(object_ids)
+            self.stats.edges_removed += 1
+            if parents:
+                for parent in parents:
+                    self._add_edge(parent, child)
+            elif not child_parents:
+                self._root_keys[child] = None
+        self._principals.pop(object_ids, None)
+        self._previous_results.pop(object_ids, None)
+
+    def _roots(self) -> List[State]:
+        """Traversal roots: principal states first (arrival order), then any
+        other parentless state (maintained incrementally)."""
+        roots: List[State] = []
+        seen: Set[ObjectSet] = set()
+        for object_ids in self._principals:
+            state = self._states.get(object_ids)
+            if state is not None and object_ids not in seen:
+                roots.append(state)
+                seen.add(object_ids)
+        for object_ids in list(self._root_keys):
+            if object_ids in seen:
+                continue
+            state = self._states.get(object_ids)
+            if state is None:
+                del self._root_keys[object_ids]
+                continue
+            roots.append(state)
+            seen.add(object_ids)
+        return roots
+
+    def _descendants(self, object_ids: ObjectSet) -> Set[ObjectSet]:
+        """All object sets reachable from ``object_ids`` (excluding itself)."""
+        result: Set[ObjectSet] = set()
+        stack = list(self._children.get(object_ids, ()))
+        while stack:
+            node = stack.pop()
+            if node in result:
+                continue
+            result.add(node)
+            stack.extend(self._children.get(node, ()))
+        return result
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _process(self, frame: FrameObservation) -> ResultStateSet:
+        frame_id = frame.frame_id
+        oldest_valid = self._oldest_valid_frame(frame_id)
+        self._expire_principals(oldest_valid)
+
+        objects = frame.object_ids
+        visited_states: List[State] = []
+        if objects:
+            visited_states = self._traverse_and_integrate(frame_id, objects, oldest_valid)
+
+        self._track_live_states(len(self._states))
+        return self._report(frame_id, oldest_valid, visited_states)
+
+    def _expire_principals(self, oldest_valid: int) -> None:
+        """Drop expired creating frames; forget principals with none left."""
+        stale = []
+        for object_ids, creating_frames in self._principals.items():
+            creating_frames[:] = [f for f in creating_frames if f >= oldest_valid]
+            if not creating_frames:
+                stale.append(object_ids)
+        for object_ids in stale:
+            del self._principals[object_ids]
+
+    def _prune_state(self, state: State, oldest_valid: int) -> bool:
+        """Expire frames of a state; remove it if dead.  Returns True if kept."""
+        state.expire_before(oldest_valid)
+        if state.is_empty or not state.is_valid:
+            self._states.remove(state)
+            self._remove_node(state.object_ids)
+            self.stats.states_removed += 1
+            return False
+        return True
+
+    def _traverse_and_integrate(
+        self, frame_id: int, objects: ObjectSet, oldest_valid: int
+    ) -> List[State]:
+        """Run the State Traversal algorithm for one arriving frame."""
+        # The new principal state is created up-front so that mark propagation
+        # and edge insertion can target it during the traversal.
+        principal, created = self._states.get_or_create(objects)
+        if created:
+            self.stats.states_created += 1
+            if not self._keep_new_state(objects):
+                # Proposition 1: the whole frame (and hence every state that
+                # could be derived from it) cannot satisfy any query.  Keep a
+                # terminated marker so the check is not repeated per frame.
+                principal.terminated = True
+                principal.add_frame(frame_id, marked=True)
+                return []
+            self._register_node(objects)
+        elif principal.terminated:
+            return []
+        else:
+            # The state may not have been visited for a while; drop expired
+            # frames before extending it so its frame set stays inside the
+            # window.
+            principal.expire_before(oldest_valid)
+        principal.add_frame(frame_id, marked=True)
+        self.stats.frames_appended += 1
+        self._principals.setdefault(objects, []).append(frame_id)
+
+        visited: Set[ObjectSet] = set()
+        visited_states: List[State] = []
+        # Candidate children of the new principal state (Theorem 2): at most
+        # one per traversal root, namely the state whose object set equals the
+        # root's intersection with the arriving frame.
+        candidates: Dict[ObjectSet, None] = {}
+
+        for root in self._roots():
+            root_key = root.object_ids
+            if root_key == objects:
+                continue
+            root_inter = root_key & objects
+            if root_inter and root_inter != objects:
+                candidates.setdefault(root_inter, None)
+            self._traverse_from(root, objects, frame_id, oldest_valid,
+                                visited, visited_states)
+
+        self._connect_new_principal(objects, candidates)
+        visited_states.append(principal)
+        return visited_states
+
+    def _traverse_from(
+        self,
+        root: State,
+        objects: ObjectSet,
+        frame_id: int,
+        oldest_valid: int,
+        visited: Set[ObjectSet],
+        visited_states: List[State],
+    ) -> None:
+        """Iterative State Traversal (Algorithm 1) from one root.
+
+        Each reachable state is visited at most once per frame (shared
+        ``visited`` set); whole subtrees are skipped as soon as a state's
+        intersection with the arriving frame is empty.
+        """
+        states = self._states
+        children_map = self._children
+        stats = self.stats
+        stack: List[State] = [root]
+        while stack:
+            state = stack.pop()
+            key = state.object_ids
+            if key in visited:
+                continue
+            visited.add(key)
+            stats.state_visits += 1
+
+            # Snapshot the children before pruning: if the state is removed its
+            # children are re-attached elsewhere but must still be visited in
+            # this traversal, otherwise their frame sets would miss the frame.
+            children = children_map.get(key)
+            child_snapshot = list(children) if children else None
+
+            state.expire_before(oldest_valid)
+            if state.is_empty or not state.is_valid:
+                states.remove(state)
+                self._remove_node(key)
+                stats.states_removed += 1
+                if child_snapshot:
+                    for child_key in child_snapshot:
+                        if child_key not in visited:
+                            child = states.get(child_key)
+                            if child is not None:
+                                stack.append(child)
+                continue
+            visited_states.append(state)
+
+            stats.intersections += 1
+            inter = key & objects
+            if not inter:
+                # Every descendant is a subset of this state, hence its
+                # intersection with the arriving frame is empty too: prune the
+                # whole subtree from the traversal.
+                continue
+
+            if inter == key:
+                # All of the state's objects appear in the arriving frame:
+                # append only (Algorithm 1, lines 18-21).  Connecting subset
+                # states to the new principal is the job of the CNPS
+                # procedure, which selects at most one candidate per root.
+                state.add_frame(frame_id)
+                stats.frames_appended += 1
+            else:
+                target, created = states.get_or_create(inter)
+                if created:
+                    stats.states_created += 1
+                    if not self._keep_new_state(inter):
+                        # Proposition 1: keep a terminated marker outside the
+                        # graph; it is never traversed, merged or reported.
+                        target.terminated = True
+                        target.add_frame(frame_id, marked=True)
+                        target = None  # type: ignore[assignment]
+                elif target.terminated:
+                    target = None  # type: ignore[assignment]
+                if target is not None:
+                    self._register_node(inter)
+                    target.merge_from(state, copy_marks=True)
+                    target.add_frame(frame_id)
+                    stats.frames_appended += 1
+                    self._add_edge(key, inter)
+                    if created:
+                        visited_states.append(target)
+
+            # Push children for traversal (re-read after the edge maintenance
+            # above, which may have re-parented some of them).  The child set
+            # is not mutated while iterating: graph edits only happen when a
+            # state is popped from the stack.
+            children = children_map.get(key)
+            if children:
+                for child_key in children:
+                    if child_key not in visited:
+                        child = states.get(child_key)
+                        if child is not None:
+                            stack.append(child)
+
+    def _connect_new_principal(
+        self, objects: ObjectSet, candidates: Dict[ObjectSet, None]
+    ) -> None:
+        """Connect the new principal state to selected candidates (Algorithm 2).
+
+        Candidates are processed in descending object-set size; a candidate is
+        skipped when it is a subset of an already-selected one, which both
+        keeps Property 2 (no child of the principal contains another) and
+        avoids redundant edges.  Reachability of skipped candidates is
+        preserved because they are already connected to the graph through the
+        source states they were derived from.
+        """
+        ordered = sorted(candidates, key=len, reverse=True)
+        selected: List[ObjectSet] = []
+        for candidate in ordered:
+            if candidate == objects or self._states.get(candidate) is None:
+                continue
+            if any(candidate < chosen for chosen in selected):
+                continue
+            self._add_edge(objects, candidate)
+            selected.append(candidate)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _report(
+        self, frame_id: int, oldest_valid: int, visited_states: List[State]
+    ) -> ResultStateSet:
+        """Combine the carried-over result set with freshly visited states.
+
+        ``SR_{i'} = SR'_i  u  SR_{G'}`` in the paper's notation: states that
+        were part of the previous result and are still alive, satisfied and
+        valid, plus the satisfied valid states touched by this traversal.
+        """
+        duration = self.config.duration
+        new_results: Dict[ObjectSet, State] = {}
+
+        for object_ids, state in list(self._previous_results.items()):
+            if self._states.get(object_ids) is not state:
+                continue
+            state.expire_before(oldest_valid)
+            if state.is_empty or not state.is_valid:
+                self._states.remove(state)
+                self._remove_node(object_ids)
+                self.stats.states_removed += 1
+                continue
+            if state.is_satisfied(duration):
+                new_results[object_ids] = state
+
+        for state in visited_states:
+            if self._states.get(state.object_ids) is not state:
+                continue
+            if state.is_valid and state.is_satisfied(duration):
+                new_results[state.object_ids] = state
+
+        self._previous_results = new_results
+        result = ResultStateSet(frame_id)
+        for state in new_results.values():
+            result.add(ResultState(state.object_ids, state.frame_ids))
+        return result
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _reset_impl(self) -> None:
+        self._states = StateTable()
+        self._children = {}
+        self._parents = {}
+        self._principals = {}
+        self._previous_results = {}
+
+    def live_state_count(self) -> int:
+        return len(self._states)
+
+    def live_states(self) -> List[State]:
+        """Snapshot of the currently maintained states (for tests)."""
+        return self._states.states()
+
+    def edges(self) -> List[Tuple[ObjectSet, ObjectSet]]:
+        """All ``(parent, child)`` edges of the graph (for tests/diagnostics)."""
+        return [
+            (parent, child)
+            for parent, children in self._children.items()
+            for child in children
+        ]
+
+    def principal_object_sets(self) -> List[ObjectSet]:
+        """Object sets of the current principal states, in arrival order."""
+        return list(self._principals)

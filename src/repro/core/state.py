@@ -1,0 +1,217 @@
+"""State primitives shared by all MCOS generators.
+
+A *state* (Definition 3 in the paper) couples a co-occurrence object set with
+the set of window frames in which the objects appear jointly.  The MFS and SSG
+approaches additionally *mark* certain frames (the Marked Frame Set,
+Section 4.2.3); the presence of at least one marked, non-expired frame
+certifies that the state's object set is a Maximum Co-occurrence Object Set of
+its frame set (Theorems 1 and 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+
+class State:
+    """A co-occurrence object set together with its (marked) frame set.
+
+    The frame set is stored as an insertion-ordered mapping from frame id to a
+    boolean *marked* flag.  Frames are always appended in increasing order and
+    expire from the front, so both operations are amortised constant time.
+    """
+
+    __slots__ = (
+        "object_ids",
+        "_frames",
+        "_marked_count",
+        "_max_frame",
+        "flag",
+        "terminated",
+    )
+
+    def __init__(self, object_ids: FrozenSet[int]):
+        if not object_ids:
+            raise ValueError("a state must have a non-empty object set")
+        self.object_ids: FrozenSet[int] = frozenset(object_ids)
+        self._frames: Dict[int, bool] = {}
+        self._marked_count = 0
+        self._max_frame = -1
+        #: Visitation flag used by the SSG traversal (set to the current frame
+        #: id so each state is visited at most once per frame).
+        self.flag: int = -1
+        #: Set by the Proposition-1 pruning strategy (Section 5.3) when the
+        #: state's MCOS fails every registered >=-only query.
+        self.terminated: bool = False
+
+    # ------------------------------------------------------------------
+    # Frame-set maintenance
+    # ------------------------------------------------------------------
+    def add_frame(self, frame_id: int, marked: bool = False) -> None:
+        """Append ``frame_id`` to the frame set (or upgrade its mark).
+
+        Appending an already-present frame only upgrades its marked flag; it
+        never clears an existing mark.  Frames are normally inserted in
+        increasing order; when merging from several source states an older
+        frame may arrive late, in which case the mapping is re-sorted so that
+        expiry can keep treating expired frames as a prefix.
+        """
+        current = self._frames.get(frame_id)
+        if current is None:
+            self._frames[frame_id] = marked
+            if marked:
+                self._marked_count += 1
+            if frame_id > self._max_frame:
+                self._max_frame = frame_id
+            else:
+                # Out-of-order insertion (only possible while merging source
+                # frame sets into a freshly created state): restore ordering.
+                self._frames = dict(sorted(self._frames.items()))
+        elif marked and not current:
+            self._frames[frame_id] = True
+            self._marked_count += 1
+
+    def mark_frame(self, frame_id: int) -> None:
+        """Mark an already-present frame as a key frame."""
+        self.add_frame(frame_id, marked=True)
+
+    def merge_from(self, other: "State", copy_marks: bool) -> None:
+        """Merge another state's frame set (and optionally marks) into this one.
+
+        Used when the same object set is derivable from several sources in one
+        window step (the ``merge`` operations of Algorithm 1).
+        """
+        if other is self:
+            return
+        for frame_id, marked in other._frames.items():
+            self.add_frame(frame_id, marked=marked and copy_marks)
+
+    def expire_before(self, oldest_valid: int) -> None:
+        """Drop every frame with id smaller than ``oldest_valid``."""
+        # Frames are insertion-ordered and strictly increasing, so expired
+        # frames form a prefix of the mapping.
+        expired: List[int] = []
+        for frame_id in self._frames:
+            if frame_id < oldest_valid:
+                expired.append(frame_id)
+            else:
+                break
+        for frame_id in expired:
+            if self._frames.pop(frame_id):
+                self._marked_count -= 1
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def frame_ids(self) -> Tuple[int, ...]:
+        """The frame ids of the state, oldest first."""
+        return tuple(self._frames)
+
+    @property
+    def marked_frame_ids(self) -> Tuple[int, ...]:
+        """The marked (key) frame ids of the state, oldest first."""
+        return tuple(fid for fid, marked in self._frames.items() if marked)
+
+    @property
+    def frame_count(self) -> int:
+        """Number of frames currently in the frame set."""
+        return len(self._frames)
+
+    @property
+    def marked_count(self) -> int:
+        """Number of marked frames currently in the frame set."""
+        return self._marked_count
+
+    @property
+    def is_empty(self) -> bool:
+        """True when every frame of the state has expired."""
+        return not self._frames
+
+    @property
+    def is_valid(self) -> bool:
+        """True when the state carries at least one marked frame.
+
+        For MFS and SSG a state is valid (its object set is an MCOS of its
+        frame set) if and only if at least one marked frame remains in the
+        window -- Theorems 1 and 4 of the paper.
+        """
+        return self._marked_count > 0
+
+    def is_satisfied(self, duration: int) -> bool:
+        """True when the frame set meets the duration threshold ``d``."""
+        return len(self._frames) >= duration
+
+    def contains_frame(self, frame_id: int) -> bool:
+        """True when ``frame_id`` is currently part of the frame set."""
+        return frame_id in self._frames
+
+    def snapshot(self) -> Tuple[FrozenSet[int], Tuple[int, ...]]:
+        """Return an immutable ``(object_ids, frame_ids)`` snapshot."""
+        return (self.object_ids, tuple(self._frames))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        frames = ", ".join(
+            f"*{fid}" if marked else str(fid) for fid, marked in self._frames.items()
+        )
+        objs = ",".join(str(o) for o in sorted(self.object_ids))
+        return f"State({{{objs}}}, {{{frames}}})"
+
+
+class StateTable:
+    """A hash table mapping object sets to their states.
+
+    All generators maintain their live states here; the SSG generator layers a
+    graph structure on top of the same table.
+    """
+
+    def __init__(self) -> None:
+        self._by_object_set: Dict[FrozenSet[int], State] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_object_set)
+
+    def __contains__(self, object_ids: FrozenSet[int]) -> bool:
+        return object_ids in self._by_object_set
+
+    def __iter__(self):
+        return iter(self._by_object_set.values())
+
+    def get(self, object_ids: FrozenSet[int]) -> Optional[State]:
+        """Return the state for ``object_ids`` if it exists."""
+        return self._by_object_set.get(object_ids)
+
+    def get_or_create(self, object_ids: FrozenSet[int]) -> Tuple[State, bool]:
+        """Return the state for ``object_ids``, creating it if necessary.
+
+        Returns the state and a flag indicating whether it was newly created.
+        """
+        state = self._by_object_set.get(object_ids)
+        if state is not None:
+            return state, False
+        state = State(object_ids)
+        self._by_object_set[object_ids] = state
+        return state, True
+
+    def add(self, state: State) -> None:
+        """Insert an externally-constructed state."""
+        self._by_object_set[state.object_ids] = state
+
+    def remove(self, state: State) -> None:
+        """Remove a state from the table (no-op if absent)."""
+        self._by_object_set.pop(state.object_ids, None)
+
+    def states(self) -> List[State]:
+        """Return a list snapshot of the live states."""
+        return list(self._by_object_set.values())
+
+    def clear(self) -> None:
+        """Drop every state."""
+        self._by_object_set.clear()
+
+
+def intersect(object_ids: FrozenSet[int], other: Iterable[int]) -> FrozenSet[int]:
+    """Intersection of two object-id sets as a frozenset."""
+    if isinstance(other, frozenset):
+        return object_ids & other
+    return object_ids & frozenset(other)

@@ -1,0 +1,98 @@
+"""Persistence for structured relations.
+
+The detection/tracking layer is expensive relative to query evaluation, so a
+deployment typically materialises the relation ``VR(fid, id, class)`` once and
+evaluates many query workloads against it.  This module provides two on-disk
+formats:
+
+* **CSV** -- one ``fid,id,class,confidence`` row per observation; easy to
+  inspect and to load into other tools;
+* **JSON Lines** -- one JSON object per frame (``{"fid": ..., "objects":
+  {id: class, ...}}``), which preserves empty frames exactly.
+
+Both formats round-trip through :class:`~repro.datamodel.relation.VideoRelation`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.datamodel.observation import FrameObservation
+from repro.datamodel.relation import VideoRelation
+
+PathLike = Union[str, Path]
+
+
+def save_relation_csv(relation: VideoRelation, path: PathLike) -> None:
+    """Write a relation as a CSV file with header ``fid,id,class,confidence``.
+
+    Empty frames produce no rows; the total frame count is therefore stored in
+    a ``# num_frames=N`` comment on the first line so that loading restores
+    trailing empty frames as well.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        handle.write(f"# num_frames={relation.num_frames}\n")
+        writer = csv.writer(handle)
+        writer.writerow(["fid", "id", "class", "confidence"])
+        for observation in relation.observations():
+            writer.writerow(
+                [
+                    observation.frame_id,
+                    observation.object_id,
+                    observation.label,
+                    f"{observation.confidence:.4f}",
+                ]
+            )
+
+
+def load_relation_csv(path: PathLike, name: str = "") -> VideoRelation:
+    """Load a relation previously written by :func:`save_relation_csv`."""
+    path = Path(path)
+    num_frames = None
+    tuples = []
+    with path.open() as handle:
+        first = handle.readline().strip()
+        if first.startswith("#") and "num_frames=" in first:
+            num_frames = int(first.split("num_frames=")[1])
+        else:
+            raise ValueError(f"{path} is missing the '# num_frames=' header line")
+        reader = csv.DictReader(handle)
+        for row in reader:
+            tuples.append((int(row["fid"]), int(row["id"]), row["class"]))
+    return VideoRelation.from_tuples(
+        tuples, num_frames=num_frames, name=name or path.stem
+    )
+
+
+def save_relation_jsonl(relation: VideoRelation, path: PathLike) -> None:
+    """Write a relation as JSON Lines, one object per frame."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for frame in relation.frames():
+            record = {
+                "fid": frame.frame_id,
+                "objects": {str(oid): frame.label_of(oid) for oid in sorted(frame.object_ids)},
+            }
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_relation_jsonl(path: PathLike, name: str = "") -> VideoRelation:
+    """Load a relation previously written by :func:`save_relation_jsonl`."""
+    path = Path(path)
+    frames = []
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            labels: Dict[int, str] = {
+                int(oid): label for oid, label in record["objects"].items()
+            }
+            frames.append(FrameObservation(int(record["fid"]), labels))
+    frames.sort(key=lambda frame: frame.frame_id)
+    return VideoRelation(frames, name=name or path.stem)

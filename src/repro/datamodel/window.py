@@ -1,0 +1,110 @@
+"""Sliding-window views over a :class:`~repro.datamodel.relation.VideoRelation`.
+
+The paper adopts sliding-window query semantics: every time a new frame is
+encountered the window advances and queries are evaluated over the most
+recently encountered ``w`` frames (Section 2).  :class:`SlidingWindow` yields
+one :class:`WindowView` per frame; MCOS generators consume the stream of
+frames directly but tests and the reference oracle use the window views.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, List, Optional, Sequence
+
+from repro.datamodel.observation import FrameObservation
+from repro.datamodel.relation import VideoRelation
+
+
+class WindowView:
+    """The content of one sliding window: the most recent ``w`` frames."""
+
+    __slots__ = ("_frames", "_window_size")
+
+    def __init__(self, frames: Sequence[FrameObservation], window_size: int):
+        self._frames: List[FrameObservation] = list(frames)
+        self._window_size = window_size
+
+    @property
+    def window_size(self) -> int:
+        """The configured window size ``w`` (the view may hold fewer frames)."""
+        return self._window_size
+
+    @property
+    def current_frame_id(self) -> int:
+        """Identifier of the most recent frame in the window."""
+        return self._frames[-1].frame_id
+
+    @property
+    def oldest_frame_id(self) -> int:
+        """Identifier of the oldest frame still inside the window."""
+        return self._frames[0].frame_id
+
+    @property
+    def frame_ids(self) -> List[int]:
+        """All frame identifiers inside the window, oldest first."""
+        return [f.frame_id for f in self._frames]
+
+    def frames(self) -> Iterator[FrameObservation]:
+        """Iterate over the frames of the window, oldest first."""
+        return iter(self._frames)
+
+    def frame(self, frame_id: int) -> FrameObservation:
+        """Return the frame with the given id (must be inside the window)."""
+        offset = frame_id - self.oldest_frame_id
+        if offset < 0 or offset >= len(self._frames):
+            raise KeyError(f"frame {frame_id} is not inside the window")
+        return self._frames[offset]
+
+    def cooccurrence(self, object_ids: FrozenSet[int]) -> List[int]:
+        """Return the frames of the window in which all ``object_ids`` co-occur.
+
+        Implements the ``cooc(IDq, f)`` predicate of Section 2 applied to
+        every frame of the window.
+        """
+        return [
+            f.frame_id for f in self._frames if object_ids <= f.object_ids
+        ]
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"WindowView(frames={self.oldest_frame_id}..{self.current_frame_id}, "
+            f"w={self._window_size})"
+        )
+
+
+class SlidingWindow:
+    """Iterates over a relation producing one :class:`WindowView` per frame.
+
+    The window at frame ``i`` contains frames ``max(0, i - w + 1) .. i`` --
+    i.e. at most ``w`` frames, fewer during warm-up.
+    """
+
+    def __init__(self, relation: VideoRelation, window_size: int,
+                 start: int = 0, stop: Optional[int] = None):
+        if window_size <= 0:
+            raise ValueError("window_size must be positive")
+        self._relation = relation
+        self._window_size = window_size
+        self._start = start
+        self._stop = stop if stop is not None else relation.num_frames
+
+    @property
+    def window_size(self) -> int:
+        """The configured window size ``w``."""
+        return self._window_size
+
+    def view_at(self, frame_id: int) -> WindowView:
+        """Return the window view whose most recent frame is ``frame_id``."""
+        lo = max(0, frame_id - self._window_size + 1)
+        frames = [self._relation.frame(fid) for fid in range(lo, frame_id + 1)]
+        return WindowView(frames, self._window_size)
+
+    def __iter__(self) -> Iterator[WindowView]:
+        for frame_id in range(self._start, self._stop):
+            yield self.view_at(frame_id)
+
+    def __len__(self) -> int:
+        return max(0, self._stop - self._start)

@@ -1,0 +1,35 @@
+"""Dataset generators reproducing the paper's evaluation datasets.
+
+The paper evaluates on two synthetic videos produced by the VisualRoad
+benchmark (V1: rain with light traffic, V2: post-rain with heavy traffic) and
+four real videos (D1, D2 from Detrac -- static traffic cameras; M1, M2 from
+MOT16 -- moving pedestrian cameras).  Neither the videos nor GPU detectors are
+available offline, so this package generates *simulated scenes* whose
+post-detection, post-tracking relations match the statistical profile reported
+in Table 6 (frames, unique objects, objects per frame, occlusions per object,
+frames per object), which is what the MCOS and query layers are sensitive to.
+"""
+
+from repro.datasets.occlusion import reuse_object_ids
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    DatasetSpec,
+    dataset_spec,
+    load_dataset,
+    load_relation,
+)
+from repro.datasets.scenes import SceneSpec, build_scene
+from repro.datasets.statistics import DatasetStatistics, dataset_statistics
+
+__all__ = [
+    "SceneSpec",
+    "build_scene",
+    "DatasetSpec",
+    "DATASET_NAMES",
+    "dataset_spec",
+    "load_dataset",
+    "load_relation",
+    "DatasetStatistics",
+    "dataset_statistics",
+    "reuse_object_ids",
+]

@@ -1,0 +1,107 @@
+"""Occlusion augmentation: the ``po`` parameter of Figure 7.
+
+To vary the number of occlusions beyond those occurring naturally, the paper
+reuses an object identifier after the object disappears from the video: the
+next new object of the same class inherits the retired identifier, so a single
+identifier now appears, disappears and reappears, i.e. experiences an extra
+occlusion.  Each identifier is reused at most ``po`` times.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.datamodel.observation import FrameObservation
+from repro.datamodel.relation import VideoRelation
+
+
+@dataclass
+class _TrackSpan:
+    """First/last appearance of one object identifier in the original relation."""
+
+    object_id: int
+    label: str
+    first_frame: int
+    last_frame: int
+
+
+def _track_spans(relation: VideoRelation) -> List[_TrackSpan]:
+    spans: Dict[int, _TrackSpan] = {}
+    for frame in relation.frames():
+        for oid in frame.object_ids:
+            if oid not in spans:
+                spans[oid] = _TrackSpan(oid, frame.label_of(oid), frame.frame_id, frame.frame_id)
+            else:
+                spans[oid].last_frame = frame.frame_id
+    return sorted(spans.values(), key=lambda s: (s.first_frame, s.object_id))
+
+
+def reuse_object_ids(
+    relation: VideoRelation,
+    po: int,
+    min_gap: int = 1,
+    seed: int = 0,
+) -> VideoRelation:
+    """Return a copy of the relation with object ids reused up to ``po`` times.
+
+    Parameters
+    ----------
+    relation:
+        The original relation.
+    po:
+        Maximum number of times an identifier is reused.  ``po = 0`` returns
+        an identical copy (no extra occlusions).
+    min_gap:
+        Minimum number of frames between the retirement of an identifier and
+        its reuse (so the reuse actually creates a visible occlusion gap).
+    seed:
+        Randomisation seed for choosing among eligible retired identifiers.
+    """
+    if po < 0:
+        raise ValueError("po must be non-negative")
+    if po == 0:
+        return VideoRelation(list(relation.frames()), name=relation.name)
+
+    rng = random.Random(seed)
+    spans = _track_spans(relation)
+    #: Remaining reuse budget per (canonical) identifier.
+    reuse_budget: Dict[int, int] = {}
+    #: Retired identifiers available for reuse, per class label.
+    retired: Dict[str, List[Tuple[int, int]]] = {}
+    #: Mapping from original identifier to the identifier it is renamed to.
+    renaming: Dict[int, int] = {}
+    #: Last frame of each canonical identifier, updated as spans are merged.
+    last_frame: Dict[int, int] = {}
+
+    for span in spans:
+        candidates = retired.get(span.label, [])
+        chosen: Optional[int] = None
+        eligible = [
+            (idx, oid)
+            for idx, (oid, retired_at) in enumerate(candidates)
+            if retired_at + min_gap < span.first_frame and reuse_budget.get(oid, 0) > 0
+        ]
+        if eligible:
+            idx, chosen = rng.choice(eligible)
+            candidates.pop(idx)
+            reuse_budget[chosen] -= 1
+
+        if chosen is None:
+            canonical = span.object_id
+            reuse_budget.setdefault(canonical, po)
+        else:
+            canonical = chosen
+            renaming[span.object_id] = canonical
+
+        last_frame[canonical] = max(last_frame.get(canonical, -1), span.last_frame)
+        retired.setdefault(span.label, []).append((canonical, span.last_frame))
+
+    frames: List[FrameObservation] = []
+    for frame in relation.frames():
+        labels = {
+            renaming.get(oid, oid): frame.label_of(oid) for oid in frame.object_ids
+        }
+        frames.append(FrameObservation(frame.frame_id, labels))
+    return VideoRelation(frames, name=f"{relation.name}-po{po}")

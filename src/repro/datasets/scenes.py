@@ -1,0 +1,254 @@
+"""Procedural scene generation for the evaluation datasets.
+
+A :class:`SceneSpec` describes the statistical profile of a video -- how many
+objects appear, how long they stay in view, how often they are occluded, what
+classes they belong to, whether the camera moves -- and :func:`build_scene`
+turns it into a :class:`~repro.vision.world.World` of scripted objects.  The
+same machinery generates VisualRoad-style traffic scenes (V1, V2), Detrac-style
+static traffic-camera scenes (D1, D2) and MOT16-style moving pedestrian
+scenes (M1, M2); only the parameters differ.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.vision.world import Camera, ScriptedObject, World
+
+#: Nominal image dimensions of the simulated camera.
+FRAME_WIDTH = 1920.0
+FRAME_HEIGHT = 1080.0
+
+#: Typical bounding-box sizes (width, height) per class, in pixels.
+CLASS_SIZES: Dict[str, Tuple[float, float]] = {
+    "car": (170.0, 110.0),
+    "truck": (260.0, 160.0),
+    "bus": (300.0, 180.0),
+    "person": (60.0, 150.0),
+}
+
+
+@dataclass
+class SceneSpec:
+    """Statistical description of a scene to generate.
+
+    Attributes
+    ----------
+    name:
+        Dataset name (e.g. ``"V1"``).
+    num_frames:
+        Length of the video in frames.
+    num_objects:
+        Number of ground-truth objects scripted into the scene.  The tracker
+        may report slightly more unique identifiers because of identifier
+        switches, mirroring how the paper's statistics are computed on
+        tracker output.
+    mean_visible_frames:
+        Average number of frames an object stays in view (the F/Obj column of
+        Table 6).
+    class_mix:
+        Mapping from class label to sampling weight.
+    mean_occlusions:
+        Average number of scripted occlusion events per object (Occ/Obj).
+    occlusion_length:
+        Mean length, in frames, of one occlusion event.
+    moving_camera:
+        ``True`` for hand-held style sequences (MOT16); adds camera panning.
+    vehicle_lanes:
+        Number of horizontal lanes vehicles drive along.
+    persistent_fraction:
+        Fraction of objects that stay in the scene for a large part of the
+        video (parked or queueing vehicles, loitering pedestrians).  These
+        long-lived objects are what make the paper's default duration
+        threshold (``d`` = 240 frames, 8 seconds) satisfiable at all.
+    persistent_span:
+        ``(lo, hi)`` fractions of the video length a persistent object's
+        lifespan is drawn from.
+    """
+
+    name: str
+    num_frames: int
+    num_objects: int
+    mean_visible_frames: float
+    class_mix: Dict[str, float]
+    mean_occlusions: float = 3.0
+    occlusion_length: float = 8.0
+    moving_camera: bool = False
+    vehicle_lanes: int = 4
+    persistent_fraction: float = 0.05
+    persistent_span: Tuple[float, float] = (0.20, 0.45)
+    seed: int = 0
+
+
+def _sample_class(rng: random.Random, class_mix: Dict[str, float]) -> str:
+    labels = list(class_mix)
+    weights = [class_mix[label] for label in labels]
+    return rng.choices(labels, weights=weights, k=1)[0]
+
+
+def _sample_occlusions(
+    rng: random.Random,
+    enter_frame: int,
+    exit_frame: int,
+    mean_occlusions: float,
+    occlusion_length: float,
+) -> List[Tuple[int, int]]:
+    """Sample non-overlapping hidden intervals inside an object's lifespan."""
+    lifespan = exit_frame - enter_frame + 1
+    if lifespan < 6 or mean_occlusions <= 0:
+        return []
+    # Poisson-like sampling without numpy to keep the generator lightweight.
+    count = 0
+    threshold = rng.random()
+    cumulative = 0.0
+    probability = 2.718281828 ** (-mean_occlusions)
+    term = probability
+    while cumulative + term < threshold and count < 12:
+        cumulative += term
+        count += 1
+        term *= mean_occlusions / count
+    intervals: List[Tuple[int, int]] = []
+    for _ in range(count):
+        length = max(2, int(rng.expovariate(1.0 / occlusion_length)))
+        start = rng.randint(enter_frame + 1, max(enter_frame + 1, exit_frame - length - 1))
+        end = min(exit_frame - 1, start + length)
+        if end <= start:
+            continue
+        intervals.append((start, end))
+    # Merge overlapping intervals so occlusion counts stay meaningful.
+    intervals.sort()
+    merged: List[Tuple[int, int]] = []
+    for start, end in intervals:
+        if merged and start <= merged[-1][1] + 1:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _vehicle_trajectory(
+    rng: random.Random,
+    enter_frame: int,
+    exit_frame: int,
+    lane: int,
+    num_lanes: int,
+) -> List[Tuple[int, float, float]]:
+    """A vehicle crossing the scene horizontally along a lane."""
+    lane_height = FRAME_HEIGHT / (num_lanes + 1)
+    y = lane_height * (lane + 1) + rng.uniform(-20, 20)
+    leftwards = rng.random() < 0.5
+    start_x, end_x = (-150.0, FRAME_WIDTH + 150.0)
+    if leftwards:
+        start_x, end_x = end_x, start_x
+    return [(enter_frame, start_x, y), (exit_frame, end_x, y)]
+
+
+def _pedestrian_trajectory(
+    rng: random.Random, enter_frame: int, exit_frame: int
+) -> List[Tuple[int, float, float]]:
+    """A pedestrian wandering through the scene with a few waypoints."""
+    num_waypoints = max(2, (exit_frame - enter_frame) // 120 + 2)
+    frames = [
+        enter_frame + round(i * (exit_frame - enter_frame) / (num_waypoints - 1))
+        for i in range(num_waypoints)
+    ]
+    x = rng.uniform(0, FRAME_WIDTH)
+    y = rng.uniform(FRAME_HEIGHT * 0.35, FRAME_HEIGHT * 0.9)
+    waypoints = []
+    for frame in frames:
+        waypoints.append((frame, x, y))
+        x = min(FRAME_WIDTH + 100, max(-100.0, x + rng.uniform(-350, 350)))
+        y = min(FRAME_HEIGHT, max(FRAME_HEIGHT * 0.3, y + rng.uniform(-120, 120)))
+    return waypoints
+
+
+def build_scene(spec: SceneSpec) -> World:
+    """Generate a :class:`~repro.vision.world.World` from a scene description."""
+    rng = random.Random(spec.seed)
+    objects: List[ScriptedObject] = []
+    for world_id in range(spec.num_objects):
+        label = _sample_class(rng, spec.class_mix)
+        persistent = rng.random() < spec.persistent_fraction
+        if persistent:
+            lo, hi = spec.persistent_span
+            visible = int(rng.uniform(lo, hi) * spec.num_frames)
+        else:
+            visible = max(4, int(rng.gauss(spec.mean_visible_frames,
+                                           spec.mean_visible_frames * 0.35)))
+        visible = min(max(4, visible), spec.num_frames)
+        latest_start = max(0, spec.num_frames - visible)
+        enter_frame = rng.randint(0, latest_start) if latest_start else 0
+        exit_frame = min(spec.num_frames - 1, enter_frame + visible - 1)
+
+        if persistent and label != "person":
+            # A stopped / parked vehicle: it stays at one spot in the scene.
+            x = rng.uniform(FRAME_WIDTH * 0.1, FRAME_WIDTH * 0.9)
+            y = rng.uniform(FRAME_HEIGHT * 0.3, FRAME_HEIGHT * 0.9)
+            waypoints = [(enter_frame, x, y), (exit_frame, x, y)]
+        elif label == "person":
+            waypoints = _pedestrian_trajectory(rng, enter_frame, exit_frame)
+        else:
+            lane = rng.randrange(spec.vehicle_lanes)
+            waypoints = _vehicle_trajectory(
+                rng, enter_frame, exit_frame, lane, spec.vehicle_lanes
+            )
+
+        hidden = _sample_occlusions(
+            rng, enter_frame, exit_frame, spec.mean_occlusions, spec.occlusion_length
+        )
+        width, height = CLASS_SIZES.get(label, (100.0, 100.0))
+        width *= rng.uniform(0.85, 1.15)
+        height *= rng.uniform(0.85, 1.15)
+        objects.append(
+            ScriptedObject(
+                world_id=world_id,
+                label=label,
+                enter_frame=enter_frame,
+                exit_frame=exit_frame,
+                waypoints=waypoints,
+                size=(width, height),
+                hidden_intervals=tuple(hidden),
+                depth=rng.uniform(0.0, 1.0),
+            )
+        )
+
+    if spec.moving_camera:
+        camera = Camera(
+            width=FRAME_WIDTH,
+            height=FRAME_HEIGHT,
+            pan_speed=0.02,
+            pan_amplitude=250.0,
+        )
+    else:
+        camera = Camera(width=FRAME_WIDTH, height=FRAME_HEIGHT)
+
+    return World(objects, camera=camera, num_frames=spec.num_frames, name=spec.name)
+
+
+def scaled_spec(spec: SceneSpec, scale: float) -> SceneSpec:
+    """Return a proportionally smaller copy of a scene spec.
+
+    Used by the benchmark harness to keep runtimes reasonable while preserving
+    the per-frame statistics (objects per frame, occlusion rates).
+    """
+    if scale >= 1.0:
+        return spec
+    num_frames = max(30, int(spec.num_frames * scale))
+    num_objects = max(4, int(spec.num_objects * scale))
+    mean_visible = min(spec.mean_visible_frames, max(8.0, spec.mean_visible_frames * 1.0))
+    return SceneSpec(
+        name=spec.name,
+        num_frames=num_frames,
+        num_objects=num_objects,
+        mean_visible_frames=mean_visible,
+        class_mix=dict(spec.class_mix),
+        mean_occlusions=spec.mean_occlusions,
+        occlusion_length=spec.occlusion_length,
+        moving_camera=spec.moving_camera,
+        vehicle_lanes=spec.vehicle_lanes,
+        persistent_fraction=spec.persistent_fraction,
+        persistent_span=spec.persistent_span,
+        seed=spec.seed,
+    )

@@ -1,0 +1,85 @@
+"""Dataset statistics (Table 6 of the paper).
+
+For a structured relation the statistics are:
+
+* ``frames``  -- total number of frames;
+* ``objects`` -- number of unique object identifiers;
+* ``obj_per_frame`` -- average number of objects per frame (Obj/F);
+* ``occ_per_object`` -- average number of occlusions per object (Occ/Obj),
+  an occlusion being a gap in an object's presence between its first and last
+  appearance;
+* ``frames_per_object`` -- average number of frames each object appears in
+  (F/Obj).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.datamodel.relation import VideoRelation
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """The Table 6 statistics of one dataset."""
+
+    name: str
+    frames: int
+    objects: int
+    obj_per_frame: float
+    occ_per_object: float
+    frames_per_object: float
+
+    def as_row(self) -> Dict[str, float]:
+        """Return the statistics as a flat dictionary (for reports)."""
+        return {
+            "Frames": self.frames,
+            "Objects": self.objects,
+            "Obj/F": round(self.obj_per_frame, 2),
+            "Occ/Obj": round(self.occ_per_object, 2),
+            "F/Obj": round(self.frames_per_object, 2),
+        }
+
+
+def dataset_statistics(relation: VideoRelation, name: str = "") -> DatasetStatistics:
+    """Compute the Table 6 statistics of a relation."""
+    stats = relation.track_statistics()
+    num_frames = relation.num_frames
+    num_objects = len(stats)
+    total_appearances = sum(s.appearances for s in stats.values())
+    total_occlusions = sum(s.occlusions for s in stats.values())
+    return DatasetStatistics(
+        name=name or relation.name,
+        frames=num_frames,
+        objects=num_objects,
+        obj_per_frame=(total_appearances / num_frames) if num_frames else 0.0,
+        occ_per_object=(total_occlusions / num_objects) if num_objects else 0.0,
+        frames_per_object=(total_appearances / num_objects) if num_objects else 0.0,
+    )
+
+
+def statistics_table(stats: Sequence[DatasetStatistics]) -> str:
+    """Render a list of dataset statistics as a fixed-width text table."""
+    headers = ["Dataset", "Frames", "Objects", "Obj/F", "Occ/Obj", "F/Obj"]
+    rows: List[List[str]] = []
+    for entry in stats:
+        row = entry.as_row()
+        rows.append(
+            [
+                entry.name,
+                str(row["Frames"]),
+                str(row["Objects"]),
+                f"{row['Obj/F']:.2f}",
+                f"{row['Occ/Obj']:.2f}",
+                f"{row['F/Obj']:.2f}",
+            ]
+        )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""End-to-end temporal video query engine.
+
+Wires the three layers of the paper's architecture together: a video source
+(simulated world + detection/tracking pipeline, or a pre-computed relation),
+an MCOS generation strategy, and the CNF query evaluation module.
+"""
+
+from repro.engine.config import EngineConfig, MCOSMethod
+from repro.engine.engine import EngineRunResult, TemporalVideoQueryEngine
+
+__all__ = [
+    "MCOSMethod",
+    "EngineConfig",
+    "TemporalVideoQueryEngine",
+    "EngineRunResult",
+]

@@ -1,0 +1,73 @@
+"""Engine configuration: which MCOS strategy, which optimisations."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Type
+
+from repro.core.base import MCOSGenerator
+from repro.core.mfs import MarkedFrameSetGenerator
+from repro.core.naive import NaiveGenerator
+from repro.core.reference import ReferenceGenerator
+from repro.core.ssg import StrictStateGraphGenerator
+
+
+class MCOSMethod(enum.Enum):
+    """The state maintenance strategies evaluated in the paper."""
+
+    NAIVE = "NAIVE"
+    MFS = "MFS"
+    SSG = "SSG"
+    REFERENCE = "REFERENCE"
+
+    @property
+    def generator_class(self) -> Type[MCOSGenerator]:
+        """The generator class implementing this method."""
+        return {
+            MCOSMethod.NAIVE: NaiveGenerator,
+            MCOSMethod.MFS: MarkedFrameSetGenerator,
+            MCOSMethod.SSG: StrictStateGraphGenerator,
+            MCOSMethod.REFERENCE: ReferenceGenerator,
+        }[self]
+
+
+@dataclass
+class EngineConfig:
+    """Configuration of a :class:`~repro.engine.engine.TemporalVideoQueryEngine`.
+
+    Attributes
+    ----------
+    method:
+        MCOS state maintenance strategy.
+    window_size / duration:
+        Temporal parameters ``w`` and ``d`` shared by the registered queries.
+        Queries with differing windows should be run in separate engine
+        instances (the paper groups queries by window size for the same
+        reason).
+    enable_pruning:
+        Apply the Proposition-1 result-driven pruning when every query uses
+        only ``>=`` conditions (the ``*_O`` method variants of Figure 9).
+    restrict_labels:
+        Drop objects whose class no query refers to before state maintenance.
+    """
+
+    method: MCOSMethod = MCOSMethod.SSG
+    window_size: int = 300
+    duration: int = 240
+    enable_pruning: bool = False
+    restrict_labels: bool = True
+
+    def __post_init__(self) -> None:
+        if isinstance(self.method, str):
+            self.method = MCOSMethod(self.method)
+        if self.window_size <= 0:
+            raise ValueError("window_size must be positive")
+        if not 0 <= self.duration <= self.window_size:
+            raise ValueError("duration must satisfy 0 <= d <= window_size")
+
+    @property
+    def method_label(self) -> str:
+        """Label of the method including the pruning suffix used in Figure 9."""
+        suffix = "_O" if self.enable_pruning else ""
+        return f"{self.method.value}{suffix}"

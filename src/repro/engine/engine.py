@@ -1,0 +1,150 @@
+"""The end-to-end temporal video query engine.
+
+A :class:`TemporalVideoQueryEngine` accepts a set of CNF queries sharing the
+same window/duration parameters, builds the query evaluation index, selects an
+MCOS generation strategy, and then consumes a structured relation frame by
+frame, reporting query matches as the window slides -- exactly the data flow
+of Figure 2 in the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.core.base import GeneratorStats, MCOSGenerator
+from repro.core.result import ResultStateSet
+from repro.datamodel.observation import FrameObservation
+from repro.datamodel.relation import VideoRelation
+from repro.engine.config import EngineConfig, MCOSMethod
+from repro.query.evaluator import QueryEvaluator, QueryMatch
+from repro.query.model import CNFQuery
+from repro.query.pruning import StatePruner, queries_support_pruning
+
+
+@dataclass
+class EngineRunResult:
+    """Aggregated outcome of running the engine over a relation."""
+
+    method: str
+    matches: List[QueryMatch]
+    frames_processed: int
+    mcos_seconds: float
+    evaluation_seconds: float
+    generator_stats: GeneratorStats
+    result_states: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """MCOS generation plus query evaluation time."""
+        return self.mcos_seconds + self.evaluation_seconds
+
+    def matches_by_query(self) -> Dict[int, List[QueryMatch]]:
+        """Group the produced matches by query identifier."""
+        grouped: Dict[int, List[QueryMatch]] = {}
+        for match in self.matches:
+            grouped.setdefault(match.query_id, []).append(match)
+        return grouped
+
+
+class TemporalVideoQueryEngine:
+    """Evaluates CNF temporal queries over a video feed relation."""
+
+    def __init__(self, queries: Iterable[CNFQuery], config: Optional[EngineConfig] = None):
+        self.config = config or EngineConfig()
+        self.evaluator = QueryEvaluator()
+        self._queries: List[CNFQuery] = []
+        for query in queries:
+            self._queries.append(self.evaluator.add_query(query))
+        if not self._queries:
+            raise ValueError("the engine needs at least one query")
+
+        self._pruner: Optional[StatePruner] = None
+        if self.config.enable_pruning:
+            if not queries_support_pruning(self._queries):
+                raise ValueError(
+                    "pruning (the *_O variants) requires all query conditions to use '>='"
+                )
+            self._pruner = StatePruner(self.evaluator)
+
+        self._labels: Dict[int, str] = {}
+        self.generator = self._build_generator()
+        self._mcos_seconds = 0.0
+        self._evaluation_seconds = 0.0
+        self._frames_processed = 0
+        self._result_states = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_generator(self) -> MCOSGenerator:
+        labels_of_interest = (
+            self.evaluator.labels_of_interest() if self.config.restrict_labels else None
+        )
+        generator_class = self.config.method.generator_class
+        return generator_class(
+            window_size=self.config.window_size,
+            duration=self.config.duration,
+            labels_of_interest=labels_of_interest,
+            state_filter=self._pruner,
+        )
+
+    @property
+    def queries(self) -> List[CNFQuery]:
+        """The registered queries (with assigned identifiers)."""
+        return list(self._queries)
+
+    @property
+    def method_label(self) -> str:
+        """Method name including the ``_O`` suffix when pruning is enabled."""
+        return self.config.method_label
+
+    # ------------------------------------------------------------------
+    # Streaming API
+    # ------------------------------------------------------------------
+    def process_frame(self, frame: FrameObservation) -> List[QueryMatch]:
+        """Process one frame and return the query matches of the new window."""
+        for oid in frame.object_ids:
+            self._labels.setdefault(oid, frame.label_of(oid))
+
+        start = time.perf_counter()
+        results: ResultStateSet = self.generator.process_frame(frame)
+        self._mcos_seconds += time.perf_counter() - start
+
+        start = time.perf_counter()
+        matches = self.evaluator.evaluate_result_set(results, self._labels)
+        self._evaluation_seconds += time.perf_counter() - start
+
+        self._frames_processed += 1
+        self._result_states += len(results)
+        return matches
+
+    def stream(self, relation: VideoRelation) -> Iterator[List[QueryMatch]]:
+        """Yield the per-frame query matches for an entire relation."""
+        for frame in relation.frames():
+            yield self.process_frame(frame)
+
+    def run(self, relation: VideoRelation) -> EngineRunResult:
+        """Process a whole relation and return the aggregated result."""
+        matches: List[QueryMatch] = []
+        for frame_matches in self.stream(relation):
+            matches.extend(frame_matches)
+        return EngineRunResult(
+            method=self.method_label,
+            matches=matches,
+            frames_processed=self._frames_processed,
+            mcos_seconds=self._mcos_seconds,
+            evaluation_seconds=self._evaluation_seconds,
+            generator_stats=self.generator.stats,
+            result_states=self._result_states,
+        )
+
+    def reset(self) -> None:
+        """Reset the engine to process another relation from scratch."""
+        self.generator = self._build_generator()
+        self._labels = {}
+        self._mcos_seconds = 0.0
+        self._evaluation_seconds = 0.0
+        self._frames_processed = 0
+        self._result_states = 0

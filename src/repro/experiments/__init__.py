@@ -1,0 +1,38 @@
+"""Experiment harness reproducing the paper's evaluation (Section 6)."""
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    MethodTiming,
+    run_mcos_generation,
+    run_query_evaluation,
+    time_mcos_generation,
+)
+from repro.experiments.figures import (
+    figure4_total_frames,
+    figure5_duration,
+    figure6_window_size,
+    figure7_occlusion,
+    figure8_query_count,
+    figure9_nmin,
+    figure10_end_to_end,
+    table6_statistics,
+)
+from repro.experiments.report import render_series_table, series_to_markdown
+
+__all__ = [
+    "MethodTiming",
+    "ExperimentResult",
+    "run_mcos_generation",
+    "run_query_evaluation",
+    "time_mcos_generation",
+    "table6_statistics",
+    "figure4_total_frames",
+    "figure5_duration",
+    "figure6_window_size",
+    "figure7_occlusion",
+    "figure8_query_count",
+    "figure9_nmin",
+    "figure10_end_to_end",
+    "render_series_table",
+    "series_to_markdown",
+]

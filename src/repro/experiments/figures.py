@@ -1,0 +1,291 @@
+"""One experiment definition per table/figure of the paper's evaluation.
+
+Every function reproduces the corresponding experiment of Section 6 and
+returns an :class:`~repro.experiments.harness.ExperimentResult` whose series
+can be rendered with :mod:`repro.experiments.report`.
+
+All functions accept a ``scale`` parameter: 1.0 reproduces the paper's full
+datasets and parameter values; smaller values shrink both the datasets and the
+window/duration parameters proportionally so the experiments complete quickly
+(used by the pytest benchmarks).  Shapes -- which method wins where, how the
+curves move with each parameter -- are preserved under scaling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.datasets.occlusion import reuse_object_ids
+from repro.datasets.registry import DATASET_NAMES, load_dataset, load_relation
+from repro.datasets.statistics import DatasetStatistics, dataset_statistics
+from repro.engine.config import MCOSMethod
+from repro.experiments.harness import (
+    MCOS_METHODS,
+    ExperimentResult,
+    MethodTiming,
+    run_query_evaluation,
+    time_mcos_generation,
+)
+from repro.workloads.generator import ge_only_workload, random_cnf_workload
+
+#: Default parameters of the paper (Section 6.2): w = 300 frames, d = 240.
+DEFAULT_WINDOW = 300
+DEFAULT_DURATION = 240
+
+
+def _scaled(value: int, scale: float, minimum: int = 10) -> int:
+    """Scale a frame-count parameter, keeping it at least ``minimum``."""
+    return max(minimum, int(round(value * scale)))
+
+
+def _window_duration(scale: float) -> Tuple[int, int]:
+    return _scaled(DEFAULT_WINDOW, scale), _scaled(DEFAULT_DURATION, scale, minimum=8)
+
+
+# ----------------------------------------------------------------------
+# Table 6
+# ----------------------------------------------------------------------
+def table6_statistics(
+    datasets: Sequence[str] = DATASET_NAMES, scale: float = 1.0
+) -> List[DatasetStatistics]:
+    """Reproduce Table 6: dataset statistics after detection and tracking."""
+    return [
+        dataset_statistics(load_relation(name, scale=scale), name)
+        for name in datasets
+    ]
+
+
+# ----------------------------------------------------------------------
+# Figure 4: varying the total number of frames
+# ----------------------------------------------------------------------
+def figure4_total_frames(
+    datasets: Sequence[str] = DATASET_NAMES,
+    scale: float = 1.0,
+    num_points: int = 4,
+    methods: Sequence[MCOSMethod] = MCOS_METHODS,
+) -> ExperimentResult:
+    """MCOS generation time as the number of processed frames grows."""
+    window, duration = _window_duration(scale)
+    result = ExperimentResult(
+        "figure4",
+        "MCOS generation time vs. total number of frames "
+        f"(w={window}, d={duration})",
+    )
+    for name in datasets:
+        relation = load_relation(name, scale=scale)
+        total = relation.num_frames
+        points = [
+            max(window, int(round(total * (i + 1) / num_points)))
+            for i in range(num_points)
+        ]
+        for frames in points:
+            prefix = relation.prefix(frames)
+            for method in methods:
+                timing = time_mcos_generation(prefix, method, window, duration)
+                timing.parameter = "frames"
+                timing.value = frames
+                timing.dataset = name
+                result.add(timing)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 5: varying the duration threshold d
+# ----------------------------------------------------------------------
+def figure5_duration(
+    datasets: Sequence[str] = DATASET_NAMES,
+    scale: float = 1.0,
+    durations: Optional[Sequence[int]] = None,
+    methods: Sequence[MCOSMethod] = MCOS_METHODS,
+) -> ExperimentResult:
+    """MCOS generation time as the duration threshold varies (180..270)."""
+    window, _ = _window_duration(scale)
+    if durations is None:
+        durations = [_scaled(d, scale, minimum=4) for d in (180, 210, 240, 270)]
+    result = ExperimentResult(
+        "figure5", f"MCOS generation time vs. duration d (w={window})"
+    )
+    for name in datasets:
+        relation = load_relation(name, scale=scale)
+        for duration in durations:
+            for method in methods:
+                timing = time_mcos_generation(relation, method, window, duration)
+                timing.parameter = "duration"
+                timing.value = duration
+                timing.dataset = name
+                result.add(timing)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 6: varying the window size w
+# ----------------------------------------------------------------------
+def figure6_window_size(
+    datasets: Sequence[str] = DATASET_NAMES,
+    scale: float = 1.0,
+    windows: Optional[Sequence[int]] = None,
+    methods: Sequence[MCOSMethod] = MCOS_METHODS,
+) -> ExperimentResult:
+    """MCOS generation time as the window size varies (300..600), d fixed."""
+    _, duration = _window_duration(scale)
+    if windows is None:
+        windows = [_scaled(w, scale) for w in (300, 400, 500, 600)]
+    result = ExperimentResult(
+        "figure6", f"MCOS generation time vs. window size w (d={duration})"
+    )
+    for name in datasets:
+        relation = load_relation(name, scale=scale)
+        for window in windows:
+            for method in methods:
+                timing = time_mcos_generation(relation, method, window, duration)
+                timing.parameter = "window"
+                timing.value = window
+                timing.dataset = name
+                result.add(timing)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 7: varying the occlusion parameter po
+# ----------------------------------------------------------------------
+def figure7_occlusion(
+    datasets: Sequence[str] = DATASET_NAMES,
+    scale: float = 1.0,
+    po_values: Sequence[int] = (0, 1, 2, 3),
+    methods: Sequence[MCOSMethod] = MCOS_METHODS,
+) -> ExperimentResult:
+    """MCOS generation time as object ids are reused up to ``po`` times."""
+    window, duration = _window_duration(scale)
+    result = ExperimentResult(
+        "figure7",
+        f"MCOS generation time vs. occlusion parameter po (w={window}, d={duration})",
+    )
+    for name in datasets:
+        relation = load_relation(name, scale=scale)
+        for po in po_values:
+            augmented = reuse_object_ids(relation, po, seed=po)
+            augmented.name = name
+            for method in methods:
+                timing = time_mcos_generation(augmented, method, window, duration)
+                timing.parameter = "po"
+                timing.value = po
+                timing.dataset = name
+                result.add(timing)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 8: varying the number of queries
+# ----------------------------------------------------------------------
+def figure8_query_count(
+    datasets: Sequence[str] = ("V1", "M2"),
+    scale: float = 1.0,
+    query_counts: Sequence[int] = (10, 20, 30, 40, 50),
+    methods: Sequence[MCOSMethod] = MCOS_METHODS,
+) -> ExperimentResult:
+    """End-to-end (MCOS + query evaluation) time vs. number of CNF queries."""
+    window, duration = _window_duration(scale)
+    result = ExperimentResult(
+        "figure8",
+        "MCOS generation + query evaluation time vs. number of queries "
+        f"(w={window}, d={duration})",
+    )
+    for name in datasets:
+        relation = load_relation(name, scale=scale)
+        for count in query_counts:
+            workload = random_cnf_workload(
+                count, window=window, duration=duration, seed=count
+            )
+            for method in methods:
+                timing = run_query_evaluation(
+                    relation, workload.queries, method, window, duration
+                )
+                timing.parameter = "queries"
+                timing.value = count
+                timing.dataset = name
+                result.add(timing)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 9: varying n_min for >=-only workloads (pruning study)
+# ----------------------------------------------------------------------
+def figure9_nmin(
+    datasets: Sequence[str] = ("D1", "D2", "M1", "M2"),
+    scale: float = 1.0,
+    nmin_values: Sequence[int] = (1, 3, 5, 7, 9),
+    num_queries: int = 100,
+) -> ExperimentResult:
+    """Compare NAIVE_E/MFS_E/SSG_E with the pruning variants MFS_O/SSG_O."""
+    window, duration = _window_duration(scale)
+    result = ExperimentResult(
+        "figure9",
+        "Query evaluation with >=-only workloads: CNFEvalE only (_E) vs. "
+        f"Proposition-1 pruning (_O), w={window}, d={duration}",
+    )
+    configurations = [
+        (MCOSMethod.NAIVE, False),
+        (MCOSMethod.MFS, False),
+        (MCOSMethod.SSG, False),
+        (MCOSMethod.MFS, True),
+        (MCOSMethod.SSG, True),
+    ]
+    for name in datasets:
+        relation = load_relation(name, scale=scale)
+        for nmin in nmin_values:
+            workload = ge_only_workload(
+                num_queries, n_min=nmin, window=window, duration=duration, seed=nmin
+            )
+            for method, pruning in configurations:
+                timing = run_query_evaluation(
+                    relation,
+                    workload.queries,
+                    method,
+                    window,
+                    duration,
+                    enable_pruning=pruning,
+                )
+                suffix = "_O" if pruning else "_E"
+                timing.method = f"{method.value}{suffix}"
+                timing.parameter = "nmin"
+                timing.value = nmin
+                timing.dataset = name
+                result.add(timing)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 10: end-to-end evaluation time per dataset
+# ----------------------------------------------------------------------
+def figure10_end_to_end(
+    datasets: Sequence[str] = DATASET_NAMES,
+    scale: float = 1.0,
+    num_queries: int = 50,
+    methods: Sequence[MCOSMethod] = MCOS_METHODS,
+) -> ExperimentResult:
+    """Average per-query end-to-end time including detection and tracking."""
+    window, duration = _window_duration(scale)
+    result = ExperimentResult(
+        "figure10",
+        "End-to-end average time per query (detection + tracking + MCOS + "
+        f"evaluation), {num_queries} queries, w={window}, d={duration}",
+    )
+    for name in datasets:
+        pipeline_result = load_dataset(name, scale=scale)
+        relation = pipeline_result.relation
+        workload = random_cnf_workload(
+            num_queries, window=window, duration=duration, seed=7
+        )
+        for method in methods:
+            timing = run_query_evaluation(
+                relation, workload.queries, method, window, duration
+            )
+            # The detection/tracking cost is shared by all queries of a
+            # workload; Figure 10 reports the average per-query total time.
+            total = timing.seconds + pipeline_result.total_seconds
+            timing.seconds = total / num_queries
+            timing.parameter = "dataset"
+            timing.value = name
+            timing.dataset = name
+            result.add(timing)
+    return result

@@ -1,0 +1,95 @@
+"""Rendering helpers for experiment results (text and Markdown tables)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.harness import ExperimentResult, MethodTiming
+
+
+def _format_value(value: float) -> str:
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 1:
+        return f"{value:.2f}"
+    return f"{value:.3f}"
+
+
+def render_series_table(
+    result: ExperimentResult, dataset: Optional[str] = None, work: bool = False
+) -> str:
+    """Render one experiment (optionally restricted to one dataset) as text.
+
+    Rows are methods, columns are parameter values, cells are seconds (or the
+    deterministic work counter when ``work`` is True) -- the same layout as the
+    figures in the paper.
+    """
+    timings = [
+        t for t in result.timings if dataset is None or t.dataset == dataset
+    ]
+    if not timings:
+        return "(no measurements)"
+    values: List[object] = []
+    methods: List[str] = []
+    for timing in timings:
+        if timing.value not in values:
+            values.append(timing.value)
+        if timing.method not in methods:
+            methods.append(timing.method)
+    parameter = timings[0].parameter or "value"
+
+    cells: Dict[str, Dict[object, str]] = {m: {} for m in methods}
+    for timing in timings:
+        metric = float(timing.work) if work else timing.seconds
+        cells[timing.method][timing.value] = _format_value(metric)
+
+    header = [parameter] + [str(v) for v in values]
+    rows = [[method] + [cells[method].get(v, "-") for v in values] for method in methods]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows)) for i in range(len(header))
+    ]
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(header))]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_experiment(result: ExperimentResult, work: bool = False) -> str:
+    """Render an experiment as one table per dataset."""
+    blocks = [f"== {result.name}: {result.description} =="]
+    for dataset in result.datasets():
+        blocks.append(f"-- {dataset} --")
+        blocks.append(render_series_table(result, dataset, work=work))
+    return "\n".join(blocks)
+
+
+def series_to_markdown(
+    result: ExperimentResult, dataset: Optional[str] = None, unit: str = "s"
+) -> str:
+    """Render an experiment's series as a Markdown table."""
+    timings = [
+        t for t in result.timings if dataset is None or t.dataset == dataset
+    ]
+    if not timings:
+        return "(no measurements)"
+    values: List[object] = []
+    methods: List[str] = []
+    for timing in timings:
+        if timing.value not in values:
+            values.append(timing.value)
+        if timing.method not in methods:
+            methods.append(timing.method)
+    parameter = timings[0].parameter or "value"
+    by_method: Dict[str, Dict[object, float]] = {m: {} for m in methods}
+    for timing in timings:
+        by_method[timing.method][timing.value] = timing.seconds
+
+    lines = ["| method | " + " | ".join(f"{parameter}={v}" for v in values) + " |"]
+    lines.append("|" + "---|" * (len(values) + 1))
+    for method in methods:
+        row = [method] + [
+            (_format_value(by_method[method][v]) + unit) if v in by_method[method] else "-"
+            for v in values
+        ]
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

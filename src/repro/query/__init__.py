@@ -1,0 +1,46 @@
+"""CNF temporal queries over video feeds and their evaluation.
+
+Queries (Section 2 of the paper) are Conjunctive Normal Form expressions
+whose atomic conditions constrain the number of objects of a class inside a
+Maximum Co-occurrence Object Set, e.g. ``car >= 2 AND (person <= 3 OR
+truck >= 1)``, evaluated with a window size ``w`` and duration ``d``.
+
+The evaluation machinery follows Section 5:
+
+* :mod:`repro.query.cnf_eval` implements the Boolean-expression inverted
+  index of Whang et al. for set-membership predicates (``CNFEval``);
+* :mod:`repro.query.inequality` extends it with ordered ``>= / <= / =``
+  indexes (``CNFEvalE``);
+* :mod:`repro.query.evaluator` applies the index to the result state sets
+  produced by the MCOS generation layer;
+* :mod:`repro.query.pruning` implements the Proposition-1 state pruning used
+  by the optimised ``MFS_O`` / ``SSG_O`` variants.
+"""
+
+from repro.query.cnf_eval import CNFEvalIndex
+from repro.query.evaluator import QueryEvaluator, QueryMatch
+from repro.query.inequality import CNFEvalEIndex
+from repro.query.model import (
+    CNFQuery,
+    Comparison,
+    Condition,
+    Disjunction,
+    MembershipCondition,
+)
+from repro.query.parser import parse_query
+from repro.query.pruning import StatePruner, queries_support_pruning
+
+__all__ = [
+    "Comparison",
+    "Condition",
+    "MembershipCondition",
+    "Disjunction",
+    "CNFQuery",
+    "parse_query",
+    "CNFEvalIndex",
+    "CNFEvalEIndex",
+    "QueryEvaluator",
+    "QueryMatch",
+    "StatePruner",
+    "queries_support_pruning",
+]

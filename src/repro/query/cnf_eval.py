@@ -1,0 +1,142 @@
+"""CNFEval: inverted-index evaluation of CNF membership queries.
+
+This module implements the Boolean-expression indexing algorithm the paper
+adopts from Whang et al. ("Indexing Boolean Expressions", Section 5.1): every
+registered query contributes, for each of its atomic conditions, posting-list
+entries of the form ``(query_id, predicate, disjunction_id)`` keyed by the
+``(attribute, value)`` pair of the condition.  Evaluating an input (a set of
+attribute/value pairs) retrieves the matching posting lists and decides each
+query by counting how many of its disjunctions are satisfied.
+
+Negated (``not in``) conditions are handled the standard way: a disjunction
+containing ``k`` negated conditions is satisfied by default unless all of them
+are violated, so the evaluator counts violations per disjunction and compares
+against ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Set, Tuple
+
+from repro.query.model import MembershipCondition, MembershipQuery
+
+
+@dataclass(frozen=True)
+class PostingEntry:
+    """One entry of a posting list: ``(qid, predicate, disjId)`` in the paper."""
+
+    query_id: int
+    negated: bool
+    disjunction_id: int
+
+
+class CNFEvalIndex:
+    """Inverted index over CNF membership queries.
+
+    Queries are registered with :meth:`add_query` (which assigns identifiers
+    when missing) and can be removed with :meth:`remove_query`; the index is
+    maintained dynamically as in the original algorithm.
+    """
+
+    def __init__(self, queries: Iterable[MembershipQuery] = ()):
+        self._postings: Dict[Tuple[str, str], List[PostingEntry]] = {}
+        self._queries: Dict[int, MembershipQuery] = {}
+        #: Per query: number of disjunctions (needed to decide satisfaction).
+        self._disjunction_counts: Dict[int, int] = {}
+        #: Per (query, disjunction): number of negated conditions.
+        self._negated_counts: Dict[Tuple[int, int], int] = {}
+        self._next_id = 0
+        for query in queries:
+            self.add_query(query)
+
+    # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+    def add_query(self, query: MembershipQuery) -> MembershipQuery:
+        """Register a query; returns the copy carrying its assigned id."""
+        if query.query_id is None:
+            query = query.with_id(self._next_id)
+        self._next_id = max(self._next_id, query.query_id + 1)
+        if query.query_id in self._queries:
+            raise ValueError(f"duplicate query id {query.query_id}")
+        self._queries[query.query_id] = query
+        self._disjunction_counts[query.query_id] = len(query.disjunctions)
+        for disj_id, disjunction in enumerate(query.disjunctions):
+            negated = 0
+            for condition in disjunction:
+                if condition.negated:
+                    negated += 1
+                self._index_condition(query.query_id, disj_id, condition)
+            self._negated_counts[(query.query_id, disj_id)] = negated
+        return query
+
+    def _index_condition(
+        self, query_id: int, disj_id: int, condition: MembershipCondition
+    ) -> None:
+        entry = PostingEntry(query_id, condition.negated, disj_id)
+        for value in condition.values:
+            key = (condition.attribute, value)
+            self._postings.setdefault(key, []).append(entry)
+
+    def remove_query(self, query_id: int) -> None:
+        """Remove a query and its posting entries from the index."""
+        if query_id not in self._queries:
+            raise KeyError(f"unknown query id {query_id}")
+        del self._queries[query_id]
+        del self._disjunction_counts[query_id]
+        self._negated_counts = {
+            key: value
+            for key, value in self._negated_counts.items()
+            if key[0] != query_id
+        }
+        for key in list(self._postings):
+            remaining = [e for e in self._postings[key] if e.query_id != query_id]
+            if remaining:
+                self._postings[key] = remaining
+            else:
+                del self._postings[key]
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    @property
+    def queries(self) -> Dict[int, MembershipQuery]:
+        """Registered queries keyed by id (read-only view by convention)."""
+        return self._queries
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def matching_queries(self, assignment: Mapping[str, str]) -> Set[int]:
+        """Return the ids of all registered queries satisfied by ``assignment``.
+
+        ``assignment`` maps attribute names to their (single) values, e.g.
+        ``{"age": "3", "gender": "F"}``.
+        """
+        positive_hits: Dict[Tuple[int, int], bool] = {}
+        negated_violations: Dict[Tuple[int, int], int] = {}
+
+        for attribute, value in assignment.items():
+            for entry in self._postings.get((attribute, value), ()):
+                key = (entry.query_id, entry.disjunction_id)
+                if entry.negated:
+                    negated_violations[key] = negated_violations.get(key, 0) + 1
+                else:
+                    positive_hits[key] = True
+
+        matches: Set[int] = set()
+        for query_id, query in self._queries.items():
+            satisfied = 0
+            for disj_id in range(self._disjunction_counts[query_id]):
+                key = (query_id, disj_id)
+                if positive_hits.get(key):
+                    satisfied += 1
+                    continue
+                negated_total = self._negated_counts.get(key, 0)
+                if negated_total and negated_violations.get(key, 0) < negated_total:
+                    # At least one "not in" condition remains unviolated.
+                    satisfied += 1
+            if satisfied == self._disjunction_counts[query_id]:
+                matches.add(query_id)
+        return matches

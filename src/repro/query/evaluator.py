@@ -1,0 +1,127 @@
+"""Query evaluation over the result state sets of the MCOS generation layer.
+
+Implements the procedure of Section 5.2: for every satisfied, valid state in
+the Result State Set, the MCOS is aggregated into per-class counts, the counts
+are probed against the CNFEvalE inverted index, and the frame sets of states
+satisfying a query become that query's answer for the current window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.result import ResultState, ResultStateSet
+from repro.query.inequality import CNFEvalEIndex
+from repro.query.model import CNFQuery
+
+
+@dataclass(frozen=True)
+class QueryMatch:
+    """One query answer: a query satisfied by an MCOS over a frame set."""
+
+    query_id: int
+    frame_id: int
+    object_ids: FrozenSet[int]
+    frame_ids: Tuple[int, ...]
+    class_counts: Tuple[Tuple[str, int], ...]
+
+    def counts(self) -> Dict[str, int]:
+        """Per-class counts of the matching MCOS as a dictionary."""
+        return dict(self.class_counts)
+
+
+@dataclass
+class EvaluationStats:
+    """Work counters of the query evaluation module."""
+
+    states_evaluated: int = 0
+    index_probes: int = 0
+    matches_produced: int = 0
+
+
+class QueryEvaluator:
+    """Evaluates a set of CNF count queries against result state sets."""
+
+    def __init__(self, queries: Iterable[CNFQuery] = ()):
+        self._index = CNFEvalEIndex()
+        self.stats = EvaluationStats()
+        self._queries: List[CNFQuery] = []
+        for query in queries:
+            self.add_query(query)
+
+    # ------------------------------------------------------------------
+    # Query registry
+    # ------------------------------------------------------------------
+    def add_query(self, query: CNFQuery) -> CNFQuery:
+        """Register a query; returns the copy carrying its assigned id."""
+        registered = self._index.add_query(query)
+        self._queries.append(registered)
+        return registered
+
+    @property
+    def queries(self) -> List[CNFQuery]:
+        """All registered queries."""
+        return list(self._queries)
+
+    @property
+    def index(self) -> CNFEvalEIndex:
+        """The underlying CNFEvalE inverted index."""
+        return self._index
+
+    def labels_of_interest(self) -> Set[str]:
+        """Union of the class labels referenced by the registered queries.
+
+        The MCOS generation layer uses this to drop objects of classes no
+        query asks about (Section 3).
+        """
+        labels: Set[str] = set()
+        for query in self._queries:
+            labels |= query.labels()
+        return labels
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate_counts(self, counts: Mapping[str, int]) -> Set[int]:
+        """Return the ids of queries satisfied by per-class counts."""
+        self.stats.index_probes += 1
+        return self._index.matching_queries(counts)
+
+    def evaluate_state(
+        self, state: ResultState, labels: Mapping[int, str], frame_id: int
+    ) -> List[QueryMatch]:
+        """Evaluate all queries against a single result state."""
+        self.stats.states_evaluated += 1
+        counts = state.class_counts(labels)
+        matched = self.evaluate_counts(counts)
+        matches = []
+        for query_id in sorted(matched):
+            matches.append(
+                QueryMatch(
+                    query_id=query_id,
+                    frame_id=frame_id,
+                    object_ids=state.object_ids,
+                    frame_ids=state.frame_ids,
+                    class_counts=tuple(sorted(counts.items())),
+                )
+            )
+        self.stats.matches_produced += len(matches)
+        return matches
+
+    def evaluate_result_set(
+        self, results: ResultStateSet, labels: Mapping[int, str]
+    ) -> List[QueryMatch]:
+        """Evaluate all queries against every state of a result state set."""
+        matches: List[QueryMatch] = []
+        for state in results:
+            matches.extend(self.evaluate_state(state, labels, results.current_frame_id))
+        return matches
+
+    def brute_force_matching(self, counts: Mapping[str, int]) -> Set[int]:
+        """Index-free evaluation used as an oracle in tests."""
+        return {
+            query.query_id
+            for query in self._queries
+            if query.query_id is not None and query.evaluate(counts)
+        }

@@ -1,0 +1,166 @@
+"""CNFEvalE: CNF evaluation with inequality predicates (Section 5.2).
+
+The original CNFEval algorithm only supports set-membership predicates.  The
+paper extends it to the count conditions ``label theta n`` (theta in
+``<=, =, >=``) by building three separate inverted indexes, one per operator,
+keyed by the class label.  Each key is associated with a posting list ordered
+by threshold value: ascending for ``>=`` (so that all thresholds ``<= count``
+form a prefix) and descending for ``<=`` (so that all thresholds ``>= count``
+form a prefix).  Given the per-class aggregate counts of an MCOS, the
+evaluator scans only those prefixes and the exact-match bucket of ``=``,
+collects the satisfied ``(query, disjunction)`` pairs and reports the queries
+whose disjunctions are all satisfied.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.query.model import CNFQuery, Comparison
+
+
+@dataclass(frozen=True)
+class CountPosting:
+    """One posting entry: the ``(qid, disjId)`` pair of a count condition."""
+
+    query_id: int
+    disjunction_id: int
+
+
+class _OrderedIndex:
+    """Posting lists per label, ordered by threshold value.
+
+    ``ascending=True`` orders thresholds ascending (used by the ``>=`` index);
+    ``ascending=False`` orders them descending (used by the ``<=`` index).
+    """
+
+    def __init__(self, ascending: bool):
+        self._ascending = ascending
+        # label -> sorted list of thresholds (always ascending internally;
+        # the prefix/suffix logic below accounts for direction).
+        self._thresholds: Dict[str, List[int]] = {}
+        self._postings: Dict[Tuple[str, int], List[CountPosting]] = {}
+
+    def add(self, label: str, threshold: int, posting: CountPosting) -> None:
+        key = (label, threshold)
+        if key not in self._postings:
+            thresholds = self._thresholds.setdefault(label, [])
+            bisect.insort(thresholds, threshold)
+            self._postings[key] = []
+        self._postings[key].append(posting)
+
+    def labels(self) -> Iterable[str]:
+        return self._thresholds.keys()
+
+    def probe(self, label: str, count: int) -> Iterable[CountPosting]:
+        """Yield the postings of every satisfied condition for ``label``.
+
+        For the ``>=`` index these are conditions with ``threshold <= count``;
+        for the ``<=`` index, conditions with ``threshold >= count``.
+        """
+        thresholds = self._thresholds.get(label)
+        if not thresholds:
+            return
+        if self._ascending:
+            end = bisect.bisect_right(thresholds, count)
+            selected = thresholds[:end]
+        else:
+            start = bisect.bisect_left(thresholds, count)
+            selected = thresholds[start:]
+        for threshold in selected:
+            yield from self._postings[(label, threshold)]
+
+
+class CNFEvalEIndex:
+    """Inverted-index evaluator for CNF count queries (the CNFEvalE algorithm)."""
+
+    def __init__(self, queries: Iterable[CNFQuery] = ()):
+        self._ge_index = _OrderedIndex(ascending=True)
+        self._le_index = _OrderedIndex(ascending=False)
+        self._eq_index: Dict[Tuple[str, int], List[CountPosting]] = {}
+        self._eq_labels: Set[str] = set()
+        self._queries: Dict[int, CNFQuery] = {}
+        self._disjunction_counts: Dict[int, int] = {}
+        self._next_id = 0
+        for query in queries:
+            self.add_query(query)
+
+    # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+    def add_query(self, query: CNFQuery) -> CNFQuery:
+        """Register a query; returns the copy carrying its assigned id."""
+        if query.query_id is None:
+            query = query.with_id(self._next_id)
+        self._next_id = max(self._next_id, query.query_id + 1)
+        if query.query_id in self._queries:
+            raise ValueError(f"duplicate query id {query.query_id}")
+        self._queries[query.query_id] = query
+        self._disjunction_counts[query.query_id] = len(query.disjunctions)
+        for disj_id, disjunction in enumerate(query.disjunctions):
+            for condition in disjunction.conditions:
+                posting = CountPosting(query.query_id, disj_id)
+                if condition.comparison is Comparison.GE:
+                    self._ge_index.add(condition.label, condition.threshold, posting)
+                elif condition.comparison is Comparison.LE:
+                    self._le_index.add(condition.label, condition.threshold, posting)
+                else:
+                    key = (condition.label, condition.threshold)
+                    self._eq_index.setdefault(key, []).append(posting)
+                    self._eq_labels.add(condition.label)
+        return query
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    @property
+    def queries(self) -> Dict[int, CNFQuery]:
+        """Registered queries keyed by id."""
+        return self._queries
+
+    def query(self, query_id: int) -> CNFQuery:
+        """Return a registered query by id."""
+        return self._queries[query_id]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _relevant_labels(self, counts: Mapping[str, int]) -> Set[str]:
+        """Labels that must be probed: those in the input plus every indexed
+        label whose conditions could be satisfied by a zero count."""
+        labels: Set[str] = set(counts)
+        labels.update(self._le_index.labels())
+        labels.update(self._eq_labels)
+        labels.update(self._ge_index.labels())
+        return labels
+
+    def matching_queries(self, counts: Mapping[str, int]) -> Set[int]:
+        """Return ids of all queries satisfied by the per-class counts.
+
+        Labels absent from ``counts`` are treated as count 0, so conditions
+        such as ``person <= 3`` hold when no person is part of the MCOS.
+        """
+        satisfied_pairs: Set[Tuple[int, int]] = set()
+        for label in self._relevant_labels(counts):
+            count = counts.get(label, 0)
+            for posting in self._ge_index.probe(label, count):
+                satisfied_pairs.add((posting.query_id, posting.disjunction_id))
+            for posting in self._le_index.probe(label, count):
+                satisfied_pairs.add((posting.query_id, posting.disjunction_id))
+            for posting in self._eq_index.get((label, count), ()):
+                satisfied_pairs.add((posting.query_id, posting.disjunction_id))
+
+        per_query: Dict[int, int] = {}
+        for query_id, _disj_id in satisfied_pairs:
+            per_query[query_id] = per_query.get(query_id, 0) + 1
+        return {
+            query_id
+            for query_id, hits in per_query.items()
+            if hits == self._disjunction_counts[query_id]
+        }
+
+    def any_match(self, counts: Mapping[str, int]) -> bool:
+        """True when at least one registered query is satisfied by ``counts``."""
+        return bool(self.matching_queries(counts))

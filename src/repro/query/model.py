@@ -1,0 +1,242 @@
+"""Query model: CNF expressions over per-class object counts.
+
+A query (Section 2) is a CNF expression whose atomic conditions have the form
+``class_label theta n`` with ``theta`` one of ``<=``, ``=``, ``>=``.  The
+query is evaluated against the aggregate class counts of a Maximum
+Co-occurrence Object Set; it also carries the temporal parameters ``window``
+(``w``) and ``duration`` (``d``).
+
+The module additionally defines membership conditions (``attribute in
+{values}`` / ``not in``) because the underlying CNFEval algorithm of Whang et
+al. is defined over set-membership predicates; the count conditions of the
+paper are layered on top of it in :mod:`repro.query.inequality`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+class Comparison(enum.Enum):
+    """Comparison operator of a count condition."""
+
+    LE = "<="
+    EQ = "="
+    GE = ">="
+
+    def evaluate(self, value: int, threshold: int) -> bool:
+        """Apply the comparison to ``value theta threshold``."""
+        if self is Comparison.LE:
+            return value <= threshold
+        if self is Comparison.GE:
+            return value >= threshold
+        return value == threshold
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Condition:
+    """An atomic count condition ``label theta threshold``.
+
+    Examples: ``car >= 2``, ``person <= 3``, ``bus = 1``.
+    """
+
+    label: str
+    comparison: Comparison
+    threshold: int
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise ValueError("condition thresholds must be non-negative")
+
+    def evaluate(self, counts: Mapping[str, int]) -> bool:
+        """Evaluate the condition against per-class counts (missing = 0)."""
+        return self.comparison.evaluate(counts.get(self.label, 0), self.threshold)
+
+    def __str__(self) -> str:
+        return f"{self.label} {self.comparison.value} {self.threshold}"
+
+
+@dataclass(frozen=True)
+class MembershipCondition:
+    """A set-membership condition ``attribute in {values}`` (or ``not in``).
+
+    These are the native predicates of the CNFEval algorithm [Whang et al.];
+    the paper's example query ``age in {2, 3} AND (state in {CA} OR gender in
+    {F})`` is expressed with them.
+    """
+
+    attribute: str
+    values: FrozenSet[str]
+    negated: bool = False
+
+    def evaluate(self, assignment: Mapping[str, str]) -> bool:
+        """Evaluate against an attribute assignment (missing attribute = no value)."""
+        value = assignment.get(self.attribute)
+        member = value is not None and value in self.values
+        return not member if self.negated else member
+
+    def __str__(self) -> str:
+        op = "not in" if self.negated else "in"
+        values = ", ".join(sorted(self.values))
+        return f"{self.attribute} {op} {{{values}}}"
+
+
+@dataclass(frozen=True)
+class Disjunction:
+    """A disjunction (OR) of atomic conditions."""
+
+    conditions: Tuple[Condition, ...]
+
+    def __post_init__(self) -> None:
+        if not self.conditions:
+            raise ValueError("a disjunction must contain at least one condition")
+
+    def evaluate(self, counts: Mapping[str, int]) -> bool:
+        """True when at least one condition holds."""
+        return any(condition.evaluate(counts) for condition in self.conditions)
+
+    def labels(self) -> FrozenSet[str]:
+        """Class labels referenced by the disjunction."""
+        return frozenset(condition.label for condition in self.conditions)
+
+    def __str__(self) -> str:
+        return " OR ".join(str(c) for c in self.conditions)
+
+
+@dataclass(frozen=True)
+class CNFQuery:
+    """A CNF query: a conjunction of disjunctions of count conditions.
+
+    Attributes
+    ----------
+    disjunctions:
+        The conjuncts of the CNF expression.
+    window:
+        Sliding window size ``w`` in frames.
+    duration:
+        Duration threshold ``d`` in frames (``0 <= d <= w``).
+    query_id:
+        Optional identifier; assigned by the evaluator when registered.
+    name:
+        Optional human-readable name.
+    """
+
+    disjunctions: Tuple[Disjunction, ...]
+    window: int = 300
+    duration: int = 240
+    query_id: Optional[int] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.disjunctions:
+            raise ValueError("a CNF query must contain at least one disjunction")
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        if not 0 <= self.duration <= self.window:
+            raise ValueError("duration must satisfy 0 <= d <= window")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_condition_lists(
+        cls,
+        groups: Sequence[Sequence[Tuple[str, str, int]]],
+        window: int = 300,
+        duration: int = 240,
+        name: str = "",
+    ) -> "CNFQuery":
+        """Build a query from nested ``(label, operator, threshold)`` tuples.
+
+        ``groups`` is a list of disjunctions, each a list of conditions, e.g.::
+
+            CNFQuery.from_condition_lists(
+                [[("car", ">=", 2), ("person", "<=", 3)], [("car", "<=", 5)]]
+            )
+        """
+        disjunctions = []
+        for group in groups:
+            conditions = tuple(
+                Condition(label, Comparison(op), threshold)
+                for label, op, threshold in group
+            )
+            disjunctions.append(Disjunction(conditions))
+        return cls(tuple(disjunctions), window=window, duration=duration, name=name)
+
+    def with_id(self, query_id: int) -> "CNFQuery":
+        """Return a copy of the query carrying the given identifier."""
+        return CNFQuery(
+            self.disjunctions,
+            window=self.window,
+            duration=self.duration,
+            query_id=query_id,
+            name=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation and inspection
+    # ------------------------------------------------------------------
+    def evaluate(self, counts: Mapping[str, int]) -> bool:
+        """Direct (index-free) evaluation against per-class counts.
+
+        Used as the brute-force oracle in tests and by small workloads.
+        """
+        return all(disjunction.evaluate(counts) for disjunction in self.disjunctions)
+
+    def labels(self) -> FrozenSet[str]:
+        """All class labels referenced by the query."""
+        return frozenset(
+            itertools.chain.from_iterable(d.labels() for d in self.disjunctions)
+        )
+
+    def conditions(self) -> List[Condition]:
+        """All atomic conditions of the query, in disjunction order."""
+        return [c for d in self.disjunctions for c in d.conditions]
+
+    def uses_only_ge(self) -> bool:
+        """True when every condition uses ``>=`` (enables Proposition-1 pruning)."""
+        return all(c.comparison is Comparison.GE for c in self.conditions())
+
+    def min_threshold(self) -> int:
+        """The smallest threshold used by any condition (``n_min`` in Figure 9)."""
+        return min(c.threshold for c in self.conditions())
+
+    def __str__(self) -> str:
+        return " AND ".join(f"({d})" for d in self.disjunctions)
+
+
+def class_counts(labels: Iterable[str]) -> Dict[str, int]:
+    """Aggregate an iterable of class labels into per-class counts."""
+    counts: Dict[str, int] = {}
+    for label in labels:
+        counts[label] = counts.get(label, 0) + 1
+    return counts
+
+
+@dataclass(frozen=True)
+class MembershipQuery:
+    """A CNF query over set-membership predicates (CNFEval's native form)."""
+
+    disjunctions: Tuple[Tuple[MembershipCondition, ...], ...]
+    query_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.disjunctions or any(not d for d in self.disjunctions):
+            raise ValueError("membership queries need at least one condition per disjunction")
+
+    def evaluate(self, assignment: Mapping[str, str]) -> bool:
+        """Direct evaluation against an attribute assignment."""
+        return all(
+            any(cond.evaluate(assignment) for cond in disjunction)
+            for disjunction in self.disjunctions
+        )
+
+    def with_id(self, query_id: int) -> "MembershipQuery":
+        """Return a copy carrying the given identifier."""
+        return MembershipQuery(self.disjunctions, query_id=query_id)

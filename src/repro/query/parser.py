@@ -1,0 +1,134 @@
+"""A small text parser for CNF count queries.
+
+The grammar accepts expressions such as::
+
+    car >= 2
+    car >= 2 AND person >= 1
+    (car >= 2 OR person <= 3) AND (car >= 3 OR person >= 2) AND car <= 5
+
+i.e. a conjunction (``AND``) of disjunctions (``OR``), optionally
+parenthesised, whose atoms are ``label op integer`` with ``op`` one of
+``<=``, ``=``, ``==``, ``>=``.  Keywords are case-insensitive; labels are any
+identifier-like token.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.query.model import CNFQuery, Comparison, Condition, Disjunction
+
+_CONDITION_RE = re.compile(
+    r"^\s*(?P<label>[A-Za-z_][\w\-]*)\s*(?P<op><=|>=|==|=)\s*(?P<value>\d+)\s*$"
+)
+
+
+class QueryParseError(ValueError):
+    """Raised when a query string cannot be parsed."""
+
+
+def _split_top_level(text: str, keyword: str) -> List[str]:
+    """Split ``text`` on a keyword, ignoring occurrences inside parentheses."""
+    parts: List[str] = []
+    depth = 0
+    token = keyword.upper()
+    current: List[str] = []
+    i = 0
+    upper = text.upper()
+    while i < len(text):
+        char = text[i]
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                raise QueryParseError(f"unbalanced parentheses in query: {text!r}")
+        if (
+            depth == 0
+            and upper.startswith(token, i)
+            and _is_word_boundary(upper, i, len(token))
+        ):
+            parts.append("".join(current))
+            current = []
+            i += len(token)
+            continue
+        current.append(char)
+        i += 1
+    if depth != 0:
+        raise QueryParseError(f"unbalanced parentheses in query: {text!r}")
+    parts.append("".join(current))
+    stripped = [p.strip() for p in parts]
+    if any(not p for p in stripped):
+        raise QueryParseError(
+            f"dangling {keyword!r} or empty operand in query: {text!r}"
+        )
+    return stripped
+
+
+def _is_word_boundary(text: str, index: int, length: int) -> bool:
+    """True when text[index:index+length] is delimited by non-word characters."""
+    before_ok = index == 0 or not text[index - 1].isalnum()
+    end = index + length
+    after_ok = end >= len(text) or not text[end].isalnum()
+    return before_ok and after_ok
+
+
+def _strip_parens(text: str) -> str:
+    """Remove one level of enclosing parentheses, if it spans the whole text."""
+    text = text.strip()
+    while text.startswith("(") and text.endswith(")"):
+        depth = 0
+        spans_whole = True
+        for i, char in enumerate(text):
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+                if depth == 0 and i != len(text) - 1:
+                    spans_whole = False
+                    break
+        if not spans_whole:
+            break
+        text = text[1:-1].strip()
+    return text
+
+
+def parse_condition(text: str) -> Condition:
+    """Parse a single ``label op value`` condition."""
+    match = _CONDITION_RE.match(text)
+    if not match:
+        raise QueryParseError(f"cannot parse condition: {text!r}")
+    op = match.group("op")
+    if op == "==":
+        op = "="
+    return Condition(match.group("label"), Comparison(op), int(match.group("value")))
+
+
+def parse_query(
+    text: str, window: int = 300, duration: int = 240, name: str = ""
+) -> CNFQuery:
+    """Parse a CNF query string into a :class:`~repro.query.model.CNFQuery`.
+
+    Parameters
+    ----------
+    text:
+        The query expression, e.g. ``"(car >= 2 OR person <= 3) AND car <= 5"``.
+    window, duration:
+        Temporal parameters ``w`` and ``d`` attached to the query.
+    name:
+        Optional name recorded on the query.
+    """
+    if not text or not text.strip():
+        raise QueryParseError("empty query string")
+    disjunctions: List[Disjunction] = []
+    for conjunct in _split_top_level(text, "AND"):
+        body = _strip_parens(conjunct)
+        atoms: Tuple[Condition, ...] = tuple(
+            parse_condition(_strip_parens(atom))
+            for atom in _split_top_level(body, "OR")
+        )
+        if not atoms:
+            raise QueryParseError(f"empty disjunction in query: {text!r}")
+        disjunctions.append(Disjunction(atoms))
+    return CNFQuery(tuple(disjunctions), window=window, duration=duration, name=name)

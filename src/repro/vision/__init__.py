@@ -1,0 +1,42 @@
+"""Simulated object detection and tracking substrate.
+
+The paper's first architectural layer runs Faster R-CNN and Deep SORT over
+raw video.  Real video and GPU models are not available in this environment,
+so this package provides a faithful *functional* substitute:
+
+* :mod:`repro.vision.world` -- a 2-D scene simulator producing per-frame
+  ground-truth objects (class, bounding box, appearance embedding,
+  occlusion), with static or moving cameras;
+* :mod:`repro.vision.detector` -- a simulated detector that converts ground
+  truth into noisy detections (missed detections, localisation jitter,
+  confidence scores, occasional false positives);
+* :mod:`repro.vision.tracker` -- a Deep SORT-style tracker (motion prediction,
+  IoU + appearance association via the Hungarian algorithm, track life-cycle
+  management) assigning persistent object identifiers;
+* :mod:`repro.vision.pipeline` -- wiring the three together to produce the
+  structured relation ``VR(fid, id, class)`` consumed by the MCOS layer.
+
+The downstream layers only see the relation, so the substitution preserves
+the behaviour that matters for the paper's evaluation: the distribution of
+objects per frame, occlusions per object and frames per object.
+"""
+
+from repro.vision.detector import Detection, SimulatedDetector
+from repro.vision.geometry import BoundingBox
+from repro.vision.pipeline import DetectionTrackingPipeline, PipelineResult
+from repro.vision.tracker import DeepSortLikeTracker, Track
+from repro.vision.world import Camera, GroundTruthObject, ScriptedObject, World
+
+__all__ = [
+    "BoundingBox",
+    "ScriptedObject",
+    "GroundTruthObject",
+    "Camera",
+    "World",
+    "Detection",
+    "SimulatedDetector",
+    "Track",
+    "DeepSortLikeTracker",
+    "DetectionTrackingPipeline",
+    "PipelineResult",
+]

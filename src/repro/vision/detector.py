@@ -1,0 +1,167 @@
+"""Simulated object detector (Faster R-CNN stand-in).
+
+The detector converts ground-truth objects into noisy detections the way a
+real detector would: heavily occluded or truncated objects are missed with
+higher probability, bounding boxes are jittered, confidences depend on
+visibility, classes can occasionally be confused, and spurious false-positive
+detections can appear.  Weather/illumination conditions (used by the
+VisualRoad-style synthetic datasets) degrade detection quality globally.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.vision.geometry import BoundingBox
+from repro.vision.world import APPEARANCE_DIM, GroundTruthObject
+
+
+@dataclass(frozen=True)
+class Detection:
+    """A single detection emitted by the (simulated) detector."""
+
+    box: BoundingBox
+    label: str
+    confidence: float
+    appearance: np.ndarray
+    #: Ground-truth identity, carried along for evaluation only -- the tracker
+    #: never looks at it.
+    truth_id: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Detection({self.label}, conf={self.confidence:.2f}, "
+            f"box=({self.box.x:.0f},{self.box.y:.0f},{self.box.width:.0f},{self.box.height:.0f}))"
+        )
+
+
+@dataclass
+class DetectorConfig:
+    """Tunable characteristics of the simulated detector."""
+
+    #: Detection probability for a fully visible object.
+    base_detection_probability: float = 0.99
+    #: Additional miss probability per unit of occlusion (an object that is
+    #: 50% occluded is detected with probability base - 0.5 * occlusion_penalty).
+    occlusion_penalty: float = 0.85
+    #: Objects whose occlusion exceeds this fraction are never detected,
+    #: mirroring the paper's treatment of occlusion as disappearance.
+    max_visible_occlusion: float = 0.75
+    #: Standard deviation of bounding-box centre jitter, in pixels.
+    position_noise: float = 1.5
+    #: Standard deviation of bounding-box size jitter, as a fraction of size.
+    size_noise: float = 0.03
+    #: Standard deviation of the appearance-embedding noise.
+    appearance_noise: float = 0.05
+    #: Probability of confusing the class label with ``class_confusion``.
+    class_confusion_probability: float = 0.0
+    class_confusion: Dict[str, str] = field(default_factory=dict)
+    #: Expected number of false-positive detections per frame.
+    false_positives_per_frame: float = 0.0
+    #: Labels used for false positives.
+    false_positive_labels: Sequence[str] = ("car", "person")
+    #: Global quality degradation in [0, 1]; 0 = perfect conditions,
+    #: larger values model rain, glare or motion blur.
+    condition_degradation: float = 0.0
+    #: Image dimensions used to place false positives.
+    frame_width: float = 1920.0
+    frame_height: float = 1080.0
+
+
+class SimulatedDetector:
+    """Turns ground-truth frames into noisy per-frame detections."""
+
+    def __init__(self, config: Optional[DetectorConfig] = None, seed: int = 0):
+        self.config = config or DetectorConfig()
+        self._rng = random.Random(seed)
+        self._np_rng = np.random.default_rng(seed + 1)
+        self._next_false_positive_id = -1
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Reset the random state (used between experiment repetitions)."""
+        if seed is not None:
+            self._rng = random.Random(seed)
+            self._np_rng = np.random.default_rng(seed + 1)
+        self._next_false_positive_id = -1
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+    def detect(self, truth: Sequence[GroundTruthObject]) -> List[Detection]:
+        """Produce detections for one frame of ground truth."""
+        config = self.config
+        detections: List[Detection] = []
+        for obj in truth:
+            if obj.occlusion >= config.max_visible_occlusion:
+                continue
+            probability = (
+                config.base_detection_probability
+                - config.occlusion_penalty * obj.occlusion
+                - config.condition_degradation * 0.1
+            )
+            if self._rng.random() > probability:
+                continue
+            detections.append(self._make_detection(obj))
+
+        expected_fp = config.false_positives_per_frame * (
+            1.0 + config.condition_degradation
+        )
+        num_false_positives = self._np_rng.poisson(expected_fp) if expected_fp > 0 else 0
+        for _ in range(int(num_false_positives)):
+            detections.append(self._make_false_positive())
+        return detections
+
+    def _make_detection(self, obj: GroundTruthObject) -> Detection:
+        config = self.config
+        noise_scale = 1.0 + 2.0 * config.condition_degradation
+        dx, dy = self._np_rng.normal(0, config.position_noise * noise_scale, size=2)
+        dw, dh = self._np_rng.normal(
+            0, config.size_noise * noise_scale, size=2
+        ) * np.array([obj.box.width, obj.box.height])
+        box = obj.box.jittered(float(dx), float(dy), float(dw), float(dh))
+
+        label = obj.label
+        if (
+            config.class_confusion_probability > 0
+            and label in config.class_confusion
+            and self._rng.random() < config.class_confusion_probability
+        ):
+            label = config.class_confusion[label]
+
+        confidence = max(
+            0.05,
+            min(
+                1.0,
+                self._rng.gauss(
+                    0.95 - 0.5 * obj.occlusion - 0.2 * config.condition_degradation, 0.03
+                ),
+            ),
+        )
+        appearance = obj.appearance + self._np_rng.normal(
+            0, config.appearance_noise, size=APPEARANCE_DIM
+        )
+        appearance = appearance / (np.linalg.norm(appearance) + 1e-12)
+        return Detection(box, label, confidence, appearance, truth_id=obj.world_id)
+
+    def _make_false_positive(self) -> Detection:
+        config = self.config
+        width = self._rng.uniform(30, 150)
+        height = self._rng.uniform(30, 150)
+        x = self._rng.uniform(0, max(1.0, config.frame_width - width))
+        y = self._rng.uniform(0, max(1.0, config.frame_height - height))
+        label = self._rng.choice(list(config.false_positive_labels))
+        appearance = self._np_rng.normal(size=APPEARANCE_DIM)
+        appearance = appearance / (np.linalg.norm(appearance) + 1e-12)
+        detection = Detection(
+            BoundingBox(x, y, width, height),
+            label,
+            confidence=self._rng.uniform(0.3, 0.6),
+            appearance=appearance,
+            truth_id=self._next_false_positive_id,
+        )
+        self._next_false_positive_id -= 1
+        return detection

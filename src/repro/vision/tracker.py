@@ -1,0 +1,250 @@
+"""A Deep SORT-style multi-object tracker.
+
+The tracker assigns persistent identifiers to detections across frames, the
+role Deep SORT plays in the paper's first layer.  It follows the same
+structure as the original algorithm:
+
+* each track keeps a constant-velocity motion estimate of its bounding box and
+  an exponentially-averaged appearance embedding;
+* detections are associated to tracks with the Hungarian algorithm over a cost
+  that combines motion (IoU of the predicted box) and appearance (cosine
+  distance), with gating on both;
+* unmatched detections spawn *tentative* tracks that are confirmed after
+  ``n_init`` consecutive hits; tracks that miss detections are kept alive for
+  up to ``max_age`` frames (so short occlusions do not change the identifier)
+  and deleted afterwards, which is how occlusions longer than ``max_age``
+  produce identifier changes -- exactly the tracking-error behaviour the
+  paper's query semantics has to cope with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.vision.detector import Detection
+from repro.vision.geometry import BoundingBox
+
+
+@dataclass
+class TrackerConfig:
+    """Tunable parameters of the tracker."""
+
+    #: Maximum number of consecutive missed frames before a track is deleted.
+    max_age: int = 30
+    #: Number of consecutive hits required to confirm a tentative track.
+    n_init: int = 2
+    #: Weight of the appearance term in the association cost (0..1).
+    appearance_weight: float = 0.4
+    #: Association gate: candidate pairs with IoU below this and appearance
+    #: distance above ``appearance_gate`` are never matched.
+    iou_gate: float = 0.05
+    appearance_gate: float = 0.45
+    #: Maximum admissible combined cost for a match.
+    max_cost: float = 0.8
+    #: Smoothing factor of the exponential appearance average.
+    appearance_momentum: float = 0.9
+
+
+class Track:
+    """A single tracked object with motion and appearance state."""
+
+    _TENTATIVE = "tentative"
+    _CONFIRMED = "confirmed"
+    _DELETED = "deleted"
+
+    def __init__(self, track_id: int, detection: Detection, n_init: int):
+        self.track_id = track_id
+        self.label = detection.label
+        self.box = detection.box
+        self.velocity = np.zeros(2)
+        self.appearance = np.array(detection.appearance, dtype=float)
+        self.hits = 1
+        self.age = 1
+        self.time_since_update = 0
+        self._n_init = n_init
+        self.state = self._CONFIRMED if n_init <= 1 else self._TENTATIVE
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+    @property
+    def is_confirmed(self) -> bool:
+        """True once the track has accumulated ``n_init`` hits."""
+        return self.state == self._CONFIRMED
+
+    @property
+    def is_deleted(self) -> bool:
+        """True when the track has been discarded."""
+        return self.state == self._DELETED
+
+    # ------------------------------------------------------------------
+    # Life-cycle
+    # ------------------------------------------------------------------
+    def predict(self) -> BoundingBox:
+        """Advance the constant-velocity motion model by one frame."""
+        self.age += 1
+        self.time_since_update += 1
+        cx, cy = self.box.center
+        cx += float(self.velocity[0])
+        cy += float(self.velocity[1])
+        self.box = BoundingBox(
+            cx - self.box.width / 2.0, cy - self.box.height / 2.0,
+            self.box.width, self.box.height,
+        )
+        return self.box
+
+    def update(self, detection: Detection, momentum: float) -> None:
+        """Incorporate a matched detection."""
+        old_cx, old_cy = self.box.center
+        new_cx, new_cy = detection.box.center
+        self.velocity = 0.7 * self.velocity + 0.3 * np.array(
+            [new_cx - old_cx, new_cy - old_cy]
+        )
+        self.box = detection.box
+        appearance = np.array(detection.appearance, dtype=float)
+        self.appearance = momentum * self.appearance + (1.0 - momentum) * appearance
+        norm = np.linalg.norm(self.appearance)
+        if norm > 0:
+            self.appearance = self.appearance / norm
+        self.hits += 1
+        self.time_since_update = 0
+        if self.state == self._TENTATIVE and self.hits >= self._n_init:
+            self.state = self._CONFIRMED
+
+    def mark_missed(self, max_age: int) -> None:
+        """Handle a frame without a matching detection."""
+        if self.state == self._TENTATIVE:
+            self.state = self._DELETED
+        elif self.time_since_update > max_age:
+            self.state = self._DELETED
+
+    def appearance_distance(self, detection: Detection) -> float:
+        """Cosine distance between the track's and the detection's embeddings."""
+        a = self.appearance
+        b = np.array(detection.appearance, dtype=float)
+        denom = (np.linalg.norm(a) * np.linalg.norm(b)) + 1e-12
+        return float(1.0 - np.dot(a, b) / denom)
+
+
+@dataclass
+class TrackObservation:
+    """One confirmed track reported for a frame."""
+
+    track_id: int
+    label: str
+    box: BoundingBox
+    truth_id: Optional[int] = None
+
+
+class DeepSortLikeTracker:
+    """Multi-object tracker associating detections across frames."""
+
+    def __init__(self, config: Optional[TrackerConfig] = None):
+        self.config = config or TrackerConfig()
+        self._tracks: List[Track] = []
+        self._next_id = 0
+        #: Number of identifier switches observed against ground truth (only
+        #: meaningful when detections carry ``truth_id``); used in tests.
+        self.id_switches = 0
+        self._last_id_by_truth: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def tracks(self) -> List[Track]:
+        """All live tracks (confirmed and tentative)."""
+        return list(self._tracks)
+
+    def reset(self) -> None:
+        """Forget every track (used between runs)."""
+        self._tracks = []
+        self._next_id = 0
+        self.id_switches = 0
+        self._last_id_by_truth = {}
+
+    def update(self, detections: Sequence[Detection]) -> List[TrackObservation]:
+        """Process one frame of detections; returns the confirmed tracks."""
+        for track in self._tracks:
+            track.predict()
+
+        matches, unmatched_tracks, unmatched_detections = self._associate(detections)
+
+        for track_index, det_index in matches:
+            track = self._tracks[track_index]
+            detection = detections[det_index]
+            track.update(detection, self.config.appearance_momentum)
+            self._record_truth(track, detection)
+
+        for track_index in unmatched_tracks:
+            self._tracks[track_index].mark_missed(self.config.max_age)
+
+        for det_index in unmatched_detections:
+            detection = detections[det_index]
+            track = Track(self._next_id, detection, self.config.n_init)
+            self._next_id += 1
+            self._tracks.append(track)
+            self._record_truth(track, detection)
+
+        self._tracks = [t for t in self._tracks if not t.is_deleted]
+
+        observations = []
+        for track in self._tracks:
+            if track.is_confirmed and track.time_since_update == 0:
+                observations.append(
+                    TrackObservation(track.track_id, track.label, track.box)
+                )
+        return observations
+
+    # ------------------------------------------------------------------
+    # Association
+    # ------------------------------------------------------------------
+    def _associate(
+        self, detections: Sequence[Detection]
+    ) -> Tuple[List[Tuple[int, int]], List[int], List[int]]:
+        """Match tracks to detections with the Hungarian algorithm."""
+        if not self._tracks or not detections:
+            return [], list(range(len(self._tracks))), list(range(len(detections)))
+
+        config = self.config
+        num_tracks, num_detections = len(self._tracks), len(detections)
+        cost = np.full((num_tracks, num_detections), 10.0)
+        for i, track in enumerate(self._tracks):
+            for j, detection in enumerate(detections):
+                if detection.label != track.label:
+                    continue
+                iou = track.box.iou(detection.box)
+                appearance = track.appearance_distance(detection)
+                if iou < config.iou_gate and appearance > config.appearance_gate:
+                    continue
+                cost[i, j] = (
+                    (1.0 - config.appearance_weight) * (1.0 - iou)
+                    + config.appearance_weight * appearance
+                )
+
+        rows, cols = linear_sum_assignment(cost)
+        matches: List[Tuple[int, int]] = []
+        matched_tracks, matched_detections = set(), set()
+        for i, j in zip(rows, cols):
+            if cost[i, j] <= config.max_cost:
+                matches.append((int(i), int(j)))
+                matched_tracks.add(int(i))
+                matched_detections.add(int(j))
+        unmatched_tracks = [i for i in range(num_tracks) if i not in matched_tracks]
+        unmatched_detections = [
+            j for j in range(num_detections) if j not in matched_detections
+        ]
+        return matches, unmatched_tracks, unmatched_detections
+
+    def _record_truth(self, track: Track, detection: Detection) -> None:
+        """Track identifier switches relative to ground-truth identities."""
+        if detection.truth_id is None or detection.truth_id < 0:
+            return
+        previous = self._last_id_by_truth.get(detection.truth_id)
+        if previous is not None and previous != track.track_id:
+            self.id_switches += 1
+        self._last_id_by_truth[detection.truth_id] = track.track_id

@@ -1,0 +1,15 @@
+"""Query workload generators for the experimental evaluation."""
+
+from repro.workloads.generator import (
+    QueryWorkload,
+    ge_only_workload,
+    incident_workload,
+    random_cnf_workload,
+)
+
+__all__ = [
+    "QueryWorkload",
+    "random_cnf_workload",
+    "ge_only_workload",
+    "incident_workload",
+]

@@ -1,0 +1,191 @@
+"""Random CNF query workload generators.
+
+The experimental evaluation of the paper uses two kinds of query workloads:
+
+* general CNF workloads of 10-50 queries over the classes detected in the
+  datasets (person, car, truck, bus), used by Figure 8 and Figure 10;
+* workloads of 100 queries containing only ``>=`` conditions, parameterised by
+  the minimum threshold ``n_min`` appearing in any condition, used by
+  Figure 9 to study the Proposition-1 pruning strategy.
+
+All generators are deterministic given a seed, so experiments are repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.query.model import CNFQuery, Comparison, Condition, Disjunction
+
+#: Classes the paper restricts detection to (Section 6.1).
+DEFAULT_CLASSES: Tuple[str, ...] = ("person", "car", "truck", "bus")
+
+
+@dataclass
+class QueryWorkload:
+    """A named collection of CNF queries sharing window/duration parameters."""
+
+    name: str
+    queries: List[CNFQuery] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def labels(self) -> Set[str]:
+        """Union of class labels referenced by the workload."""
+        labels: Set[str] = set()
+        for query in self.queries:
+            labels |= query.labels()
+        return labels
+
+    def uses_only_ge(self) -> bool:
+        """True when every condition of every query uses ``>=``."""
+        return all(query.uses_only_ge() for query in self.queries)
+
+
+def _random_condition(
+    rng: random.Random,
+    classes: Sequence[str],
+    operators: Sequence[Comparison],
+    min_threshold: int,
+    max_threshold: int,
+) -> Condition:
+    label = rng.choice(list(classes))
+    comparison = rng.choice(list(operators))
+    threshold = rng.randint(min_threshold, max_threshold)
+    return Condition(label, comparison, threshold)
+
+
+def random_cnf_workload(
+    num_queries: int,
+    window: int = 300,
+    duration: int = 240,
+    classes: Sequence[str] = DEFAULT_CLASSES,
+    max_disjunctions: int = 3,
+    max_conditions: int = 3,
+    min_threshold: int = 1,
+    max_threshold: int = 5,
+    seed: int = 0,
+    name: str = "random-cnf",
+) -> QueryWorkload:
+    """Generate a workload of random CNF queries (Figures 8 and 10).
+
+    Each query has 1..``max_disjunctions`` disjunctions of
+    1..``max_conditions`` conditions with operators drawn from
+    ``{<=, =, >=}`` and thresholds in ``[min_threshold, max_threshold]``.
+    """
+    rng = random.Random(seed)
+    operators = (Comparison.LE, Comparison.EQ, Comparison.GE)
+    queries: List[CNFQuery] = []
+    for i in range(num_queries):
+        disjunctions = []
+        for _ in range(rng.randint(1, max_disjunctions)):
+            conditions = tuple(
+                _random_condition(rng, classes, operators, min_threshold, max_threshold)
+                for _ in range(rng.randint(1, max_conditions))
+            )
+            disjunctions.append(Disjunction(conditions))
+        queries.append(
+            CNFQuery(
+                tuple(disjunctions),
+                window=window,
+                duration=duration,
+                name=f"{name}-{i}",
+            )
+        )
+    return QueryWorkload(name, queries)
+
+
+def ge_only_workload(
+    num_queries: int = 100,
+    n_min: int = 1,
+    window: int = 300,
+    duration: int = 240,
+    classes: Sequence[str] = DEFAULT_CLASSES,
+    max_disjunctions: int = 2,
+    max_conditions: int = 2,
+    threshold_spread: int = 3,
+    seed: int = 0,
+    name: str = "ge-only",
+) -> QueryWorkload:
+    """Generate a workload of ``>=``-only queries with minimum threshold ``n_min``.
+
+    This matches the Figure 9 setup: 100 queries containing only ``>=``
+    conditions; ``n_min`` is the smallest threshold appearing in any condition
+    of the workload.  Larger ``n_min`` values make queries more selective,
+    which is precisely what the Proposition-1 pruning strategy exploits.
+    """
+    rng = random.Random(seed)
+    queries: List[CNFQuery] = []
+    for i in range(num_queries):
+        disjunctions = []
+        for _ in range(rng.randint(1, max_disjunctions)):
+            conditions = tuple(
+                Condition(
+                    rng.choice(list(classes)),
+                    Comparison.GE,
+                    rng.randint(n_min, n_min + threshold_spread),
+                )
+                for _ in range(rng.randint(1, max_conditions))
+            )
+            disjunctions.append(Disjunction(conditions))
+        queries.append(
+            CNFQuery(
+                tuple(disjunctions),
+                window=window,
+                duration=duration,
+                name=f"{name}-nmin{n_min}-{i}",
+            )
+        )
+    # Guarantee that n_min is actually attained by some condition.
+    if queries:
+        first = queries[0]
+        forced = Disjunction(
+            (Condition(rng.choice(list(classes)), Comparison.GE, n_min),)
+        )
+        queries[0] = CNFQuery(
+            first.disjunctions + (forced,),
+            window=window,
+            duration=duration,
+            name=first.name,
+        )
+    return QueryWorkload(f"{name}-nmin{n_min}", queries)
+
+
+def incident_workload(
+    window: int = 300,
+    duration: int = 150,
+    name: str = "incident",
+) -> QueryWorkload:
+    """The motivating surveillance workload from the introduction.
+
+    "A white car and two humans appear jointly": one car and at least two
+    persons co-occurring for the duration threshold, plus two variations used
+    by the example applications.
+    """
+    queries = [
+        CNFQuery.from_condition_lists(
+            [[("car", ">=", 1)], [("person", ">=", 2)]],
+            window=window,
+            duration=duration,
+            name="car-with-two-people",
+        ),
+        CNFQuery.from_condition_lists(
+            [[("car", "=", 2)], [("person", "<=", 0)]],
+            window=window,
+            duration=duration,
+            name="exactly-two-cars-no-people",
+        ),
+        CNFQuery.from_condition_lists(
+            [[("truck", ">=", 3)], [("person", ">=", 1)]],
+            window=window,
+            duration=duration,
+            name="three-trucks-and-a-person",
+        ),
+    ]
+    return QueryWorkload(name, queries)

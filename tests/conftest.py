@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Set
+
+import pytest
+
+from repro.datamodel import VideoRelation
+
+#: The five-frame example video used throughout Section 2 and 4 of the paper:
+#: ({B}, {ABC}, {ABDF}, {ABCF}, {ABD}).  Letters are mapped to integers.
+A, B, C, D, F = 1, 2, 3, 4, 6
+PAPER_FRAMES: List[Set[int]] = [
+    {B},
+    {A, B, C},
+    {A, B, D, F},
+    {A, B, C, F},
+    {A, B, D},
+]
+
+
+@pytest.fixture
+def paper_relation() -> VideoRelation:
+    """The worked example relation from the paper."""
+    return VideoRelation.from_object_sets(PAPER_FRAMES, name="paper-example")
+
+
+def random_relation(
+    seed: int,
+    max_objects: int = 8,
+    max_frames: int = 30,
+) -> VideoRelation:
+    """A small random relation used by deterministic randomized tests."""
+    rng = random.Random(seed)
+    num_objects = rng.randint(1, max_objects)
+    num_frames = rng.randint(1, max_frames)
+    frames: List[Set[int]] = []
+    for _ in range(num_frames):
+        count = rng.randint(0, num_objects)
+        frames.append(set(rng.sample(range(num_objects), count)))
+    return VideoRelation.from_object_sets(frames, name=f"random-{seed}")
+
+
+def result_mappings(generator_cls, relation: VideoRelation, window: int, duration: int):
+    """Run a generator over a relation and return per-frame result mappings."""
+    generator = generator_cls(window_size=window, duration=duration)
+    return [result.as_mapping() for result in generator.process_relation(relation)]

@@ -1,0 +1,142 @@
+"""Tests for the dataset generators, statistics and occlusion augmentation."""
+
+import pytest
+
+from repro.datamodel import VideoRelation
+from repro.datasets import (
+    DATASET_NAMES,
+    dataset_spec,
+    dataset_statistics,
+    load_dataset,
+    load_relation,
+    reuse_object_ids,
+)
+from repro.datasets.scenes import SceneSpec, build_scene, scaled_spec
+from repro.datasets.statistics import statistics_table
+
+
+class TestSceneGeneration:
+    def _spec(self, **overrides):
+        base = dict(
+            name="tiny",
+            num_frames=120,
+            num_objects=20,
+            mean_visible_frames=40.0,
+            class_mix={"car": 0.7, "person": 0.3},
+            mean_occlusions=1.0,
+            seed=3,
+        )
+        base.update(overrides)
+        return SceneSpec(**base)
+
+    def test_build_scene_object_count_and_bounds(self):
+        world = build_scene(self._spec())
+        assert len(world.objects) == 20
+        assert world.num_frames == 120
+        for obj in world.objects:
+            assert 0 <= obj.enter_frame <= obj.exit_frame < 120
+            for start, end in obj.hidden_intervals:
+                assert obj.enter_frame <= start <= end <= obj.exit_frame
+
+    def test_scene_is_deterministic_per_seed(self):
+        a = build_scene(self._spec(seed=11))
+        b = build_scene(self._spec(seed=11))
+        c = build_scene(self._spec(seed=12))
+        signature = lambda world: [
+            (o.label, o.enter_frame, o.exit_frame, o.waypoints[0]) for o in world.objects
+        ]
+        assert signature(a) == signature(b)
+        assert signature(a) != signature(c)
+
+    def test_scaled_spec_shrinks_scene(self):
+        spec = self._spec(num_frames=1000, num_objects=100)
+        scaled = scaled_spec(spec, 0.2)
+        assert scaled.num_frames == 200
+        assert scaled.num_objects == 20
+        assert scaled_spec(spec, 1.0) is spec
+
+
+class TestRegistry:
+    def test_all_paper_datasets_registered(self):
+        assert DATASET_NAMES == ("V1", "V2", "D1", "D2", "M1", "M2")
+        for name in DATASET_NAMES:
+            spec = dataset_spec(name)
+            assert spec.scene.num_frames > 0
+        with pytest.raises(KeyError):
+            dataset_spec("does-not-exist")
+
+    def test_load_dataset_scaled(self):
+        result = load_dataset("M2", scale=0.15)
+        relation = result.relation
+        assert relation.num_frames == int(dataset_spec("M2").scene.num_frames * 0.15)
+        assert len(relation.object_ids()) > 0
+        assert result.detection_seconds >= 0
+        stats = dataset_statistics(relation, "M2")
+        assert stats.obj_per_frame > 1.0
+
+    def test_load_relation_is_cached(self):
+        first = load_relation("V1", scale=0.1)
+        second = load_relation("V1", scale=0.1)
+        assert first is second
+
+    def test_moving_camera_datasets_flagged(self):
+        assert dataset_spec("M1").scene.moving_camera
+        assert not dataset_spec("D1").scene.moving_camera
+
+
+class TestStatistics:
+    def test_statistics_of_handcrafted_relation(self):
+        relation = VideoRelation.from_object_sets(
+            [{1, 2}, {1, 2}, {2}, {1, 2}, {1}], name="hand"
+        )
+        stats = dataset_statistics(relation)
+        assert stats.frames == 5
+        assert stats.objects == 2
+        assert stats.obj_per_frame == pytest.approx(8 / 5)
+        assert stats.occ_per_object == pytest.approx(0.5)  # object 1 occluded once
+        assert stats.frames_per_object == pytest.approx(4.0)
+
+    def test_statistics_table_rendering(self):
+        relation = VideoRelation.from_object_sets([{1}, {1, 2}], name="r")
+        table = statistics_table([dataset_statistics(relation, "r")])
+        assert "Dataset" in table and "Obj/F" in table and "r" in table
+
+
+class TestOcclusionAugmentation:
+    def test_po_zero_is_identity(self):
+        relation = VideoRelation.from_object_sets([{1}, {2}, {3}])
+        augmented = reuse_object_ids(relation, 0)
+        assert list(augmented.tuples()) == list(relation.tuples())
+
+    def test_id_reuse_increases_occlusions(self):
+        # Three objects of the same class appearing one after another with gaps.
+        relation = VideoRelation.from_tuples(
+            [(0, 1, "car"), (1, 1, "car"),
+             (4, 2, "car"), (5, 2, "car"),
+             (8, 3, "car"), (9, 3, "car")],
+            num_frames=10,
+        )
+        augmented = reuse_object_ids(relation, po=2, seed=1)
+        base_stats = dataset_statistics(relation)
+        augmented_stats = dataset_statistics(augmented)
+        assert augmented_stats.objects < base_stats.objects
+        assert augmented_stats.occ_per_object > base_stats.occ_per_object
+        # Object-per-frame mass is preserved: ids are renamed, not dropped.
+        assert augmented_stats.obj_per_frame == pytest.approx(base_stats.obj_per_frame)
+
+    def test_reuse_respects_class_labels(self):
+        relation = VideoRelation.from_tuples(
+            [(0, 1, "car"), (3, 2, "person"), (6, 3, "car")], num_frames=8
+        )
+        augmented = reuse_object_ids(relation, po=3, seed=0)
+        # The person must never inherit the car's identifier.
+        labels = {}
+        for fid, oid, label in augmented.tuples():
+            labels.setdefault(oid, set()).add(label)
+        for seen in labels.values():
+            assert len(seen) == 1
+
+    def test_negative_po_rejected(self):
+        relation = VideoRelation.from_object_sets([{1}])
+        with pytest.raises(ValueError):
+            reuse_object_ids(relation, -1)

@@ -1,0 +1,91 @@
+"""The worked example of the paper (Tables 1 and 2) on all generators."""
+
+import pytest
+
+from repro.core import (
+    MarkedFrameSetGenerator,
+    NaiveGenerator,
+    ReferenceGenerator,
+    StrictStateGraphGenerator,
+)
+
+from tests.conftest import A, B, C, D, F
+
+GENERATORS = [
+    NaiveGenerator,
+    MarkedFrameSetGenerator,
+    StrictStateGraphGenerator,
+    ReferenceGenerator,
+]
+
+
+@pytest.mark.parametrize("generator_cls", GENERATORS)
+class TestPaperExample:
+    def test_expected_results_per_frame(self, generator_cls, paper_relation):
+        """Reproduce the EXP column of Table 1 (w=4, d=3)."""
+        generator = generator_cls(window_size=4, duration=3)
+        results = [
+            set(r.as_mapping()) for r in generator.process_relation(paper_relation)
+        ]
+        assert results == [
+            set(),
+            set(),
+            {frozenset({B})},
+            {frozenset({B}), frozenset({A, B})},
+            {frozenset({A, B})},
+        ]
+
+    def test_result_frame_sets(self, generator_cls, paper_relation):
+        """The frame sets attached to the reported MCOSs are the full covers."""
+        generator = generator_cls(window_size=4, duration=3)
+        results = [r.as_mapping() for r in generator.process_relation(paper_relation)]
+        assert results[2][frozenset({B})] == frozenset({0, 1, 2})
+        assert results[3][frozenset({B})] == frozenset({0, 1, 2, 3})
+        assert results[3][frozenset({A, B})] == frozenset({1, 2, 3})
+        assert results[4][frozenset({A, B})] == frozenset({1, 2, 3, 4})
+
+    def test_relaxed_duration_two(self, generator_cls, paper_relation):
+        """With d=2 and w=5, the example in Section 2: {ABC}, {ABD}, {ABF}
+        join {B} and {AB} as answers."""
+        generator = generator_cls(window_size=5, duration=2)
+        results = [
+            set(r.as_mapping()) for r in generator.process_relation(paper_relation)
+        ]
+        assert results[-1] >= {
+            frozenset({B}),
+            frozenset({A, B}),
+            frozenset({A, B, C}),
+            frozenset({A, B, D}),
+            frozenset({A, B, F}),
+        }
+
+
+class TestMarkedFrameSetsOfExample:
+    def test_marks_match_table2(self, paper_relation):
+        """Check the key marked frames of Table 2 on the MFS generator.
+
+        After frame 3 the state {AB} carries marks on frames 1 and 3 (our
+        semantics may mark additional, older frames, which is harmless), the
+        state {ABF} is marked on frame 2 only, and after frame 4 the state
+        {B} has lost all its marks and is removed.
+        """
+        generator = MarkedFrameSetGenerator(window_size=4, duration=3)
+        frames = list(paper_relation.frames())
+        for frame in frames[:4]:
+            generator.process_frame(frame)
+
+        by_objects = {s.object_ids: s for s in generator.live_states()}
+        ab = by_objects[frozenset({A, B})]
+        assert 1 in ab.marked_frame_ids
+        abf = by_objects[frozenset({A, B, F})]
+        assert abf.marked_frame_ids == (2,)
+        abc = by_objects[frozenset({A, B, C})]
+        assert 1 in abc.marked_frame_ids
+
+        generator.process_frame(frames[4])
+        by_objects = {s.object_ids: s for s in generator.live_states()}
+        # {B} lost its only key frame (frame 0) and must have been pruned.
+        assert frozenset({B}) not in by_objects
+        # {ABD} is marked on its creating frame 4 and inherits frame 2.
+        abd = by_objects[frozenset({A, B, D})]
+        assert set(abd.marked_frame_ids) == {2, 4}

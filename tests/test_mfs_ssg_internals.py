@@ -1,0 +1,121 @@
+"""White-box tests of the MFS and SSG internals."""
+
+import pytest
+
+from repro.core import MarkedFrameSetGenerator, NaiveGenerator, StrictStateGraphGenerator
+from repro.datamodel import VideoRelation
+
+from tests.conftest import random_relation
+
+
+class TestMFSInternals:
+    def test_invalid_states_removed_eagerly(self):
+        """A state whose marked frames all expired is removed even though its
+        frame set is not empty (unlike NAIVE)."""
+        # Object 2 always co-occurs with object 1 from frame 1 onwards, so the
+        # state {2} created at frame 0 becomes invalid once frame 0 expires.
+        frames = [{2}, {1, 2}, {1, 2}, {1, 2}, {1, 2}]
+        relation = VideoRelation.from_object_sets(frames)
+
+        mfs = MarkedFrameSetGenerator(window_size=3, duration=1)
+        naive = NaiveGenerator(window_size=3, duration=1)
+        for frame in relation.frames():
+            mfs.process_frame(frame)
+            naive.process_frame(frame)
+
+        mfs_sets = {s.object_ids for s in mfs.live_states()}
+        naive_sets = {s.object_ids for s in naive.live_states()}
+        assert frozenset({2}) not in mfs_sets
+        assert frozenset({2}) in naive_sets  # NAIVE keeps it until frames expire
+        assert mfs.live_state_count() < naive.live_state_count()
+
+    def test_every_live_state_has_a_mark(self):
+        relation = random_relation(3, max_objects=7, max_frames=40)
+        generator = MarkedFrameSetGenerator(window_size=8, duration=4)
+        for frame in relation.frames():
+            generator.process_frame(frame)
+            for state in generator.live_states():
+                assert state.marked_count > 0
+
+    def test_marked_frames_subset_of_frame_set(self):
+        relation = random_relation(11, max_objects=6, max_frames=40)
+        generator = MarkedFrameSetGenerator(window_size=6, duration=3)
+        for frame in relation.frames():
+            generator.process_frame(frame)
+            for state in generator.live_states():
+                assert set(state.marked_frame_ids) <= set(state.frame_ids)
+
+
+class TestSSGInternals:
+    def _run(self, relation, window=6, duration=3):
+        generator = StrictStateGraphGenerator(window_size=window, duration=duration)
+        for frame in relation.frames():
+            generator.process_frame(frame)
+        return generator
+
+    def test_property1_edges_point_to_subsets(self):
+        """Property 1: every edge goes from a superset to a strict subset."""
+        for seed in (0, 5, 9):
+            generator = self._run(random_relation(seed, max_objects=7, max_frames=40))
+            for parent, child in generator.edges():
+                assert child < parent
+
+    def test_property2_children_not_nested(self):
+        """Property 2: no child of a node is a subset of a sibling."""
+        for seed in (1, 4, 8):
+            generator = self._run(random_relation(seed, max_objects=7, max_frames=40))
+            children_of = {}
+            for parent, child in generator.edges():
+                children_of.setdefault(parent, []).append(child)
+            for siblings in children_of.values():
+                for i, first in enumerate(siblings):
+                    for second in siblings[i + 1:]:
+                        assert not (first < second or second < first)
+
+    def test_principal_states_track_window_frames(self):
+        frames = [{1, 2}, {3}, {1, 2}, {4}]
+        relation = VideoRelation.from_object_sets(frames)
+        generator = StrictStateGraphGenerator(window_size=2, duration=1)
+        iterator = relation.frames()
+        generator.process_frame(next(iterator))
+        assert frozenset({1, 2}) in generator.principal_object_sets()
+        generator.process_frame(next(iterator))
+        assert frozenset({3}) in generator.principal_object_sets()
+        generator.process_frame(next(iterator))
+        # Frame 0 has expired but frame 2 re-creates the {1,2} principal.
+        assert frozenset({1, 2}) in generator.principal_object_sets()
+        generator.process_frame(next(iterator))
+        # Window is now frames 2-3: the {3} principal's creating frame expired.
+        assert frozenset({3}) not in generator.principal_object_sets()
+
+    def test_traversal_prunes_disjoint_object_groups(self):
+        """When frames alternate between disjoint object groups, SSG skips the
+        whole subtree of the other group and visits far fewer states than the
+        scan-everything approaches."""
+        group_a = [{0, 1, 2}, {0, 1, 3}, {1, 2, 3}, {0, 2, 3}]
+        group_b = [{10, 11, 12}, {10, 11, 13}, {11, 12, 13}, {10, 12, 13}]
+        frames = []
+        for i in range(80):
+            source = group_a if (i // 4) % 2 == 0 else group_b
+            frames.append(source[i % 4])
+        relation = VideoRelation.from_object_sets(frames)
+        naive = NaiveGenerator(window_size=12, duration=6)
+        ssg = StrictStateGraphGenerator(window_size=12, duration=6)
+        for frame in relation.frames():
+            naive.process_frame(frame)
+            ssg.process_frame(frame)
+        assert ssg.stats.state_visits < naive.stats.state_visits
+
+    def test_states_consistent_with_mfs(self):
+        """SSG maintains the same live, valid states as MFS."""
+        relation = random_relation(7, max_objects=7, max_frames=50)
+        mfs = MarkedFrameSetGenerator(window_size=7, duration=3)
+        ssg = StrictStateGraphGenerator(window_size=7, duration=3)
+        for frame in relation.frames():
+            mfs.process_frame(frame)
+            ssg.process_frame(frame)
+        mfs_valid = {s.object_ids for s in mfs.live_states() if s.is_valid}
+        ssg_valid = {s.object_ids for s in ssg.live_states() if s.is_valid}
+        # SSG prunes lazily, so it may still hold a few states that MFS already
+        # dropped, but every MFS state must be present in SSG.
+        assert mfs_valid <= ssg_valid

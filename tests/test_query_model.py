@@ -1,0 +1,99 @@
+"""Tests for the CNF query model and the text parser."""
+
+import pytest
+
+from repro.query.model import CNFQuery, Comparison, Condition, Disjunction, class_counts
+from repro.query.parser import QueryParseError, parse_condition, parse_query
+
+
+class TestCondition:
+    def test_operators(self):
+        assert Condition("car", Comparison.GE, 2).evaluate({"car": 2})
+        assert not Condition("car", Comparison.GE, 2).evaluate({"car": 1})
+        assert Condition("car", Comparison.LE, 2).evaluate({"car": 0})
+        assert Condition("car", Comparison.LE, 2).evaluate({})
+        assert Condition("car", Comparison.EQ, 0).evaluate({})
+        assert not Condition("car", Comparison.EQ, 1).evaluate({"car": 2})
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            Condition("car", Comparison.GE, -1)
+
+
+class TestCNFQuery:
+    def test_paper_example_query(self):
+        # q2 from Section 5.2.
+        query = CNFQuery.from_condition_lists(
+            [
+                [("car", ">=", 2), ("person", "<=", 3)],
+                [("car", ">=", 3), ("person", ">=", 2)],
+                [("car", "<=", 5)],
+            ]
+        )
+        assert query.evaluate({"car": 3, "person": 1})
+        assert query.evaluate({"car": 2, "person": 2})
+        # car=2, person=4 fails the first disjunction? car>=2 holds -> first ok;
+        # second: car>=3 false, person>=2 true -> ok; third: car<=5 -> ok.
+        assert query.evaluate({"car": 2, "person": 4})
+        # car=6 violates the last conjunct.
+        assert not query.evaluate({"car": 6, "person": 2})
+        # car=1, person=4: first disjunction fails (car>=2 false, person<=3 false).
+        assert not query.evaluate({"car": 1, "person": 4})
+
+    def test_labels_and_ge_detection(self):
+        query = CNFQuery.from_condition_lists([[("car", ">=", 2)], [("bus", ">=", 1)]])
+        assert query.labels() == {"car", "bus"}
+        assert query.uses_only_ge()
+        assert query.min_threshold() == 1
+        mixed = CNFQuery.from_condition_lists([[("car", ">=", 2), ("bus", "<=", 1)]])
+        assert not mixed.uses_only_ge()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CNFQuery(tuple())
+        with pytest.raises(ValueError):
+            CNFQuery.from_condition_lists([[("car", ">=", 1)]], window=10, duration=11)
+
+    def test_class_counts_helper(self):
+        assert class_counts(["car", "car", "bus"]) == {"car": 2, "bus": 1}
+
+
+class TestParser:
+    def test_single_condition(self):
+        query = parse_query("car >= 2")
+        assert len(query.disjunctions) == 1
+        assert str(query.disjunctions[0]) == "car >= 2"
+
+    def test_nested_expression(self):
+        text = "(car >= 2 OR person <= 3) AND (car >= 3 OR person >= 2) AND car <= 5"
+        query = parse_query(text)
+        assert len(query.disjunctions) == 3
+        assert [len(d.conditions) for d in query.disjunctions] == [2, 2, 1]
+
+    def test_case_insensitive_keywords_and_double_equals(self):
+        query = parse_query("Car == 2 and (bus >= 1 or truck >= 1)")
+        assert len(query.disjunctions) == 2
+        assert query.disjunctions[0].conditions[0].comparison is Comparison.EQ
+
+    def test_round_trip_evaluation_matches_manual(self):
+        text = "(car >= 2 OR person >= 4) AND truck <= 1"
+        query = parse_query(text)
+        manual = CNFQuery.from_condition_lists(
+            [[("car", ">=", 2), ("person", ">=", 4)], [("truck", "<=", 1)]]
+        )
+        for counts in ({"car": 2}, {"person": 4, "truck": 2}, {"car": 1}, {}):
+            assert query.evaluate(counts) == manual.evaluate(counts)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "car >", ">= 3", "car >= 2 AND", "car ~ 3", "(car >= 2", "car >= 2)"],
+    )
+    def test_parse_errors(self, bad):
+        with pytest.raises(QueryParseError):
+            parse_query(bad)
+
+    def test_parse_condition(self):
+        condition = parse_condition("person <= 4")
+        assert condition.label == "person"
+        assert condition.comparison is Comparison.LE
+        assert condition.threshold == 4

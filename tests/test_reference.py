@@ -1,0 +1,76 @@
+"""Tests for the exact (oracle) MCOS computation."""
+
+from repro.core import ReferenceGenerator, closed_object_sets
+from repro.datamodel import FrameObservation, VideoRelation
+
+from tests.conftest import A, B, C, D, F, PAPER_FRAMES
+
+
+def _frames(object_sets):
+    return [
+        FrameObservation(i, {oid: "object" for oid in ids})
+        for i, ids in enumerate(object_sets)
+    ]
+
+
+class TestClosedObjectSets:
+    def test_paper_window_frame4(self):
+        """The full 5-frame window of the paper's example.
+
+        At frame 4 with w = 4 the window holds frames 1..4; the MCOSs listed
+        in Table 1 are {AB} (frames 1-4), {ABC} (1, 3), {ABD} (2, 4),
+        {ABF} (2, 3), {ABDF} (2), {ABCF} (3).
+        """
+        window_frames = _frames(PAPER_FRAMES)[1:5]
+        closed = closed_object_sets(window_frames)
+        expected = {
+            frozenset({A, B}): frozenset({1, 2, 3, 4}),
+            frozenset({A, B, C}): frozenset({1, 3}),
+            frozenset({A, B, D}): frozenset({2, 4}),
+            frozenset({A, B, F}): frozenset({2, 3}),
+            frozenset({A, B, D, F}): frozenset({2}),
+            frozenset({A, B, C, F}): frozenset({3}),
+        }
+        assert closed == expected
+
+    def test_non_maximal_sets_are_excluded(self):
+        # {B} co-occurs with A everywhere, so {B} alone is never an MCOS.
+        closed = closed_object_sets(_frames([{A, B}, {A, B, C}]))
+        assert frozenset({B}) not in closed
+        assert closed[frozenset({A, B})] == frozenset({0, 1})
+
+    def test_empty_frames_are_ignored(self):
+        closed = closed_object_sets(_frames([set(), {A}, set()]))
+        assert closed == {frozenset({A}): frozenset({1})}
+
+    def test_identical_frames_single_mcos(self):
+        closed = closed_object_sets(_frames([{A, B}, {A, B}, {A, B}]))
+        assert closed == {frozenset({A, B}): frozenset({0, 1, 2})}
+
+
+class TestReferenceGenerator:
+    def test_paper_expected_column(self, paper_relation):
+        """The EXP column of Table 1: w=4, d=3."""
+        generator = ReferenceGenerator(window_size=4, duration=3)
+        results = [r for r in generator.process_relation(paper_relation)]
+        expected_objects = [
+            set(),
+            set(),
+            {frozenset({B})},
+            {frozenset({B}), frozenset({A, B})},
+            {frozenset({A, B})},
+        ]
+        assert [set(r.as_mapping()) for r in results] == expected_objects
+
+    def test_duration_zero_reports_every_mcos(self, paper_relation):
+        generator = ReferenceGenerator(window_size=4, duration=0)
+        results = list(generator.process_relation(paper_relation))
+        # At frame 4 every closed set of frames 1..4 is reported.
+        assert len(results[4]) == 6
+
+    def test_window_one_reports_frame_object_sets(self, paper_relation):
+        generator = ReferenceGenerator(window_size=1, duration=1)
+        results = list(generator.process_relation(paper_relation))
+        for frame_id, result in enumerate(results):
+            expected = PAPER_FRAMES[frame_id]
+            assert set(result.as_mapping()) == {frozenset(expected)}

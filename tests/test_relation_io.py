@@ -1,0 +1,68 @@
+"""Round-trip tests for the relation persistence formats."""
+
+import pytest
+
+from repro.datamodel import VideoRelation
+from repro.datamodel.io import (
+    load_relation_csv,
+    load_relation_jsonl,
+    save_relation_csv,
+    save_relation_jsonl,
+)
+from repro.datasets import load_relation
+
+
+def _sample_relation() -> VideoRelation:
+    relation = VideoRelation(name="sample")
+    relation.append_objects({1: "car", 2: "person"})
+    relation.append_objects({})  # an empty frame must survive the round trip
+    relation.append_objects({1: "car"})
+    relation.append_objects({3: "bus", 1: "car"})
+    return relation
+
+
+def _as_tuples(relation: VideoRelation):
+    return list(relation.tuples())
+
+
+class TestCSVRoundTrip:
+    def test_round_trip_preserves_tuples_and_frame_count(self, tmp_path):
+        relation = _sample_relation()
+        path = tmp_path / "relation.csv"
+        save_relation_csv(relation, path)
+        loaded = load_relation_csv(path)
+        assert loaded.num_frames == relation.num_frames
+        assert _as_tuples(loaded) == _as_tuples(relation)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("fid,id,class,confidence\n0,1,car,1.0\n")
+        with pytest.raises(ValueError):
+            load_relation_csv(path)
+
+    def test_generated_dataset_round_trip(self, tmp_path):
+        relation = load_relation("V1", scale=0.05)
+        path = tmp_path / "v1.csv"
+        save_relation_csv(relation, path)
+        loaded = load_relation_csv(path, name="V1")
+        assert loaded.num_frames == relation.num_frames
+        assert _as_tuples(loaded) == _as_tuples(relation)
+
+
+class TestJSONLRoundTrip:
+    def test_round_trip_preserves_frames(self, tmp_path):
+        relation = _sample_relation()
+        path = tmp_path / "relation.jsonl"
+        save_relation_jsonl(relation, path)
+        loaded = load_relation_jsonl(path)
+        assert loaded.num_frames == relation.num_frames
+        assert _as_tuples(loaded) == _as_tuples(relation)
+        assert loaded.frame(1).object_ids == frozenset()
+
+    def test_labels_preserved(self, tmp_path):
+        relation = _sample_relation()
+        path = tmp_path / "relation.jsonl"
+        save_relation_jsonl(relation, path)
+        loaded = load_relation_jsonl(path)
+        assert loaded.label_of(3) == "bus"
+        assert loaded.label_of(2) == "person"

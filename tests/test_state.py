@@ -1,0 +1,99 @@
+"""Unit tests for the state primitives shared by the MCOS generators."""
+
+import pytest
+
+from repro.core.state import State, StateTable
+
+
+class TestState:
+    def test_requires_non_empty_object_set(self):
+        with pytest.raises(ValueError):
+            State(frozenset())
+
+    def test_add_and_mark_frames(self):
+        state = State(frozenset({1, 2}))
+        state.add_frame(0, marked=True)
+        state.add_frame(1)
+        state.add_frame(2)
+        assert state.frame_ids == (0, 1, 2)
+        assert state.marked_frame_ids == (0,)
+        assert state.marked_count == 1
+        assert state.is_valid
+        assert state.is_satisfied(3)
+        assert not state.is_satisfied(4)
+
+    def test_mark_upgrade_never_downgrades(self):
+        state = State(frozenset({1}))
+        state.add_frame(0)
+        state.add_frame(0, marked=True)
+        state.add_frame(0, marked=False)
+        assert state.marked_frame_ids == (0,)
+        assert state.marked_count == 1
+
+    def test_expiry_removes_prefix_and_marks(self):
+        state = State(frozenset({1}))
+        for fid, marked in [(0, True), (1, False), (2, True), (3, False)]:
+            state.add_frame(fid, marked=marked)
+        state.expire_before(2)
+        assert state.frame_ids == (2, 3)
+        assert state.marked_count == 1
+        state.expire_before(4)
+        assert state.is_empty
+        assert not state.is_valid
+
+    def test_out_of_order_insertion_is_resorted(self):
+        state = State(frozenset({1}))
+        state.add_frame(5)
+        state.add_frame(2)  # arrives late via a merge
+        state.add_frame(7)
+        assert state.frame_ids == (2, 5, 7)
+        state.expire_before(5)
+        assert state.frame_ids == (5, 7)
+
+    def test_merge_from_copies_marks_optionally(self):
+        source = State(frozenset({1, 2, 3}))
+        source.add_frame(0, marked=True)
+        source.add_frame(1)
+        with_marks = State(frozenset({1, 2}))
+        with_marks.merge_from(source, copy_marks=True)
+        assert with_marks.frame_ids == (0, 1)
+        assert with_marks.marked_frame_ids == (0,)
+        without_marks = State(frozenset({1, 2}))
+        without_marks.merge_from(source, copy_marks=False)
+        assert without_marks.frame_ids == (0, 1)
+        assert without_marks.marked_frame_ids == ()
+
+    def test_merge_from_self_is_noop(self):
+        state = State(frozenset({1}))
+        state.add_frame(0, marked=True)
+        state.merge_from(state, copy_marks=True)
+        assert state.frame_ids == (0,)
+        assert state.marked_count == 1
+
+
+class TestStateTable:
+    def test_get_or_create(self):
+        table = StateTable()
+        state, created = table.get_or_create(frozenset({1, 2}))
+        assert created
+        again, created_again = table.get_or_create(frozenset({1, 2}))
+        assert not created_again
+        assert again is state
+        assert len(table) == 1
+        assert frozenset({1, 2}) in table
+
+    def test_remove_is_idempotent(self):
+        table = StateTable()
+        state, _ = table.get_or_create(frozenset({1}))
+        table.remove(state)
+        table.remove(state)
+        assert len(table) == 0
+        assert table.get(frozenset({1})) is None
+
+    def test_states_snapshot_is_independent(self):
+        table = StateTable()
+        table.get_or_create(frozenset({1}))
+        snapshot = table.states()
+        table.get_or_create(frozenset({2}))
+        assert len(snapshot) == 1
+        assert len(table.states()) == 2

@@ -1,0 +1,208 @@
+"""Tests for the simulated vision substrate: geometry, world, detector, tracker."""
+
+import numpy as np
+import pytest
+
+from repro.vision import (
+    BoundingBox,
+    Camera,
+    DeepSortLikeTracker,
+    DetectionTrackingPipeline,
+    ScriptedObject,
+    SimulatedDetector,
+    World,
+)
+from repro.vision.detector import Detection, DetectorConfig
+from repro.vision.tracker import TrackerConfig
+from repro.vision.world import GroundTruthObject
+
+
+class TestBoundingBox:
+    def test_iou_and_overlap(self):
+        a = BoundingBox(0, 0, 10, 10)
+        b = BoundingBox(5, 5, 10, 10)
+        assert a.iou(b) == pytest.approx(25 / 175)
+        assert a.overlap_fraction(b) == pytest.approx(0.25)
+        disjoint = BoundingBox(100, 100, 5, 5)
+        assert a.iou(disjoint) == 0.0
+
+    def test_clipping_and_visibility(self):
+        box = BoundingBox(-5, 0, 10, 10)
+        assert box.visible_fraction(100, 100) == pytest.approx(0.5)
+        clipped = box.clipped(100, 100)
+        assert clipped.x == 0 and clipped.width == pytest.approx(5)
+        with pytest.raises(ValueError):
+            BoundingBox(-20, -20, 5, 5).clipped(100, 100)
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, 0, 5)
+
+
+class TestWorld:
+    def _object(self, world_id=0, label="car", enter=0, exit=10, x=500.0, y=500.0,
+                hidden=()):
+        return ScriptedObject(
+            world_id=world_id, label=label, enter_frame=enter, exit_frame=exit,
+            waypoints=[(enter, x, y), (exit, x + 100.0, y)],
+            size=(100.0, 80.0), hidden_intervals=hidden,
+        )
+
+    def test_object_interpolation(self):
+        obj = self._object(enter=0, exit=10, x=0.0)
+        assert obj.position(0) == (0.0, 500.0)
+        assert obj.position(10) == (100.0, 500.0)
+        assert obj.position(5) == (50.0, 500.0)
+        # Positions clamp outside the waypoint range.
+        assert obj.position(20) == (100.0, 500.0)
+
+    def test_ground_truth_visibility_and_occlusion(self):
+        front = self._object(world_id=1, x=500.0)
+        front.depth = 1.0
+        behind = self._object(world_id=2, x=520.0)
+        behind.depth = 0.0
+        world = World([front, behind], camera=Camera(), num_frames=5)
+        truth = world.ground_truth(0)
+        by_id = {t.world_id: t for t in truth}
+        assert by_id[1].occlusion == 0.0
+        assert by_id[2].occlusion > 0.5
+
+    def test_hidden_intervals_remove_object(self):
+        obj = self._object(hidden=((3, 5),))
+        world = World([obj], num_frames=10)
+        assert len(world.ground_truth(2)) == 1
+        assert len(world.ground_truth(4)) == 0
+        assert len(world.ground_truth(6)) == 1
+
+    def test_out_of_view_objects_excluded(self):
+        far_away = ScriptedObject(
+            world_id=3, label="car", enter_frame=0, exit_frame=5,
+            waypoints=[(0, 10_000.0, 10_000.0), (5, 10_000.0, 10_000.0)],
+            size=(100.0, 80.0),
+        )
+        world = World([far_away], num_frames=5)
+        assert world.ground_truth(0) == []
+
+    def test_moving_camera_changes_view(self):
+        obj = self._object(enter=0, exit=200, x=900.0)
+        static = World([obj], camera=Camera(), num_frames=200)
+        moving = World(
+            [obj], camera=Camera(pan_speed=0.05, pan_amplitude=2500.0), num_frames=200
+        )
+        static_visible = sum(1 for _, t in static.frames() if t)
+        moving_visible = sum(1 for _, t in moving.frames() if t)
+        assert moving_visible < static_visible
+
+
+class TestSimulatedDetector:
+    def _truth(self, occlusion=0.0):
+        rng = np.random.default_rng(0)
+        appearance = rng.normal(size=16)
+        return GroundTruthObject(
+            world_id=1, label="car", box=BoundingBox(100, 100, 120, 90),
+            occlusion=occlusion, appearance=appearance / np.linalg.norm(appearance),
+        )
+
+    def test_detects_visible_objects(self):
+        detector = SimulatedDetector(DetectorConfig(position_noise=0.0, size_noise=0.0), seed=1)
+        detections = detector.detect([self._truth()])
+        assert len(detections) == 1
+        assert detections[0].label == "car"
+        assert detections[0].truth_id == 1
+
+    def test_heavily_occluded_objects_are_missed(self):
+        detector = SimulatedDetector(DetectorConfig(), seed=1)
+        assert detector.detect([self._truth(occlusion=0.9)]) == []
+
+    def test_degradation_lowers_detection_rate(self):
+        clean = SimulatedDetector(DetectorConfig(condition_degradation=0.0), seed=3)
+        rainy = SimulatedDetector(DetectorConfig(condition_degradation=0.9,
+                                                 base_detection_probability=0.9), seed=3)
+        truth = [self._truth() for _ in range(300)]
+        assert len(rainy.detect(truth)) < len(clean.detect(truth))
+
+    def test_false_positives(self):
+        detector = SimulatedDetector(
+            DetectorConfig(false_positives_per_frame=3.0), seed=5
+        )
+        detections = detector.detect([])
+        assert all(d.truth_id < 0 for d in detections)
+
+
+class TestTracker:
+    def _detection(self, x, label="car", appearance_seed=1, truth_id=1):
+        rng = np.random.default_rng(appearance_seed)
+        appearance = rng.normal(size=16)
+        appearance = appearance / np.linalg.norm(appearance)
+        return Detection(
+            BoundingBox(x, 100, 100, 80), label, 0.95, appearance, truth_id=truth_id
+        )
+
+    def test_persistent_identifier_across_frames(self):
+        tracker = DeepSortLikeTracker(TrackerConfig(n_init=1))
+        first = tracker.update([self._detection(100)])
+        ids = set()
+        for step in range(1, 10):
+            observations = tracker.update([self._detection(100 + 5 * step)])
+            ids.update(o.track_id for o in observations)
+        assert len(ids) == 1
+        assert first[0].track_id in ids
+
+    def test_reassociation_after_short_occlusion(self):
+        tracker = DeepSortLikeTracker(TrackerConfig(n_init=1, max_age=10))
+        original = tracker.update([self._detection(100)])[0].track_id
+        for _ in range(4):  # occluded: no detections
+            tracker.update([])
+        recovered = tracker.update([self._detection(120)])
+        assert recovered[0].track_id == original
+
+    def test_new_identifier_after_long_absence(self):
+        tracker = DeepSortLikeTracker(TrackerConfig(n_init=1, max_age=3))
+        original = tracker.update([self._detection(100)])[0].track_id
+        for _ in range(8):
+            tracker.update([])
+        reappeared = tracker.update([self._detection(130)])
+        assert reappeared[0].track_id != original
+
+    def test_two_objects_keep_distinct_ids(self):
+        tracker = DeepSortLikeTracker(TrackerConfig(n_init=1))
+        for step in range(8):
+            observations = tracker.update(
+                [
+                    self._detection(100 + 5 * step, appearance_seed=1, truth_id=1),
+                    self._detection(900 - 5 * step, appearance_seed=2, truth_id=2),
+                ]
+            )
+        assert len({o.track_id for o in observations}) == 2
+        assert tracker.id_switches == 0
+
+    def test_label_mismatch_never_associates(self):
+        tracker = DeepSortLikeTracker(TrackerConfig(n_init=1))
+        car_id = tracker.update([self._detection(100, label="car")])[0].track_id
+        person = tracker.update([self._detection(102, label="person", appearance_seed=9,
+                                                 truth_id=2)])
+        assert person[0].track_id != car_id
+
+
+class TestPipeline:
+    def test_pipeline_produces_relation(self):
+        objects = [
+            ScriptedObject(
+                world_id=i, label="car", enter_frame=0, exit_frame=59,
+                waypoints=[(0, 300.0 + 400 * i, 600.0), (59, 500.0 + 400 * i, 600.0)],
+                size=(120.0, 90.0),
+            )
+            for i in range(3)
+        ]
+        world = World(objects, num_frames=60, name="tiny")
+        pipeline = DetectionTrackingPipeline(SimulatedDetector(seed=2))
+        result = pipeline.run(world)
+        relation = result.relation
+        assert relation.num_frames == 60
+        # All three cars should be tracked for most of the clip.
+        stats = relation.track_statistics()
+        assert len(stats) >= 3
+        long_tracks = [s for s in stats.values() if s.appearances > 40]
+        assert len(long_tracks) >= 3
+        assert result.total_seconds > 0
+        assert len(result.detections_per_frame) == 60

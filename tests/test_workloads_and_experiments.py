@@ -1,0 +1,122 @@
+"""Tests for the query workload generators and the experiment harness."""
+
+import pytest
+
+from repro.engine.config import MCOSMethod
+from repro.experiments import (
+    figure4_total_frames,
+    figure9_nmin,
+    figure10_end_to_end,
+    render_series_table,
+    run_mcos_generation,
+    run_query_evaluation,
+    series_to_markdown,
+    table6_statistics,
+)
+from repro.experiments.figures import figure5_duration, figure7_occlusion, figure8_query_count
+from repro.experiments.report import render_experiment
+from repro.workloads import ge_only_workload, incident_workload, random_cnf_workload
+
+#: Tiny scale so each experiment runs in a couple of seconds.
+SCALE = 0.06
+
+
+class TestWorkloads:
+    def test_random_workload_reproducible(self):
+        first = random_cnf_workload(20, seed=9)
+        second = random_cnf_workload(20, seed=9)
+        assert [str(q) for q in first] == [str(q) for q in second]
+        assert len(first) == 20
+        assert first.labels() <= {"person", "car", "truck", "bus"}
+
+    def test_ge_only_workload_properties(self):
+        workload = ge_only_workload(50, n_min=4, seed=2)
+        assert len(workload) == 50
+        assert workload.uses_only_ge()
+        thresholds = [c.threshold for q in workload for c in q.conditions()]
+        assert min(thresholds) == 4
+
+    def test_incident_workload(self):
+        workload = incident_workload(window=100, duration=50)
+        assert len(workload) >= 3
+        assert all(q.window == 100 and q.duration == 50 for q in workload)
+
+
+class TestHarness:
+    def test_run_mcos_generation_returns_all_methods(self):
+        from repro.datasets import load_relation
+
+        relation = load_relation("V1", scale=SCALE)
+        timings = run_mcos_generation(relation, window_size=20, duration=10)
+        assert [t.method for t in timings] == ["NAIVE", "MFS", "SSG"]
+        assert all(t.seconds >= 0 for t in timings)
+        # All methods emit the same number of result states.
+        assert len({t.result_states for t in timings}) == 1
+
+    def test_run_query_evaluation_with_pruning_label(self):
+        from repro.datasets import load_relation
+
+        relation = load_relation("V1", scale=SCALE)
+        workload = ge_only_workload(10, n_min=2, window=20, duration=10, seed=1)
+        timing = run_query_evaluation(
+            relation, workload.queries, MCOSMethod.SSG, 20, 10, enable_pruning=True
+        )
+        assert timing.method == "SSG_O"
+        assert timing.stats is not None
+
+
+class TestFigures:
+    def test_table6(self):
+        stats = table6_statistics(datasets=("V1",), scale=SCALE)
+        assert len(stats) == 1
+        assert stats[0].frames > 0
+
+    @pytest.mark.parametrize(
+        "experiment,kwargs",
+        [
+            (figure4_total_frames, {"datasets": ("V1",), "num_points": 2}),
+            (figure5_duration, {"datasets": ("V1",), "durations": (8, 12)}),
+            (figure7_occlusion, {"datasets": ("V1",), "po_values": (0, 1)}),
+        ],
+    )
+    def test_mcos_figures_produce_series(self, experiment, kwargs):
+        result = experiment(scale=SCALE, **kwargs)
+        series = result.series()
+        assert set(series) == {"NAIVE", "MFS", "SSG"}
+        for per_value in series.values():
+            assert len(per_value) >= 2 or experiment is figure4_total_frames
+        assert "V1" in result.datasets()
+
+    def test_figure8_queries(self):
+        result = figure8_query_count(
+            datasets=("V1",), scale=SCALE, query_counts=(5, 10)
+        )
+        series = result.series()
+        assert set(series) == {"NAIVE", "MFS", "SSG"}
+        assert set(series["MFS"]) == {5, 10}
+
+    def test_figure9_includes_pruned_variants(self):
+        result = figure9_nmin(
+            datasets=("D1",), scale=SCALE, nmin_values=(1, 5), num_queries=10
+        )
+        assert set(result.series()) == {"NAIVE_E", "MFS_E", "SSG_E", "MFS_O", "SSG_O"}
+
+    def test_figure10_per_query_times(self):
+        result = figure10_end_to_end(datasets=("V1", "M2"), scale=SCALE, num_queries=5)
+        series = result.series()
+        assert set(series) == {"NAIVE", "MFS", "SSG"}
+        assert set(series["SSG"]) == {"V1", "M2"}
+
+    def test_report_rendering(self):
+        result = figure5_duration(datasets=("V1",), scale=SCALE, durations=(8, 12))
+        text = render_series_table(result, "V1")
+        assert "NAIVE" in text and "MFS" in text and "SSG" in text
+        markdown = series_to_markdown(result, "V1")
+        assert markdown.startswith("| method |")
+        full = render_experiment(result)
+        assert "figure5" in full
+
+    def test_speedup_helper(self):
+        result = figure5_duration(datasets=("V1",), scale=SCALE, durations=(8,))
+        speedups = result.speedup("NAIVE", "MFS")
+        assert all(value > 0 for value in speedups.values())
