@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""CLI entry point for the kernel fast-path benchmark.
+
+Times NAIVE / MFS / SSG MCOS generation on the registry scenes and writes
+``BENCH_kernel.json`` (see :mod:`repro.experiments.kernel_bench`).  Compares
+against the recorded seed baseline in ``benchmarks/BENCH_kernel_seed.json``
+when present.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_kernel.py
+    PYTHONPATH=src python benchmarks/perf_kernel.py --scale 0.5 --datasets V1 D2
+    python -m repro.experiments --bench kernel      # equivalent
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.kernel_bench import (
+    DEFAULT_DATASETS,
+    DEFAULT_SCALE,
+    render_report,
+    run_kernel_benchmark,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                        help="dataset / parameter scale (1.0 = paper size)")
+    parser.add_argument("--datasets", nargs="*", default=list(DEFAULT_DATASETS),
+                        help="registry scenes to time (e.g. V1 D2 M2)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed runs per (dataset, method); best is kept")
+    parser.add_argument("--output", default="BENCH_kernel.json",
+                        help="output JSON path (default: ./BENCH_kernel.json)")
+    parser.add_argument("--baseline", default=None,
+                        help="seed baseline JSON (default: auto-discover)")
+    args = parser.parse_args(argv)
+
+    report = run_kernel_benchmark(
+        scale=args.scale,
+        datasets=args.datasets,
+        repeats=args.repeats,
+        output_path=args.output,
+        baseline_path=args.baseline,
+    )
+    print(render_report(report))
+    written = report.get("__written_to__")
+    if written:
+        print(f"\nwrote {written}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

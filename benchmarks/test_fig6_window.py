@@ -27,11 +27,14 @@ def test_figure6_window_size(benchmark, method, bench_scale, bench_datasets):
     for dataset in result.datasets():
         print(f"-- {dataset} --")
         print(render_series_table(result, dataset))
-    # Larger windows mean more live states and therefore more work: the series
-    # must be (weakly) increasing from the smallest to the largest window.
+    # Larger windows mean more live states and therefore more work.  Assert
+    # on the deterministic state-visit counters: with the run-length frame
+    # spans, wall-clock barely grows with the window any more (appends and
+    # expiry are O(1) regardless of span length), so timing comparisons
+    # across windows are dominated by measurement noise.
     for dataset in result.datasets():
         per_window = {
-            t.value: t.seconds for t in result.timings if t.dataset == dataset
+            t.value: t.work for t in result.timings if t.dataset == dataset
         }
         windows = sorted(per_window)
-        assert per_window[windows[-1]] >= per_window[windows[0]] * 0.8
+        assert per_window[windows[-1]] >= per_window[windows[0]]

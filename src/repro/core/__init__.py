@@ -19,15 +19,20 @@ per window from scratch and serves as the correctness oracle in tests.
 """
 
 from repro.core.base import GeneratorStats, MCOSGenerator
+from repro.core.framespan import FrameSpan
+from repro.core.interning import ObjectInterner
 from repro.core.mfs import MarkedFrameSetGenerator
 from repro.core.naive import NaiveGenerator
 from repro.core.reference import ReferenceGenerator, closed_object_sets
 from repro.core.result import ResultState, ResultStateSet
 from repro.core.ssg import StrictStateGraphGenerator
-from repro.core.state import State
+from repro.core.state import State, StateTable
 
 __all__ = [
     "State",
+    "StateTable",
+    "ObjectInterner",
+    "FrameSpan",
     "ResultState",
     "ResultStateSet",
     "MCOSGenerator",

@@ -21,6 +21,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Iterable, Iterator, Optional, Set
 
+from repro.core.interning import ObjectInterner
 from repro.core.result import ResultState, ResultStateSet
 from repro.core.state import State
 from repro.datamodel.observation import FrameObservation
@@ -106,15 +107,28 @@ class MCOSGenerator(abc.ABC):
         labels_of_interest: Optional[Iterable[str]] = None,
         state_filter: Optional[StateFilter] = None,
         label_lookup: Optional[Dict[int, str]] = None,
+        interner: Optional[ObjectInterner] = None,
     ):
         labels = set(labels_of_interest) if labels_of_interest is not None else None
         self.config = GeneratorConfig(window_size, duration, labels)
         self.stats = GeneratorStats()
+        #: Shared object-id interner: every object set the generator touches
+        #: is an ``int`` bitmask over this interner's bit positions.  The
+        #: engine passes one in so it survives generator resets (masks stay
+        #: narrow across restarts thanks to id recycling).
+        self.interner: ObjectInterner = interner if interner is not None else ObjectInterner()
         self._state_filter = state_filter
         #: Mapping from object id to class label, needed only when a state
         #: filter is installed (the filter receives per-class counts).
         self._label_lookup: Dict[int, str] = dict(label_lookup or {})
         self._last_frame_id: Optional[int] = None
+        #: Recycle interner bit positions every this many frames, so masks
+        #: stay as narrow as the window population instead of growing with
+        #: the total number of objects ever seen (every mask operation is a
+        #: Python big-int op whose cost scales with mask width).  A few
+        #: windows amortise the compaction scan while keeping mask width
+        #: bounded by the recent population.
+        self._compact_every: int = 4 * window_size
 
     # ------------------------------------------------------------------
     # Public API
@@ -142,7 +156,10 @@ class MCOSGenerator(abc.ABC):
             for oid in projected.object_ids:
                 self._label_lookup.setdefault(oid, projected.label_of(oid))
         self.stats.frames_processed += 1
-        result = self._process(projected)
+        if self.stats.frames_processed % self._compact_every == 0:
+            self.compact_interner()
+        frame_bits = self.interner.intern_ids(projected.object_ids)
+        result = self._process(projected, frame_bits)
         self.stats.result_states_emitted += len(result)
         return result
 
@@ -161,18 +178,37 @@ class MCOSGenerator(abc.ABC):
         return GeneratorRun(self.name, per_frame, total_results, self.stats)
 
     def reset(self) -> None:
-        """Discard all maintained states and counters."""
+        """Discard all maintained states and counters.
+
+        The interner is retained (and compacted) rather than replaced: masks
+        produced before and after a reset stay mutually compatible, which is
+        what lets an engine reuse one interner across many runs.
+        """
         self.stats = GeneratorStats()
         self._last_frame_id = None
         self._label_lookup = {}
         self._reset_impl()
+        self.compact_interner()
+
+    def compact_interner(self) -> int:
+        """Recycle interner bit positions not referenced by any live state.
+
+        Safe to call between frames on a long-running stream; returns the
+        number of bit positions freed.  See
+        :meth:`repro.core.interning.ObjectInterner.compact`.
+        """
+        return self.interner.compact(self._live_mask())
 
     # ------------------------------------------------------------------
     # Hooks for subclasses
     # ------------------------------------------------------------------
     @abc.abstractmethod
-    def _process(self, frame: FrameObservation) -> ResultStateSet:
-        """Strategy-specific maintenance for one (projected) frame."""
+    def _process(self, frame: FrameObservation, frame_bits: int) -> ResultStateSet:
+        """Strategy-specific maintenance for one (projected) frame.
+
+        ``frame_bits`` is the frame's object set interned through
+        :attr:`interner` (the representation the hot path works on).
+        """
 
     @abc.abstractmethod
     def _reset_impl(self) -> None:
@@ -182,6 +218,10 @@ class MCOSGenerator(abc.ABC):
     def live_state_count(self) -> int:
         """Number of states currently maintained (for diagnostics/tests)."""
 
+    def _live_mask(self) -> int:
+        """Union of every retained mask (overridden by stateful generators)."""
+        return 0
+
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
@@ -189,10 +229,15 @@ class MCOSGenerator(abc.ABC):
         """First frame id that is still inside the window ending at ``current_frame_id``."""
         return current_frame_id - self.config.window_size + 1
 
-    def _keep_new_state(self, object_ids: FrozenSet[int]) -> bool:
-        """Apply the Proposition-1 state filter to a freshly created state."""
+    def _keep_new_state(self, bits: int) -> bool:
+        """Apply the Proposition-1 state filter to a freshly created state.
+
+        The filter operates at the query boundary, so the bitmask is decoded
+        back into object ids here (only when a filter is installed).
+        """
         if self._state_filter is None:
             return True
+        object_ids = self.interner.decode(bits)
         counts: Dict[str, int] = {}
         for oid in object_ids:
             label = self._label_lookup.get(oid)
@@ -206,7 +251,7 @@ class MCOSGenerator(abc.ABC):
 
     def _result_from_state(self, state: State) -> ResultState:
         """Convert a live state into an immutable result record."""
-        return ResultState(state.object_ids, state.frame_ids)
+        return state.to_result()
 
     def _track_live_states(self, count: int) -> None:
         """Update the maximum-live-states counter."""
@@ -222,7 +267,27 @@ class GeneratorRun:
     per_frame_results: list
     total_result_states: int
     stats: GeneratorStats
+    _result_index: Optional[Dict[int, ResultStateSet]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def result_at(self, frame_id: int) -> ResultStateSet:
-        """Result state set reported after processing ``frame_id``."""
-        return self.per_frame_results[frame_id]
+        """Result state set reported after processing frame ``frame_id``.
+
+        Results are looked up by the frame id each result was reported for,
+        so relations whose frame ids start at a nonzero offset (or skip ids)
+        resolve correctly.
+        """
+        index = self._result_index
+        if index is None or len(index) != len(self.per_frame_results):
+            index = {
+                result.current_frame_id: result
+                for result in self.per_frame_results
+            }
+            self._result_index = index
+        try:
+            return index[frame_id]
+        except KeyError:
+            raise KeyError(
+                f"no result was reported for frame {frame_id}"
+            ) from None

@@ -1,0 +1,170 @@
+"""Dense bit-position interning of object identifiers.
+
+The MCOS generation layer manipulates object sets constantly: every arriving
+frame is intersected with every (reachable) live state, subset relations gate
+the SSG edge maintenance, and the state table is keyed by object set.  The
+tracker hands out sparse, unbounded object identifiers, so representing those
+sets as ``frozenset`` objects makes each of these operations allocate and hash.
+
+An :class:`ObjectInterner` maps each object identifier to a dense bit position
+so that an object set becomes a plain Python ``int`` bitmask:
+
+* intersection is ``a & b``,
+* subset testing is ``a & b == a``,
+* cardinality is ``int.bit_count()``,
+* table/graph keys are small ints with cached, perfect hashing.
+
+Masks produced by the *same* interner are mutually compatible; masks from
+different interners must never be mixed (the bit-to-object mapping differs).
+
+Id recycling
+------------
+A long-running stream observes an ever-growing universe of object ids, but the
+sliding window only ever holds a bounded subset of them.  Without recycling,
+masks would keep growing in bit-length (Python ints are arbitrary precision,
+so nothing breaks, but wide masks slow every operation down).  The interner
+therefore supports *releasing* bit positions:
+
+* :meth:`release` frees the position of one object id;
+* :meth:`compact` frees every allocated position that is not set in a caller
+  provided *live mask* (typically the union of all live state masks).
+
+Freed positions are reused lowest-first, keeping masks as narrow as the
+current population allows.  Releasing a position while some retained mask
+still has its bit set would silently alias two different objects, so callers
+must only release objects that no retained mask references — the generators
+expose :meth:`~repro.core.base.MCOSGenerator.compact_interner`, which derives
+the live mask from the state table and is therefore always safe to call
+between frames.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+
+class ObjectInterner:
+    """Bidirectional mapping between object ids and dense bitmask positions."""
+
+    __slots__ = ("_bit_by_id", "_id_by_bit", "_free")
+
+    def __init__(self) -> None:
+        self._bit_by_id: Dict[int, int] = {}
+        self._id_by_bit: List[Optional[int]] = []
+        #: Min-heap of released bit positions, reused lowest-first.
+        self._free: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def bit_of(self, object_id: int) -> int:
+        """Return (allocating if necessary) the bit position of ``object_id``."""
+        position = self._bit_by_id.get(object_id)
+        if position is None:
+            if self._free:
+                position = heapq.heappop(self._free)
+                self._id_by_bit[position] = object_id
+            else:
+                position = len(self._id_by_bit)
+                self._id_by_bit.append(object_id)
+            self._bit_by_id[object_id] = position
+        return position
+
+    def mask_of(self, object_id: int) -> int:
+        """Return the single-bit mask of ``object_id``."""
+        return 1 << self.bit_of(object_id)
+
+    def intern_ids(self, object_ids: Iterable[int]) -> int:
+        """Return the bitmask of a whole object-id collection."""
+        mask = 0
+        bit_by_id = self._bit_by_id
+        for object_id in object_ids:
+            position = bit_by_id.get(object_id)
+            if position is None:
+                position = self.bit_of(object_id)
+            mask |= 1 << position
+        return mask
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(self, mask: int) -> FrozenSet[int]:
+        """Decode a bitmask back into the frozenset of object ids."""
+        ids = []
+        id_by_bit = self._id_by_bit
+        while mask:
+            low = mask & -mask
+            object_id = id_by_bit[low.bit_length() - 1]
+            if object_id is None:
+                raise KeyError(
+                    f"bit {low.bit_length() - 1} is not allocated; the mask was "
+                    "produced before a release/compact that freed it"
+                )
+            ids.append(object_id)
+            mask ^= low
+        return frozenset(ids)
+
+    def object_at(self, position: int) -> int:
+        """Return the object id interned at ``position``."""
+        object_id = (
+            self._id_by_bit[position]
+            if 0 <= position < len(self._id_by_bit) else None
+        )
+        if object_id is None:
+            raise KeyError(f"bit position {position} is not allocated")
+        return object_id
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._bit_by_id
+
+    def __len__(self) -> int:
+        """Number of currently allocated (live) bit positions."""
+        return len(self._bit_by_id)
+
+    @property
+    def capacity(self) -> int:
+        """Width of the widest mask ever produced (allocated + freed bits)."""
+        return len(self._id_by_bit)
+
+    # ------------------------------------------------------------------
+    # Recycling
+    # ------------------------------------------------------------------
+    def release(self, object_id: int) -> None:
+        """Free the bit position of ``object_id`` for reuse.
+
+        The caller must guarantee that no retained mask still has the bit set;
+        otherwise a later re-allocation of the position aliases two objects.
+        """
+        position = self._bit_by_id.pop(object_id, None)
+        if position is None:
+            return
+        self._id_by_bit[position] = None
+        heapq.heappush(self._free, position)
+
+    def compact(self, live_mask: int) -> int:
+        """Free every allocated position whose bit is clear in ``live_mask``.
+
+        ``live_mask`` is typically the union of every retained mask (e.g. all
+        live state masks of a generator).  Returns the number of positions
+        freed.  Trailing fully-free positions are truncated so the capacity
+        shrinks along with the population.
+        """
+        freed = 0
+        for position, object_id in enumerate(self._id_by_bit):
+            if object_id is None:
+                continue
+            if not live_mask >> position & 1:
+                del self._bit_by_id[object_id]
+                self._id_by_bit[position] = None
+                heapq.heappush(self._free, position)
+                freed += 1
+        # Shrink: drop trailing free positions entirely.
+        id_by_bit = self._id_by_bit
+        while id_by_bit and id_by_bit[-1] is None:
+            id_by_bit.pop()
+        if self._free:
+            capacity = len(id_by_bit)
+            self._free = [p for p in self._free if p < capacity]
+            heapq.heapify(self._free)
+        return freed

@@ -23,14 +23,19 @@ Both rules preserve the invariant that a marked frame ``m`` certifies a set of
 window frames, all no older than ``m``, whose object sets intersect exactly to
 the state's object set -- hence "at least one marked frame present" is
 equivalent to the state being a valid MCOS.
+
+All object sets are ``int`` bitmasks over the generator's shared
+:class:`~repro.core.interning.ObjectInterner`; frame sets are run-length
+:class:`~repro.core.framespan.FrameSpan` intervals, so per-frame intersection
+is a single ``&`` and state merging is O(runs).
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, List
+from typing import List
 
 from repro.core.base import MCOSGenerator
-from repro.core.result import ResultState, ResultStateSet
+from repro.core.result import ResultStateSet
 from repro.core.state import State, StateTable
 from repro.datamodel.observation import FrameObservation
 
@@ -42,18 +47,17 @@ class MarkedFrameSetGenerator(MCOSGenerator):
 
     def __init__(self, window_size: int, duration: int, **kwargs):
         super().__init__(window_size, duration, **kwargs)
-        self._states = StateTable()
+        self._states = StateTable(self.interner)
 
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
-    def _process(self, frame: FrameObservation) -> ResultStateSet:
+    def _process(self, frame: FrameObservation, frame_bits: int) -> ResultStateSet:
         oldest_valid = self._oldest_valid_frame(frame.frame_id)
         self._expire(oldest_valid)
 
-        objects = frame.object_ids
-        if objects:
-            self._integrate_frame(frame.frame_id, objects)
+        if frame_bits:
+            self._integrate_frame(frame.frame_id, frame_bits)
 
         self._track_live_states(len(self._states))
         return self._report(frame.frame_id)
@@ -61,30 +65,62 @@ class MarkedFrameSetGenerator(MCOSGenerator):
     def _expire(self, oldest_valid: int) -> None:
         """Expire frames; remove states that lost all frames or all marks."""
         for state in self._states.states():
-            state.expire_before(oldest_valid)
-            if state.is_empty or not state.is_valid:
+            span = state.span
+            starts = span._starts
+            head = span._head
+            if head < len(starts):
+                first = starts[head]
+                if first < oldest_valid:
+                    # Inlined fast path: the slide trims the first run only
+                    # and expires no marks (see the SSG traversal).
+                    marked = span._marked
+                    mhead = span._mhead
+                    if (span._ends[head] >= oldest_valid
+                            and (mhead >= len(marked)
+                                 or marked[mhead] >= oldest_valid)):
+                        span.frame_count -= oldest_valid - first
+                        starts[head] = oldest_valid
+                        span.revision += 1
+                    else:
+                        span.expire_before(oldest_valid)
+            if span.marked_count == 0:
+                # Covers the empty span too: marks are a subset of frames.
                 self._states.remove(state)
                 self.stats.states_removed += 1
 
-    def _integrate_frame(self, frame_id: int, objects: FrozenSet[int]) -> None:
+    def _integrate_frame(self, frame_id: int, frame_bits: int) -> None:
         """Intersect the new frame with every existing state, marking key frames."""
-        existing = self._states.states()
+        states = self._states
+        stats = self.stats
+        existing = states.states()
+        visits = 0
+        appended = 0
         for state in existing:
             if state.terminated:
                 continue
-            self.stats.state_visits += 1
-            self.stats.intersections += 1
-            inter = state.object_ids & objects
+            visits += 1
+            state_bits = state.bits
+            inter = state_bits & frame_bits
             if not inter:
                 continue
-            if inter == state.object_ids:
-                # The state's objects all appear in the new frame: append only.
-                state.add_frame(frame_id)
-                self.stats.frames_appended += 1
+            span = state.span
+            if inter == state_bits:
+                # The state's objects all appear in the new frame: append
+                # only.  Inlined FrameSpan.append fast paths (extend tail /
+                # duplicate tail) cover almost every call.
+                sp_ends = span._ends
+                last = sp_ends[-1]
+                if last == frame_id - 1:
+                    sp_ends[-1] = frame_id
+                    span.frame_count += 1
+                    span.revision += 1
+                elif last != frame_id:
+                    span.append(frame_id)
+                appended += 1
                 continue
-            target, created = self._states.get_or_create(inter)
+            target, created = states.get_or_create(inter)
             if created:
-                self.stats.states_created += 1
+                stats.states_created += 1
                 if not self._keep_new_state(inter):
                     # Proposition 1: keep a terminated marker so the state is
                     # not repeatedly re-created, but never process it again.
@@ -95,14 +131,42 @@ class MarkedFrameSetGenerator(MCOSGenerator):
                 continue
             # The target inherits the source's frames and marked frames
             # (Frame Marking Rule 2), plus the arriving frame (unmarked).
-            target.merge_from(state, copy_marks=True)
-            target.add_frame(frame_id)
-            self.stats.frames_appended += 1
+            # Inlined merge-memo hit check (unchanged source: no-op merge).
+            tspan = target.span
+            memo = tspan._merge_memo
+            entry = memo.get(span.serial) if memo is not None else None
+            if entry is not None and entry[0] == span.revision \
+                    and entry[3] == span.marks_revision:
+                pass  # source unchanged: provable no-op
+            elif (entry is not None
+                    and entry[1] == span.mid_revision
+                    and entry[3] == span.marks_revision
+                    and span._ends[-1] <= tspan._ends[-1]
+                    and tspan._starts[-1] <= entry[2] + 1):
+                # Source only appended frames since the last merge and they
+                # all lie inside the target's tail run: record the catch-up
+                # without touching either span.
+                entry[0] = span.revision
+                entry[2] = span._ends[-1]
+            else:
+                tspan.merge(span, True, entry)
+            t_ends = tspan._ends
+            last = t_ends[-1]
+            if last == frame_id - 1:
+                t_ends[-1] = frame_id
+                tspan.frame_count += 1
+                tspan.revision += 1
+            elif last != frame_id:
+                tspan.append(frame_id)
+            appended += 1
+        stats.state_visits += visits
+        stats.intersections += visits
+        stats.frames_appended += appended
 
-        principal, created = self._states.get_or_create(objects)
+        principal, created = states.get_or_create(frame_bits)
         if created:
-            self.stats.states_created += 1
-            if not self._keep_new_state(objects):
+            stats.states_created += 1
+            if not self._keep_new_state(frame_bits):
                 principal.terminated = True
                 principal.add_frame(frame_id, marked=True)
                 return
@@ -110,8 +174,8 @@ class MarkedFrameSetGenerator(MCOSGenerator):
             return
         # Frame Marking Rule 1: the frame that creates a principal state is a
         # key frame of that state.
-        principal.add_frame(frame_id, marked=True)
-        self.stats.frames_appended += 1
+        principal.span.append(frame_id, marked=True)
+        stats.frames_appended += 1
 
     # ------------------------------------------------------------------
     # Reporting
@@ -120,18 +184,20 @@ class MarkedFrameSetGenerator(MCOSGenerator):
         """Report every satisfied, valid state; no deduplication is required."""
         duration = self.config.duration
         result = ResultStateSet(frame_id)
+        add = result.add_unique
         for state in self._states:
             if state.terminated:
                 continue
-            if state.is_valid and state.is_satisfied(duration):
-                result.add(ResultState(state.object_ids, state.frame_ids))
+            span = state.span
+            if span.marked_count > 0 and span.frame_count >= duration:
+                add(state.to_result())
         return result
 
     # ------------------------------------------------------------------
     # Bookkeeping
     # ------------------------------------------------------------------
     def _reset_impl(self) -> None:
-        self._states = StateTable()
+        self._states = StateTable(self.interner)
 
     def live_state_count(self) -> int:
         return len(self._states)
@@ -139,3 +205,6 @@ class MarkedFrameSetGenerator(MCOSGenerator):
     def live_states(self) -> List[State]:
         """Snapshot of the currently maintained states (for tests)."""
         return self._states.states()
+
+    def _live_mask(self) -> int:
+        return self._states.live_mask()

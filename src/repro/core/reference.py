@@ -8,14 +8,18 @@ equals the intersection of the object sets of the frames in ``cover(X)``.
 This module recomputes the closed sets of every window from scratch.  It is
 deliberately simple (and therefore slow) so that it can serve as the ground
 truth against which the incremental NAIVE / MFS / SSG generators are verified
-in the unit and property-based tests.
+in the unit and property-based tests.  Internally it runs on a throwaway
+:class:`~repro.core.interning.ObjectInterner` (set algebra on int masks),
+decoding back to frozensets only when returning -- the same kernel the
+incremental generators use, exercised through an independent algorithm.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Sequence
+from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 from repro.core.base import MCOSGenerator
+from repro.core.interning import ObjectInterner
 from repro.core.result import ResultState, ResultStateSet
 from repro.datamodel.observation import FrameObservation
 
@@ -33,36 +37,36 @@ def closed_object_sets(
     frame's object set, plus all intersections of the new frame with previous
     closed sets.
     """
-    closed: Dict[FrozenSet[int], None] = {}
-    for frame in frames:
-        objects = frame.object_ids
-        if not objects:
+    interner = ObjectInterner()
+    masks: List[Tuple[int, int]] = [
+        (frame.frame_id, interner.intern_ids(frame.object_ids))
+        for frame in frames
+    ]
+
+    closed: Dict[int, None] = {}
+    for _, frame_mask in masks:
+        if not frame_mask:
             continue
-        new_sets = {objects}
+        new_sets = {frame_mask}
         for existing in closed:
-            inter = existing & objects
+            inter = existing & frame_mask
             if inter:
                 new_sets.add(inter)
         for candidate in new_sets:
             closed[candidate] = None
 
-    result: Dict[FrozenSet[int], FrozenSet[int]] = {}
-    covers: Dict[FrozenSet[int], List[int]] = {}
-    for candidate in closed:
-        covers[candidate] = [
-            f.frame_id for f in frames if candidate <= f.object_ids
-        ]
     # A candidate is closed (an MCOS of its cover) iff it equals the
     # intersection of the frames in its cover.
-    by_frame: Dict[int, FrozenSet[int]] = {f.frame_id: f.object_ids for f in frames}
-    for candidate, cover in covers.items():
-        if not cover:
-            continue
-        intersection = by_frame[cover[0]]
-        for fid in cover[1:]:
-            intersection = intersection & by_frame[fid]
-        if intersection == candidate:
-            result[candidate] = frozenset(cover)
+    result: Dict[FrozenSet[int], FrozenSet[int]] = {}
+    for candidate in closed:
+        cover: List[int] = []
+        intersection = -1
+        for frame_id, frame_mask in masks:
+            if candidate & frame_mask == candidate:
+                cover.append(frame_id)
+                intersection &= frame_mask
+        if cover and intersection == candidate:
+            result[interner.decode(candidate)] = frozenset(cover)
     return result
 
 
@@ -81,7 +85,7 @@ class ReferenceGenerator(MCOSGenerator):
         super().__init__(window_size, duration, **kwargs)
         self._window: List[FrameObservation] = []
 
-    def _process(self, frame: FrameObservation) -> ResultStateSet:
+    def _process(self, frame: FrameObservation, frame_bits: int) -> ResultStateSet:
         self._window.append(frame)
         oldest_valid = self._oldest_valid_frame(frame.frame_id)
         while self._window and self._window[0].frame_id < oldest_valid:

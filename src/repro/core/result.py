@@ -64,6 +64,15 @@ class ResultStateSet:
         if existing is None or len(state.frame_ids) > len(existing.frame_ids):
             self._by_object_set[state.object_ids] = state
 
+    def add_unique(self, state: ResultState) -> None:
+        """Insert a result state whose object set the caller knows is new.
+
+        Hot-path variant of :meth:`add` used by the generators' report loops,
+        which iterate tables keyed by object set and therefore never produce
+        duplicates.
+        """
+        self._by_object_set[state.object_ids] = state
+
     def __len__(self) -> int:
         return len(self._by_object_set)
 

@@ -22,18 +22,31 @@ Two auxiliary procedures complete the approach:
 Frame marking follows the same semantics as
 :class:`~repro.core.mfs.MarkedFrameSetGenerator`, so both approaches report
 identical result state sets; only the amount of maintenance work differs.
+
+Fast-path representation
+------------------------
+Graph nodes are the states' interned ``int`` bitmasks: intersections are
+``&`` and the Property-2 subset checks are ``a & b == a`` -- no frozenset is
+materialised anywhere on the traversal path.  Adjacency lives directly on the
+:class:`~repro.core.state.State` objects (``state.children`` /
+``state.parents`` map child/parent bits to their states), so the traversal
+follows edges with attribute reads, stamps visits into ``state.flag`` instead
+of a hash set, and two memo layers (the span merge memo and the edge
+reachability memo) turn the per-frame re-derivations that dominate steady
+state into O(1) skips.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.core.base import MCOSGenerator
-from repro.core.result import ResultState, ResultStateSet
+from repro.core.result import ResultStateSet
 from repro.core.state import State, StateTable
 from repro.datamodel.observation import FrameObservation
 
-ObjectSet = FrozenSet[int]
+#: Interned object-set bitmask (graph/table key).
+ObjectBits = int
 
 
 class StrictStateGraphGenerator(MCOSGenerator):
@@ -43,251 +56,333 @@ class StrictStateGraphGenerator(MCOSGenerator):
 
     def __init__(self, window_size: int, duration: int, **kwargs):
         super().__init__(window_size, duration, **kwargs)
-        self._states = StateTable()
-        # Graph adjacency keyed by object set (object sets are unique per state).
-        self._children: Dict[ObjectSet, Set[ObjectSet]] = {}
-        self._parents: Dict[ObjectSet, Set[ObjectSet]] = {}
-        # Parentless nodes, maintained incrementally (traversal roots).
-        self._root_keys: Dict[ObjectSet, None] = {}
-        # Principal states: object set -> creating frame ids still in window,
+        self._states = StateTable(self.interner)
+        # Parentless graph nodes, maintained incrementally (traversal roots).
+        self._root_keys: Dict[ObjectBits, State] = {}
+        # Principal states: bitmask -> creating frame ids still in window,
         # kept in arrival order (dict preserves insertion order).
-        self._principals: Dict[ObjectSet, List[int]] = {}
+        self._principals: Dict[ObjectBits, List[int]] = {}
         # Result carry-over (Section 4.3.7): satisfied valid states from the
         # previous window that were not revisited may still be part of the
         # result of the current window.
-        self._previous_results: Dict[ObjectSet, State] = {}
+        self._previous_results: Dict[ObjectBits, State] = {}
+        # Edge requests already known to be satisfied (the child is reachable
+        # from the parent), keyed by the two states' span serials (unique per
+        # state incarnation, so re-created object sets never alias).  Entries
+        # stay valid for the lifetime of both states: Property-2 repairs and
+        # node removals re-route every broken path before returning (removals
+        # bypass this memo when re-attaching, see _remove_node).
+        self._edge_memo: Set[Tuple[int, int]] = set()
 
     # ------------------------------------------------------------------
     # Graph helpers
     # ------------------------------------------------------------------
-    def _register_node(self, object_ids: ObjectSet) -> None:
-        if object_ids not in self._parents:
-            self._children[object_ids] = set()
-            self._parents[object_ids] = set()
-            self._root_keys[object_ids] = None
+    def _register_node(self, state: State) -> None:
+        if state.children is None:
+            state.children = {}
+            state.parents = {}
+            self._root_keys[state.bits] = state
 
-    def _add_edge(self, parent: ObjectSet, child: ObjectSet) -> None:
-        """Add ``parent -> child`` and repair Property 2 among the siblings."""
+    def _ensure_edge(self, parent_state: State, child_state: State) -> None:
+        """Ensure ``child`` is reachable from ``parent``, repairing Property 2.
+
+        Memoised per state pair: the same derivation repeats every frame
+        while a co-occurrence persists, and nothing the graph maintenance
+        does breaks established reachability (repairs and removals re-route
+        every path they cut), so a satisfied request stays satisfied for the
+        lifetime of the two states.
+        """
+        memo = self._edge_memo
+        key = (parent_state.span.serial, child_state.span.serial)
+        if key in memo:
+            return
+        self._add_edge(parent_state, child_state)
+        memo.add(key)
+
+    def _add_edge(self, parent_state: State, child_state: State) -> None:
+        """Uncached edge insertion with Property-2 sibling repair."""
+        parent = parent_state.bits
+        child = child_state.bits
         if parent == child:
             return
-        self._register_node(parent)
-        self._register_node(child)
-        siblings = self._children[parent]
-        if child in siblings:
+        siblings = parent_state.children
+        if siblings is None:
+            self._register_node(parent_state)
+            siblings = parent_state.children
+        elif child in siblings:
+            # The edge already exists: by far the most common call (the same
+            # derivation repeats every frame while a co-occurrence persists).
             return
+        else:
+            # Second-most common repeat: the child already hangs below one of
+            # ``parent``'s children (a previous Property-2 repair routed it
+            # there).  It is then reachable from ``parent``, no edge is needed
+            # and no sibling of ``parent`` can violate strictness against it.
+            child_parents = child_state.parents
+            if child_parents:
+                for via in child_parents:
+                    if via in siblings:
+                        return
+        self._register_node(child_state)
         # Property-2 repair: a sibling that is a subset of the new child moves
         # below it; if the new child is a subset of a sibling, attach it below
-        # that sibling instead of below ``parent``.  Length comparisons gate
-        # the (comparatively expensive) subset checks.
-        child_len = len(child)
+        # that sibling instead of below ``parent``.  Subset tests are single
+        # mask operations, so no size pre-check is needed.
         for sibling in list(siblings):
-            sibling_len = len(sibling)
-            if sibling_len < child_len and sibling < child:
-                siblings.discard(sibling)
-                self._parents[sibling].discard(parent)
+            if sibling & child == sibling:
+                # sibling is a proper subset of child (they are distinct).
+                # Reachability parent => sibling survives via the new child.
+                sibling_state = siblings.pop(sibling)
+                sibling_state.parents.pop(parent, None)
                 self.stats.edges_removed += 1
-                self._add_edge(child, sibling)
-            elif child_len < sibling_len and child < sibling:
-                self._add_edge(sibling, child)
+                # Memoised: if the sibling is already known reachable from
+                # the child, the detached edge was redundant (edges run
+                # superset -> subset, so no path child => sibling could have
+                # used the removed parent -> sibling edge).
+                self._ensure_edge(child_state, sibling_state)
+            elif child & sibling == child:
+                self._ensure_edge(siblings[sibling], child_state)
                 return
-        siblings.add(child)
-        self._parents[child].add(parent)
+        siblings[child] = child_state
+        child_state.parents[parent] = parent_state
         self._root_keys.pop(child, None)
         self.stats.edges_added += 1
 
-    def _remove_node(self, object_ids: ObjectSet) -> None:
-        """Remove a state's node, re-attaching its children to its parents."""
-        children = self._children.pop(object_ids, set())
-        parents = self._parents.pop(object_ids, set())
-        self._root_keys.pop(object_ids, None)
-        for parent in parents:
-            self._children.get(parent, set()).discard(object_ids)
-            self.stats.edges_removed += 1
-        for child in children:
-            child_parents = self._parents.get(child)
-            if child_parents is None:
-                continue
-            child_parents.discard(object_ids)
-            self.stats.edges_removed += 1
-            if parents:
-                for parent in parents:
-                    self._add_edge(parent, child)
-            elif not child_parents:
-                self._root_keys[child] = None
-        self._principals.pop(object_ids, None)
-        self._previous_results.pop(object_ids, None)
+    def _remove_node(self, state: State) -> None:
+        """Remove a state's node, re-attaching its children to its parents.
+
+        Re-attachment restores every ancestor=>descendant path that went
+        through the removed node, which is what keeps the `_ensure_edge`
+        memo valid; the re-attachment itself must therefore use the uncached
+        `_add_edge`.
+        """
+        bits = state.bits
+        children = state.children
+        parents = state.parents
+        state.children = None
+        state.parents = None
+        self._root_keys.pop(bits, None)
+        if parents:
+            for parent_state in parents.values():
+                parent_children = parent_state.children
+                if parent_children is not None:
+                    parent_children.pop(bits, None)
+                self.stats.edges_removed += 1
+        if children:
+            for child_bits, child_state in children.items():
+                child_parents = child_state.parents
+                if child_parents is None:
+                    continue
+                child_parents.pop(bits, None)
+                self.stats.edges_removed += 1
+                if parents:
+                    for parent_state in parents.values():
+                        self._add_edge(parent_state, child_state)
+                elif not child_parents:
+                    self._root_keys[child_bits] = child_state
+        self._principals.pop(bits, None)
+        self._previous_results.pop(bits, None)
 
     def _roots(self) -> List[State]:
         """Traversal roots: principal states first (arrival order), then any
         other parentless state (maintained incrementally)."""
         roots: List[State] = []
-        seen: Set[ObjectSet] = set()
-        for object_ids in self._principals:
-            state = self._states.get(object_ids)
-            if state is not None and object_ids not in seen:
+        seen: Set[ObjectBits] = set()
+        states_get = self._states._by_bits.get
+        for bits in self._principals:
+            state = states_get(bits)
+            if state is not None and bits not in seen:
                 roots.append(state)
-                seen.add(object_ids)
-        for object_ids in list(self._root_keys):
-            if object_ids in seen:
-                continue
-            state = self._states.get(object_ids)
-            if state is None:
-                del self._root_keys[object_ids]
-                continue
-            roots.append(state)
-            seen.add(object_ids)
+                seen.add(bits)
+        for bits, state in self._root_keys.items():
+            if bits not in seen:
+                roots.append(state)
+                seen.add(bits)
         return roots
-
-    def _descendants(self, object_ids: ObjectSet) -> Set[ObjectSet]:
-        """All object sets reachable from ``object_ids`` (excluding itself)."""
-        result: Set[ObjectSet] = set()
-        stack = list(self._children.get(object_ids, ()))
-        while stack:
-            node = stack.pop()
-            if node in result:
-                continue
-            result.add(node)
-            stack.extend(self._children.get(node, ()))
-        return result
 
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
-    def _process(self, frame: FrameObservation) -> ResultStateSet:
+    def _process(self, frame: FrameObservation, frame_bits: int) -> ResultStateSet:
         frame_id = frame.frame_id
         oldest_valid = self._oldest_valid_frame(frame_id)
         self._expire_principals(oldest_valid)
 
-        objects = frame.object_ids
-        visited_states: List[State] = []
-        if objects:
-            visited_states = self._traverse_and_integrate(frame_id, objects, oldest_valid)
+        result_candidates: Dict[ObjectBits, State] = {}
+        if frame_bits:
+            self._traverse_and_integrate(
+                frame_id, frame_bits, oldest_valid, result_candidates
+            )
 
         self._track_live_states(len(self._states))
-        return self._report(frame_id, oldest_valid, visited_states)
+        if len(self._edge_memo) > 64 * len(self._states) + 1024:
+            self._prune_edge_memo()
+        return self._report(frame_id, oldest_valid, result_candidates)
+
+    def _prune_edge_memo(self) -> None:
+        """Drop edge-memo entries whose states are gone.
+
+        Span serials are never reused, so entries referencing dead states are
+        dead weight; on a long-running stream they would otherwise accumulate
+        without bound.  Amortised: runs only when the memo outgrows the live
+        state count by a wide margin.
+        """
+        live = {state.span.serial for state in self._states}
+        self._edge_memo = {
+            key for key in self._edge_memo
+            if key[0] in live and key[1] in live
+        }
 
     def _expire_principals(self, oldest_valid: int) -> None:
         """Drop expired creating frames; forget principals with none left."""
         stale = []
-        for object_ids, creating_frames in self._principals.items():
-            creating_frames[:] = [f for f in creating_frames if f >= oldest_valid]
+        for bits, creating_frames in self._principals.items():
+            if creating_frames[0] < oldest_valid:
+                creating_frames[:] = [f for f in creating_frames if f >= oldest_valid]
             if not creating_frames:
-                stale.append(object_ids)
-        for object_ids in stale:
-            del self._principals[object_ids]
-
-    def _prune_state(self, state: State, oldest_valid: int) -> bool:
-        """Expire frames of a state; remove it if dead.  Returns True if kept."""
-        state.expire_before(oldest_valid)
-        if state.is_empty or not state.is_valid:
-            self._states.remove(state)
-            self._remove_node(state.object_ids)
-            self.stats.states_removed += 1
-            return False
-        return True
+                stale.append(bits)
+        for bits in stale:
+            del self._principals[bits]
 
     def _traverse_and_integrate(
-        self, frame_id: int, objects: ObjectSet, oldest_valid: int
-    ) -> List[State]:
-        """Run the State Traversal algorithm for one arriving frame."""
+        self, frame_id: int, frame_bits: int, oldest_valid: int,
+        result_candidates: Dict[ObjectBits, State],
+    ) -> None:
+        """Run the State Traversal algorithm for one arriving frame.
+
+        Satisfied, valid states touched by the traversal are collected into
+        ``result_candidates`` as they are mutated (additions within a frame
+        are monotone, so checking at each mutation point is equivalent to the
+        end-of-frame scan the seed implementation performed over every
+        visited state).
+        """
         # The new principal state is created up-front so that mark propagation
         # and edge insertion can target it during the traversal.
-        principal, created = self._states.get_or_create(objects)
+        principal, created = self._states.get_or_create(frame_bits)
         if created:
             self.stats.states_created += 1
-            if not self._keep_new_state(objects):
+            if not self._keep_new_state(frame_bits):
                 # Proposition 1: the whole frame (and hence every state that
                 # could be derived from it) cannot satisfy any query.  Keep a
                 # terminated marker so the check is not repeated per frame.
                 principal.terminated = True
                 principal.add_frame(frame_id, marked=True)
-                return []
-            self._register_node(objects)
+                return
+            self._register_node(principal)
         elif principal.terminated:
-            return []
+            return
         else:
             # The state may not have been visited for a while; drop expired
             # frames before extending it so its frame set stays inside the
             # window.
-            principal.expire_before(oldest_valid)
-        principal.add_frame(frame_id, marked=True)
+            principal.span.expire_before(oldest_valid)
+        principal.span.append(frame_id, marked=True)
         self.stats.frames_appended += 1
-        self._principals.setdefault(objects, []).append(frame_id)
+        self._principals.setdefault(frame_bits, []).append(frame_id)
 
-        visited: Set[ObjectSet] = set()
-        visited_states: List[State] = []
         # Candidate children of the new principal state (Theorem 2): at most
         # one per traversal root, namely the state whose object set equals the
         # root's intersection with the arriving frame.
-        candidates: Dict[ObjectSet, None] = {}
+        candidates: Dict[ObjectBits, None] = {}
 
+        # Schedule every unvisited root up-front: one shared stack for the
+        # whole frame avoids per-root traversal setup.
+        stack: List[State] = []
         for root in self._roots():
-            root_key = root.object_ids
-            if root_key == objects:
+            root_key = root.bits
+            if root_key == frame_bits:
                 continue
-            root_inter = root_key & objects
-            if root_inter and root_inter != objects:
+            root_inter = root_key & frame_bits
+            if root_inter and root_inter != frame_bits:
                 candidates.setdefault(root_inter, None)
-            self._traverse_from(root, objects, frame_id, oldest_valid,
-                                visited, visited_states)
+            if root.flag != frame_id:
+                root.flag = frame_id
+                stack.append(root)
+        if stack:
+            self._traverse(stack, frame_bits, frame_id, oldest_valid,
+                           result_candidates)
 
-        self._connect_new_principal(objects, candidates)
-        visited_states.append(principal)
-        return visited_states
+        self._connect_new_principal(principal, candidates)
+        span = principal.span
+        if span.frame_count >= self.config.duration:
+            result_candidates[frame_bits] = principal
 
-    def _traverse_from(
+    def _traverse(
         self,
-        root: State,
-        objects: ObjectSet,
+        stack: List[State],
+        frame_bits: int,
         frame_id: int,
         oldest_valid: int,
-        visited: Set[ObjectSet],
-        visited_states: List[State],
+        result_candidates: Dict[ObjectBits, State],
     ) -> None:
-        """Iterative State Traversal (Algorithm 1) from one root.
+        """Iterative State Traversal (Algorithm 1) over the scheduled roots.
 
-        Each reachable state is visited at most once per frame (shared
-        ``visited`` set); whole subtrees are skipped as soon as a state's
-        intersection with the arriving frame is empty.
+        Each reachable state is visited at most once per frame (its ``flag``
+        is stamped with the frame id when scheduled); whole subtrees are
+        skipped as soon as a state's intersection with the arriving frame is
+        empty.
         """
         states = self._states
-        children_map = self._children
+        by_bits = states._by_bits
+        interner = self.interner
         stats = self.stats
-        stack: List[State] = [root]
+        edge_memo = self._edge_memo
+        add_edge_memo = edge_memo.add
+        duration = self.config.duration
+        removed = 0
+        survived = 0
+        appended = 0
+        pop = stack.pop
+        push = stack.append
         while stack:
-            state = stack.pop()
-            key = state.object_ids
-            if key in visited:
-                continue
-            visited.add(key)
-            stats.state_visits += 1
+            state = pop()
+            key = state.bits
 
-            # Snapshot the children before pruning: if the state is removed its
-            # children are re-attached elsewhere but must still be visited in
-            # this traversal, otherwise their frame sets would miss the frame.
-            children = children_map.get(key)
-            child_snapshot = list(children) if children else None
-
-            state.expire_before(oldest_valid)
-            if state.is_empty or not state.is_valid:
+            span = state.span
+            # Live states always hold at least one frame, so the head index is
+            # in range; expire only when the oldest frame actually left.  The
+            # overwhelmingly common slide trims the first run by one frame and
+            # expires no marks: inlined, with the general path as fallback.
+            sp_head = span._head
+            sp_starts = span._starts
+            first = sp_starts[sp_head]
+            if first < oldest_valid:
+                marked = span._marked
+                mhead = span._mhead
+                if (span._ends[sp_head] >= oldest_valid
+                        and (mhead >= len(marked)
+                             or marked[mhead] >= oldest_valid)):
+                    span.frame_count -= oldest_valid - first
+                    sp_starts[sp_head] = oldest_valid
+                    span.revision += 1
+                else:
+                    span.expire_before(oldest_valid)
+            if span.marked_count == 0:
+                # No live marks left (which also covers an empty frame set,
+                # marks being a subset of frames): the state is invalid.
+                # Snapshot the children before pruning: _remove_node
+                # re-attaches them elsewhere but they must still be visited in
+                # this traversal, otherwise their frame sets miss the frame.
+                removed += 1
+                children = state.children
+                child_snapshot = list(children.values()) if children else None
                 states.remove(state)
-                self._remove_node(key)
-                stats.states_removed += 1
+                self._remove_node(state)
                 if child_snapshot:
-                    for child_key in child_snapshot:
-                        if child_key not in visited:
-                            child = states.get(child_key)
-                            if child is not None:
-                                stack.append(child)
+                    for child in child_snapshot:
+                        if child.flag != frame_id:
+                            child.flag = frame_id
+                            push(child)
                 continue
-            visited_states.append(state)
+            survived += 1
 
-            stats.intersections += 1
-            inter = key & objects
+            inter = key & frame_bits
             if not inter:
                 # Every descendant is a subset of this state, hence its
                 # intersection with the arriving frame is empty too: prune the
                 # whole subtree from the traversal.
+                if span.frame_count >= duration:
+                    result_candidates[key] = state
                 continue
 
             if inter == key:
@@ -295,11 +390,24 @@ class StrictStateGraphGenerator(MCOSGenerator):
                 # append only (Algorithm 1, lines 18-21).  Connecting subset
                 # states to the new principal is the job of the CNPS
                 # procedure, which selects at most one candidate per root.
-                state.add_frame(frame_id)
-                stats.frames_appended += 1
+                # Inlined FrameSpan.append fast paths: extend-tail-by-one and
+                # duplicate-of-tail cover almost every call.
+                sp_ends = span._ends
+                last = sp_ends[-1]
+                if last == frame_id - 1:
+                    sp_ends[-1] = frame_id
+                    span.frame_count += 1
+                    span.revision += 1
+                elif last != frame_id:
+                    span.append(frame_id)
+                appended += 1
             else:
-                target, created = states.get_or_create(inter)
-                if created:
+                created = False
+                target = by_bits.get(inter)
+                if target is None:
+                    created = True
+                    target = State(inter, interner)
+                    by_bits[inter] = target
                     stats.states_created += 1
                     if not self._keep_new_state(inter):
                         # Proposition 1: keep a terminated marker outside the
@@ -310,28 +418,65 @@ class StrictStateGraphGenerator(MCOSGenerator):
                 elif target.terminated:
                     target = None  # type: ignore[assignment]
                 if target is not None:
-                    self._register_node(inter)
-                    target.merge_from(state, copy_marks=True)
-                    target.add_frame(frame_id)
-                    stats.frames_appended += 1
-                    self._add_edge(key, inter)
-                    if created:
-                        visited_states.append(target)
+                    if target.children is None:
+                        self._register_node(target)
+                    tspan = target.span
+                    # Inlined merge-memo hit check (the common case: the same
+                    # derivation repeated with an unchanged source).
+                    memo = tspan._merge_memo
+                    entry = memo.get(span.serial) if memo is not None else None
+                    if entry is not None and entry[0] == span.revision \
+                            and entry[3] == span.marks_revision:
+                        pass  # source unchanged: provable no-op
+                    elif (entry is not None
+                            and entry[1] == span.mid_revision
+                            and entry[3] == span.marks_revision
+                            and span._ends[-1] <= tspan._ends[-1]
+                            and tspan._starts[-1] <= entry[2] + 1):
+                        # Source only appended frames since the last merge and
+                        # they all lie inside the target's tail run: record
+                        # the catch-up without touching either span.
+                        entry[0] = span.revision
+                        entry[2] = span._ends[-1]
+                    else:
+                        tspan.merge(span, True, entry)
+                    t_ends = tspan._ends
+                    last = t_ends[-1]
+                    if last == frame_id - 1:
+                        t_ends[-1] = frame_id
+                        tspan.frame_count += 1
+                        tspan.revision += 1
+                    elif last != frame_id:
+                        tspan.append(frame_id)
+                    appended += 1
+                    # Inlined _ensure_edge (the memo hit is the common case).
+                    ekey = (span.serial, tspan.serial)
+                    if ekey not in edge_memo:
+                        self._add_edge(state, target)
+                        add_edge_memo(ekey)
+                    if tspan.frame_count >= duration and tspan.marked_count:
+                        result_candidates[inter] = target
+
+            if span.frame_count >= duration:
+                result_candidates[key] = state
 
             # Push children for traversal (re-read after the edge maintenance
             # above, which may have re-parented some of them).  The child set
             # is not mutated while iterating: graph edits only happen when a
             # state is popped from the stack.
-            children = children_map.get(key)
+            children = state.children
             if children:
-                for child_key in children:
-                    if child_key not in visited:
-                        child = states.get(child_key)
-                        if child is not None:
-                            stack.append(child)
+                for child in children.values():
+                    if child.flag != frame_id:
+                        child.flag = frame_id
+                        push(child)
+        stats.state_visits += survived + removed
+        stats.states_removed += removed
+        stats.intersections += survived  # one ``&`` per surviving visit
+        stats.frames_appended += appended
 
     def _connect_new_principal(
-        self, objects: ObjectSet, candidates: Dict[ObjectSet, None]
+        self, principal: State, candidates: Dict[ObjectBits, None]
     ) -> None:
         """Connect the new principal state to selected candidates (Algorithm 2).
 
@@ -342,64 +487,80 @@ class StrictStateGraphGenerator(MCOSGenerator):
         preserved because they are already connected to the graph through the
         source states they were derived from.
         """
-        ordered = sorted(candidates, key=len, reverse=True)
-        selected: List[ObjectSet] = []
+        frame_bits = principal.bits
+        states_get = self._states._by_bits.get
+        ordered = sorted(candidates, key=int.bit_count, reverse=True)
+        selected: List[ObjectBits] = []
         for candidate in ordered:
-            if candidate == objects or self._states.get(candidate) is None:
+            if candidate == frame_bits:
                 continue
-            if any(candidate < chosen for chosen in selected):
+            candidate_state = states_get(candidate)
+            if candidate_state is None or candidate_state.terminated:
+                # Proposition-1 terminated markers live outside the graph;
+                # connecting one would let the traversal revive and report it.
                 continue
-            self._add_edge(objects, candidate)
+            if any(candidate & chosen == candidate for chosen in selected):
+                continue
+            self._ensure_edge(principal, candidate_state)
             selected.append(candidate)
 
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def _report(
-        self, frame_id: int, oldest_valid: int, visited_states: List[State]
+        self, frame_id: int, oldest_valid: int,
+        result_candidates: Dict[ObjectBits, State],
     ) -> ResultStateSet:
-        """Combine the carried-over result set with freshly visited states.
+        """Combine the carried-over result set with the traversal candidates.
 
         ``SR_{i'} = SR'_i  u  SR_{G'}`` in the paper's notation: states that
         were part of the previous result and are still alive, satisfied and
-        valid, plus the satisfied valid states touched by this traversal.
+        valid, plus the satisfied valid states touched by this traversal
+        (collected during the traversal itself).
         """
         duration = self.config.duration
-        new_results: Dict[ObjectSet, State] = {}
+        new_results: Dict[ObjectBits, State] = {}
+        states_get = self._states._by_bits.get
 
-        for object_ids, state in list(self._previous_results.items()):
-            if self._states.get(object_ids) is not state:
+        for bits, state in list(self._previous_results.items()):
+            if states_get(bits) is not state:
                 continue
-            state.expire_before(oldest_valid)
-            if state.is_empty or not state.is_valid:
+            span = state.span
+            if span._head < len(span._starts) and \
+                    span._starts[span._head] < oldest_valid:
+                span.expire_before(oldest_valid)
+            if span.marked_count == 0:
                 self._states.remove(state)
-                self._remove_node(object_ids)
+                self._remove_node(state)
                 self.stats.states_removed += 1
                 continue
-            if state.is_satisfied(duration):
-                new_results[object_ids] = state
+            if span.frame_count >= duration:
+                new_results[bits] = state
 
-        for state in visited_states:
-            if self._states.get(state.object_ids) is not state:
-                continue
-            if state.is_valid and state.is_satisfied(duration):
-                new_results[state.object_ids] = state
+        for bits, state in result_candidates.items():
+            # A state removed or expired after it became a candidate fails
+            # the span checks, so no table lookup is needed to filter stale
+            # entries.
+            span = state.span
+            if span.marked_count > 0 and span.frame_count >= duration:
+                new_results[bits] = state
 
         self._previous_results = new_results
         result = ResultStateSet(frame_id)
+        add = result.add_unique
         for state in new_results.values():
-            result.add(ResultState(state.object_ids, state.frame_ids))
+            add(state.to_result())
         return result
 
     # ------------------------------------------------------------------
     # Bookkeeping
     # ------------------------------------------------------------------
     def _reset_impl(self) -> None:
-        self._states = StateTable()
-        self._children = {}
-        self._parents = {}
+        self._states = StateTable(self.interner)
+        self._root_keys = {}
         self._principals = {}
         self._previous_results = {}
+        self._edge_memo = set()
 
     def live_state_count(self) -> int:
         return len(self._states)
@@ -408,14 +569,19 @@ class StrictStateGraphGenerator(MCOSGenerator):
         """Snapshot of the currently maintained states (for tests)."""
         return self._states.states()
 
-    def edges(self) -> List[Tuple[ObjectSet, ObjectSet]]:
-        """All ``(parent, child)`` edges of the graph (for tests/diagnostics)."""
+    def _live_mask(self) -> int:
+        return self._states.live_mask()
+
+    def edges(self) -> List[Tuple[FrozenSet[int], FrozenSet[int]]]:
+        """All ``(parent, child)`` edges of the graph, decoded (tests only)."""
+        decode = self.interner.decode
         return [
-            (parent, child)
-            for parent, children in self._children.items()
-            for child in children
+            (decode(state.bits), decode(child_bits))
+            for state in self._states
+            for child_bits in (state.children or ())
         ]
 
-    def principal_object_sets(self) -> List[ObjectSet]:
-        """Object sets of the current principal states, in arrival order."""
-        return list(self._principals)
+    def principal_object_sets(self) -> List[FrozenSet[int]]:
+        """Object sets of the current principal states, decoded, arrival order."""
+        decode = self.interner.decode
+        return [decode(bits) for bits in self._principals]

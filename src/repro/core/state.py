@@ -6,43 +6,96 @@ approaches additionally *mark* certain frames (the Marked Frame Set,
 Section 4.2.3); the presence of at least one marked, non-expired frame
 certifies that the state's object set is a Maximum Co-occurrence Object Set of
 its frame set (Theorems 1 and 4).
+
+Fast-path representation
+------------------------
+States live on the hottest loop of the system, so both halves use the compact
+kernel representations:
+
+* the object set is an ``int`` bitmask produced by a shared
+  :class:`~repro.core.interning.ObjectInterner` (intersection is ``&``,
+  subset is ``a & b == a``, the state table keys on the int);
+* the frame set is a run-length :class:`~repro.core.framespan.FrameSpan`
+  (O(1) append/expiry, O(runs) merge).
+
+The ``frozenset`` view of the object set and the tuple view of the frame set
+are decoded lazily and only at the reporting boundary (``object_ids``,
+``frame_ids``, :meth:`State.to_result`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.core.framespan import FrameSpan
+from repro.core.interning import ObjectInterner
+from repro.core.result import ResultState
 
 
 class State:
-    """A co-occurrence object set together with its (marked) frame set.
-
-    The frame set is stored as an insertion-ordered mapping from frame id to a
-    boolean *marked* flag.  Frames are always appended in increasing order and
-    expire from the front, so both operations are amortised constant time.
-    """
+    """A co-occurrence object set (bitmask) with its (marked) frame span."""
 
     __slots__ = (
-        "object_ids",
-        "_frames",
-        "_marked_count",
-        "_max_frame",
-        "flag",
+        "bits",
+        "span",
         "terminated",
+        "flag",
+        "children",
+        "parents",
+        "_interner",
+        "_object_ids",
+        "_result",
+        "_result_revision",
     )
 
-    def __init__(self, object_ids: FrozenSet[int]):
-        if not object_ids:
+    def __init__(
+        self,
+        bits: int,
+        interner: Optional[ObjectInterner] = None,
+        object_ids: Optional[FrozenSet[int]] = None,
+    ):
+        if not bits:
             raise ValueError("a state must have a non-empty object set")
-        self.object_ids: FrozenSet[int] = frozenset(object_ids)
-        self._frames: Dict[int, bool] = {}
-        self._marked_count = 0
-        self._max_frame = -1
-        #: Visitation flag used by the SSG traversal (set to the current frame
-        #: id so each state is visited at most once per frame).
-        self.flag: int = -1
+        #: Bitmask of the object set (interned; table/graph key).
+        self.bits: int = bits
+        #: Run-length frame set with marked frames.
+        self.span: FrameSpan = FrameSpan()
         #: Set by the Proposition-1 pruning strategy (Section 5.3) when the
         #: state's MCOS fails every registered >=-only query.
         self.terminated: bool = False
+        #: Visitation stamp used by the SSG traversal: set to the current
+        #: frame id when the state is scheduled, so each state is visited at
+        #: most once per frame without a hash-set membership test.
+        self.flag: int = -1
+        #: SSG adjacency, held on the state so the traversal loop follows
+        #: edges with attribute reads instead of map lookups.  ``None`` until
+        #: the SSG generator registers the state as a graph node; unused by
+        #: the other generators.
+        self.children: Optional[Dict[int, "State"]] = None
+        self.parents: Optional[Dict[int, "State"]] = None
+        self._interner = interner
+        self._object_ids = object_ids
+        self._result: Optional[ResultState] = None
+        self._result_revision = -1
+
+    # ------------------------------------------------------------------
+    # Object-set views
+    # ------------------------------------------------------------------
+    @property
+    def object_ids(self) -> FrozenSet[int]:
+        """The object set as a frozenset (decoded lazily, cached)."""
+        ids = self._object_ids
+        if ids is None:
+            if self._interner is None:
+                raise ValueError("state has neither an interner nor object ids")
+            ids = self._interner.decode(self.bits)
+            self._object_ids = ids
+        return ids
+
+    @property
+    def size(self) -> int:
+        """Number of objects in the state's object set (popcount, O(1))."""
+        return self.bits.bit_count()
 
     # ------------------------------------------------------------------
     # Frame-set maintenance
@@ -51,82 +104,57 @@ class State:
         """Append ``frame_id`` to the frame set (or upgrade its mark).
 
         Appending an already-present frame only upgrades its marked flag; it
-        never clears an existing mark.  Frames are normally inserted in
-        increasing order; when merging from several source states an older
-        frame may arrive late, in which case the mapping is re-sorted so that
-        expiry can keep treating expired frames as a prefix.
+        never clears an existing mark.
         """
-        current = self._frames.get(frame_id)
-        if current is None:
-            self._frames[frame_id] = marked
-            if marked:
-                self._marked_count += 1
-            if frame_id > self._max_frame:
-                self._max_frame = frame_id
-            else:
-                # Out-of-order insertion (only possible while merging source
-                # frame sets into a freshly created state): restore ordering.
-                self._frames = dict(sorted(self._frames.items()))
-        elif marked and not current:
-            self._frames[frame_id] = True
-            self._marked_count += 1
+        self.span.append(frame_id, marked)
 
     def mark_frame(self, frame_id: int) -> None:
         """Mark an already-present frame as a key frame."""
-        self.add_frame(frame_id, marked=True)
+        self.span.append(frame_id, marked=True)
 
     def merge_from(self, other: "State", copy_marks: bool) -> None:
         """Merge another state's frame set (and optionally marks) into this one.
 
         Used when the same object set is derivable from several sources in one
-        window step (the ``merge`` operations of Algorithm 1).
+        window step (the ``merge`` operations of Algorithm 1).  A single
+        interval-union pass — late-arriving frames are spliced in one O(runs)
+        merge instead of a per-frame re-sort.
         """
         if other is self:
             return
-        for frame_id, marked in other._frames.items():
-            self.add_frame(frame_id, marked=marked and copy_marks)
+        self.span.merge(other.span, copy_marks=copy_marks)
 
     def expire_before(self, oldest_valid: int) -> None:
         """Drop every frame with id smaller than ``oldest_valid``."""
-        # Frames are insertion-ordered and strictly increasing, so expired
-        # frames form a prefix of the mapping.
-        expired: List[int] = []
-        for frame_id in self._frames:
-            if frame_id < oldest_valid:
-                expired.append(frame_id)
-            else:
-                break
-        for frame_id in expired:
-            if self._frames.pop(frame_id):
-                self._marked_count -= 1
+        self.span.expire_before(oldest_valid)
 
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
     @property
     def frame_ids(self) -> Tuple[int, ...]:
-        """The frame ids of the state, oldest first."""
-        return tuple(self._frames)
+        """The frame ids of the state, oldest first (decoded)."""
+        return self.span.frame_ids()
 
     @property
     def marked_frame_ids(self) -> Tuple[int, ...]:
         """The marked (key) frame ids of the state, oldest first."""
-        return tuple(fid for fid, marked in self._frames.items() if marked)
+        return self.span.marked_ids()
 
     @property
     def frame_count(self) -> int:
-        """Number of frames currently in the frame set."""
-        return len(self._frames)
+        """Number of frames currently in the frame set (O(1))."""
+        return self.span.frame_count
 
     @property
     def marked_count(self) -> int:
-        """Number of marked frames currently in the frame set."""
-        return self._marked_count
+        """Number of marked frames currently in the frame set (O(1))."""
+        return self.span.marked_count
 
     @property
     def is_empty(self) -> bool:
         """True when every frame of the state has expired."""
-        return not self._frames
+        return self.span.is_empty
 
     @property
     def is_valid(self) -> bool:
@@ -136,82 +164,110 @@ class State:
         frame set) if and only if at least one marked frame remains in the
         window -- Theorems 1 and 4 of the paper.
         """
-        return self._marked_count > 0
+        return self.span.marked_count > 0
 
     def is_satisfied(self, duration: int) -> bool:
         """True when the frame set meets the duration threshold ``d``."""
-        return len(self._frames) >= duration
+        return self.span.frame_count >= duration
 
     def contains_frame(self, frame_id: int) -> bool:
         """True when ``frame_id`` is currently part of the frame set."""
-        return frame_id in self._frames
+        return self.span.contains(frame_id)
 
     def snapshot(self) -> Tuple[FrozenSet[int], Tuple[int, ...]]:
         """Return an immutable ``(object_ids, frame_ids)`` snapshot."""
-        return (self.object_ids, tuple(self._frames))
+        return (self.object_ids, self.span.frame_ids())
+
+    def to_result(self) -> ResultState:
+        """Decode the state into an immutable :class:`ResultState`.
+
+        The decoded record is cached against the span's revision counter, so
+        states that did not change between reports are not re-decoded.
+        """
+        revision = self.span.revision
+        result = self._result
+        if result is None or self._result_revision != revision:
+            result = ResultState(self.object_ids, self.span.frame_ids())
+            self._result = result
+            self._result_revision = revision
+        return result
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        marked = set(self.span.marked_ids())
         frames = ", ".join(
-            f"*{fid}" if marked else str(fid) for fid, marked in self._frames.items()
+            f"*{fid}" if fid in marked else str(fid)
+            for fid in self.span.frame_ids()
         )
-        objs = ",".join(str(o) for o in sorted(self.object_ids))
+        try:
+            objs = ",".join(str(o) for o in sorted(self.object_ids))
+        except ValueError:
+            objs = bin(self.bits)
         return f"State({{{objs}}}, {{{frames}}})"
 
 
 class StateTable:
-    """A hash table mapping object sets to their states.
+    """A hash table mapping interned object-set bitmasks to their states.
 
     All generators maintain their live states here; the SSG generator layers a
-    graph structure on top of the same table.
+    graph structure on top of the same table.  Keys are plain ints, so lookups
+    avoid frozenset hashing entirely.
     """
 
-    def __init__(self) -> None:
-        self._by_object_set: Dict[FrozenSet[int], State] = {}
+    __slots__ = ("_interner", "_by_bits")
+
+    def __init__(self, interner: Optional[ObjectInterner] = None) -> None:
+        self._interner = interner if interner is not None else ObjectInterner()
+        self._by_bits: Dict[int, State] = {}
+
+    @property
+    def interner(self) -> ObjectInterner:
+        """The interner whose masks key this table."""
+        return self._interner
 
     def __len__(self) -> int:
-        return len(self._by_object_set)
+        return len(self._by_bits)
 
-    def __contains__(self, object_ids: FrozenSet[int]) -> bool:
-        return object_ids in self._by_object_set
+    def __contains__(self, bits: int) -> bool:
+        return bits in self._by_bits
 
-    def __iter__(self):
-        return iter(self._by_object_set.values())
+    def __iter__(self) -> Iterator[State]:
+        return iter(self._by_bits.values())
 
-    def get(self, object_ids: FrozenSet[int]) -> Optional[State]:
-        """Return the state for ``object_ids`` if it exists."""
-        return self._by_object_set.get(object_ids)
+    def get(self, bits: int) -> Optional[State]:
+        """Return the state for the bitmask ``bits`` if it exists."""
+        return self._by_bits.get(bits)
 
-    def get_or_create(self, object_ids: FrozenSet[int]) -> Tuple[State, bool]:
-        """Return the state for ``object_ids``, creating it if necessary.
+    def get_or_create(self, bits: int) -> Tuple[State, bool]:
+        """Return the state for ``bits``, creating it if necessary.
 
         Returns the state and a flag indicating whether it was newly created.
         """
-        state = self._by_object_set.get(object_ids)
+        state = self._by_bits.get(bits)
         if state is not None:
             return state, False
-        state = State(object_ids)
-        self._by_object_set[object_ids] = state
+        state = State(bits, self._interner)
+        self._by_bits[bits] = state
         return state, True
 
     def add(self, state: State) -> None:
         """Insert an externally-constructed state."""
-        self._by_object_set[state.object_ids] = state
+        self._by_bits[state.bits] = state
 
     def remove(self, state: State) -> None:
         """Remove a state from the table (no-op if absent)."""
-        self._by_object_set.pop(state.object_ids, None)
+        self._by_bits.pop(state.bits, None)
 
     def states(self) -> List[State]:
         """Return a list snapshot of the live states."""
-        return list(self._by_object_set.values())
+        return list(self._by_bits.values())
+
+    def live_mask(self) -> int:
+        """Union of every live state's bitmask (for interner compaction)."""
+        mask = 0
+        for bits in self._by_bits:
+            mask |= bits
+        return mask
 
     def clear(self) -> None:
         """Drop every state."""
-        self._by_object_set.clear()
-
-
-def intersect(object_ids: FrozenSet[int], other: Iterable[int]) -> FrozenSet[int]:
-    """Intersection of two object-id sets as a frozenset."""
-    if isinstance(other, frozenset):
-        return object_ids & other
-    return object_ids & frozenset(other)
+        self._by_bits.clear()

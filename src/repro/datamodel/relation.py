@@ -73,32 +73,43 @@ class VideoRelation:
         labels: Optional[Dict[int, str]] = None,
         default_label: str = "object",
         name: str = "video",
+        first_frame_id: int = 0,
     ) -> "VideoRelation":
         """Build a relation from per-frame object-id sets.
 
         This mirrors the examples in the paper (e.g. the five-frame video
         ``({B}, {ABC}, {ABDF}, {ABCF}, {ABD})``), where class labels are not
         the point.  ``labels`` can still assign classes to specific ids.
+        ``first_frame_id`` offsets the generated frame ids, which is how a
+        relation cut from the middle of a longer feed looks.
         """
         labels = labels or {}
         frames = []
-        for fid, ids in enumerate(object_sets):
+        for offset, ids in enumerate(object_sets):
             frame_labels = {oid: labels.get(oid, default_label) for oid in ids}
-            frames.append(FrameObservation(fid, frame_labels))
+            frames.append(FrameObservation(first_frame_id + offset, frame_labels))
         return cls(frames, name=name)
 
     def append(self, frame: FrameObservation) -> None:
-        """Append the next frame; its ``frame_id`` must be contiguous."""
-        expected = len(self._frames)
-        if frame.frame_id != expected:
-            raise ValueError(
-                f"expected frame_id {expected}, got {frame.frame_id}; frames must be contiguous"
-            )
+        """Append the next frame; its ``frame_id`` must be contiguous.
+
+        The first frame fixes the base id (which need not be 0 — a relation
+        may be cut from the middle of a longer feed); every later frame must
+        follow its predecessor directly.
+        """
+        if self._frames:
+            expected = self._frames[-1].frame_id + 1
+            if frame.frame_id != expected:
+                raise ValueError(
+                    f"expected frame_id {expected}, got {frame.frame_id}; "
+                    "frames must be contiguous"
+                )
         self._frames.append(frame)
 
     def append_objects(self, labels: Dict[int, str]) -> FrameObservation:
         """Append a frame given its id -> label mapping and return it."""
-        frame = FrameObservation(len(self._frames), labels)
+        next_id = self._frames[-1].frame_id + 1 if self._frames else 0
+        frame = FrameObservation(next_id, labels)
         self._frames.append(frame)
         return frame
 
@@ -110,9 +121,17 @@ class VideoRelation:
         """Total number of frames in the feed."""
         return len(self._frames)
 
+    @property
+    def first_frame_id(self) -> int:
+        """Frame id of the first frame (0 unless the relation is offset)."""
+        return self._frames[0].frame_id if self._frames else 0
+
     def frame(self, frame_id: int) -> FrameObservation:
-        """Return the observation of the given frame."""
-        return self._frames[frame_id]
+        """Return the observation of the frame with id ``frame_id``."""
+        index = frame_id - self.first_frame_id
+        if not 0 <= index < len(self._frames):
+            raise KeyError(f"frame {frame_id} not in relation")
+        return self._frames[index]
 
     def frames(self) -> Iterator[FrameObservation]:
         """Iterate over all frames in temporal order."""

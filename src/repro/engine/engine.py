@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.core.base import GeneratorStats, MCOSGenerator
+from repro.core.interning import ObjectInterner
 from repro.core.result import ResultStateSet
 from repro.datamodel.observation import FrameObservation
 from repro.datamodel.relation import VideoRelation
@@ -69,6 +70,10 @@ class TemporalVideoQueryEngine:
             self._pruner = StatePruner(self.evaluator)
 
         self._labels: Dict[int, str] = {}
+        #: Engine-owned object interner, shared with every generator the
+        #: engine builds: masks stay compatible (and narrow, via recycling)
+        #: across resets, which matters for long-running feeds.
+        self.interner = ObjectInterner()
         self.generator = self._build_generator()
         self._mcos_seconds = 0.0
         self._evaluation_seconds = 0.0
@@ -88,6 +93,7 @@ class TemporalVideoQueryEngine:
             duration=self.config.duration,
             labels_of_interest=labels_of_interest,
             state_filter=self._pruner,
+            interner=self.interner,
         )
 
     @property
@@ -141,7 +147,12 @@ class TemporalVideoQueryEngine:
         )
 
     def reset(self) -> None:
-        """Reset the engine to process another relation from scratch."""
+        """Reset the engine to process another relation from scratch.
+
+        The interner survives the reset: released bit positions are recycled,
+        so masks stay narrow no matter how many relations the engine serves.
+        """
+        self.interner.compact(0)
         self.generator = self._build_generator()
         self._labels = {}
         self._mcos_seconds = 0.0

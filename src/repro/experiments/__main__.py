@@ -41,7 +41,22 @@ def main(argv=None) -> int:
                         help="subset of experiments (e.g. table6 figure9)")
     parser.add_argument("--datasets", nargs="*", default=None,
                         help="restrict to these datasets (e.g. V1 M2)")
+    parser.add_argument("--bench", choices=["kernel"], default=None,
+                        help="run a micro-benchmark instead of the figures "
+                             "(kernel: MCOS generation frames/sec, writes "
+                             "BENCH_kernel.json)")
     args = parser.parse_args(argv)
+
+    if args.bench == "kernel":
+        from repro.experiments.kernel_bench import (
+            DEFAULT_DATASETS, render_report, run_kernel_benchmark,
+        )
+        report = run_kernel_benchmark(
+            scale=args.scale,
+            datasets=args.datasets or list(DEFAULT_DATASETS),
+        )
+        print(render_report(report))
+        return 0
 
     selected = args.only or ["table6", *EXPERIMENTS]
     for name in selected:

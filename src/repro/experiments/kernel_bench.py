@@ -1,0 +1,189 @@
+"""Kernel fast-path benchmark: frames/sec of MCOS generation per method.
+
+Times NAIVE / MFS / SSG state maintenance over the registry scenes used by
+the Figure-10 end-to-end comparison and writes a ``BENCH_kernel.json``
+perf-trajectory file.  When a recorded seed baseline
+(``benchmarks/BENCH_kernel_seed.json``, captured from the pre-kernel tree
+with the same methodology) is present, per-dataset and aggregate speedups
+are included, so the file documents the fast-path kernel's gain over time.
+
+Run it either way::
+
+    python benchmarks/perf_kernel.py
+    python -m repro.experiments --bench kernel
+
+Methodology: each (dataset, method) pair is timed ``repeats`` times on the
+same cached relation and the best run is kept (the interpreter and machine
+only add noise, never speed); the ``fig10_stream`` aggregate is total frames
+divided by total best seconds across the datasets, i.e. the throughput of
+the combined stream.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Sequence
+
+from repro.datasets.registry import load_relation
+from repro.engine.config import MCOSMethod
+from repro.experiments.figures import _window_duration
+from repro.experiments.harness import MCOS_METHODS, time_mcos_generation
+
+#: Datasets of the default benchmark configuration (the fig10 bench subset).
+DEFAULT_DATASETS: Sequence[str] = ("V1", "D2", "M2")
+
+#: Default scene/parameter scale (matches the experiments' fast default).
+DEFAULT_SCALE = 0.25
+
+#: Where the recorded seed baseline lives, relative to the repo root.
+SEED_BASELINE = os.path.join("benchmarks", "BENCH_kernel_seed.json")
+
+
+def run_kernel_benchmark(
+    scale: float = DEFAULT_SCALE,
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    repeats: int = 3,
+    methods: Sequence[MCOSMethod] = MCOS_METHODS,
+    output_path: Optional[str] = "BENCH_kernel.json",
+    baseline_path: Optional[str] = None,
+) -> Dict:
+    """Time every method over every dataset and return (and write) the report.
+
+    Parameters mirror the CLI flags of ``benchmarks/perf_kernel.py``.  Pass
+    ``output_path=None`` to skip writing the JSON file.
+    """
+    window, duration = _window_duration(scale)
+    report: Dict = {
+        "benchmark": "kernel",
+        "scale": scale,
+        "window": window,
+        "duration": duration,
+        "repeats": repeats,
+        "datasets": {},
+    }
+    totals: Dict[str, Dict[str, float]] = {
+        method.value: {"frames": 0, "seconds": 0.0} for method in methods
+    }
+    for name in datasets:
+        relation = load_relation(name, scale=scale)
+        entry: Dict = {"frames": relation.num_frames, "methods": {}}
+        for method in methods:
+            best = None
+            for _ in range(max(1, repeats)):
+                timing = time_mcos_generation(relation, method, window, duration)
+                if best is None or timing.seconds < best.seconds:
+                    best = timing
+            fps = relation.num_frames / best.seconds if best.seconds else 0.0
+            entry["methods"][method.value] = {
+                "seconds": round(best.seconds, 5),
+                "frames_per_sec": round(fps, 2),
+                "result_states": best.result_states,
+                "stats": best.stats.as_dict(),
+            }
+            totals[method.value]["frames"] += relation.num_frames
+            totals[method.value]["seconds"] += best.seconds
+        report["datasets"][name] = entry
+
+    report["fig10_stream"] = {
+        method: {
+            "frames": tot["frames"],
+            "seconds": round(tot["seconds"], 5),
+            "frames_per_sec": round(tot["frames"] / tot["seconds"], 2)
+            if tot["seconds"] else 0.0,
+        }
+        for method, tot in totals.items()
+    }
+
+    baseline = _load_baseline(baseline_path)
+    if baseline is not None:
+        speedups = _speedups(report, baseline)
+        if speedups is not None:
+            report["seed_baseline_path"] = baseline.get("__path__")
+            report["speedup_vs_seed"] = speedups
+
+    if output_path:
+        with open(output_path, "w") as handle:
+            json.dump(report, handle, indent=2)
+        report["__written_to__"] = os.path.abspath(output_path)
+    return report
+
+
+def _load_baseline(baseline_path: Optional[str]) -> Optional[Dict]:
+    """Load the recorded seed baseline, looking in the usual places."""
+    candidates = [baseline_path] if baseline_path else [
+        SEED_BASELINE,
+        os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))), SEED_BASELINE),
+    ]
+    for candidate in candidates:
+        if candidate and os.path.exists(candidate):
+            with open(candidate) as handle:
+                baseline = json.load(handle)
+            baseline["__path__"] = candidate
+            return baseline
+    return None
+
+
+def _speedups(report: Dict, baseline: Dict) -> Optional[Dict]:
+    """Frames/sec ratios (current / seed) per dataset/method plus aggregate.
+
+    Ratios are only meaningful when the run configuration matches the
+    baseline's, so a mismatched scale skips the comparison entirely and the
+    aggregate is only reported when the dataset sets coincide.
+    """
+    if baseline.get("scale") != report["scale"]:
+        return None
+    speedups: Dict = {"datasets": {}}
+    for name, entry in report["datasets"].items():
+        base_entry = baseline.get("datasets", {}).get(name)
+        if not base_entry:
+            continue
+        per_method = {}
+        for method, data in entry["methods"].items():
+            base = base_entry.get("methods", {}).get(method)
+            if base and base.get("frames_per_sec"):
+                per_method[method] = round(
+                    data["frames_per_sec"] / base["frames_per_sec"], 2
+                )
+        speedups["datasets"][name] = per_method
+    base_stream = baseline.get("fig10_stream")
+    if base_stream and set(report["datasets"]) == set(baseline.get("datasets", {})):
+        aggregate = {}
+        for method, data in report["fig10_stream"].items():
+            base = base_stream.get(method)
+            if base and base.get("frames_per_sec"):
+                aggregate[method] = round(
+                    data["frames_per_sec"] / base["frames_per_sec"], 2
+                )
+        speedups["fig10_stream"] = aggregate
+    return speedups
+
+
+def render_report(report: Dict) -> str:
+    """Plain-text table of the benchmark report."""
+    lines = [
+        f"kernel benchmark  scale={report['scale']}  "
+        f"w={report['window']} d={report['duration']}  "
+        f"(best of {report['repeats']})",
+        f"{'dataset':9s} {'method':7s} {'seconds':>9s} {'frames/s':>10s}"
+        f" {'speedup':>8s}",
+    ]
+    speedups = report.get("speedup_vs_seed", {})
+    for name, entry in report["datasets"].items():
+        for method, data in entry["methods"].items():
+            ratio = speedups.get("datasets", {}).get(name, {}).get(method)
+            lines.append(
+                f"{name:9s} {method:7s} {data['seconds']:9.3f} "
+                f"{data['frames_per_sec']:10.1f} "
+                f"{(str(ratio) + 'x') if ratio else '-':>8s}"
+            )
+    lines.append("")
+    for method, data in report["fig10_stream"].items():
+        ratio = speedups.get("fig10_stream", {}).get(method)
+        lines.append(
+            f"fig10-stream {method:7s} {data['seconds']:9.3f} "
+            f"{data['frames_per_sec']:10.1f} "
+            f"{(str(ratio) + 'x') if ratio else '-':>8s}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,214 @@
+"""Unit tests for the run-length frame span (interval kernel).
+
+A randomized model check at the bottom drives a FrameSpan and a plain
+set-based model through the same operation sequences and asserts equal
+observable state — this covers the merge memoisation and the incremental
+splice paths far beyond what the hand-written cases reach.
+"""
+
+import random
+
+import pytest
+
+from repro.core.framespan import FrameSpan
+
+
+def span_of(*frame_ids, marked=()):
+    span = FrameSpan()
+    for fid in frame_ids:
+        span.append(fid, marked=fid in marked)
+    return span
+
+
+class TestAppendAndRuns:
+    def test_contiguous_appends_form_one_run(self):
+        span = span_of(3, 4, 5, 6)
+        assert span.runs() == ((3, 6),)
+        assert span.frame_count == 4
+        assert span.frame_ids() == (3, 4, 5, 6)
+
+    def test_gaps_split_runs(self):
+        span = span_of(1, 2, 5, 6, 9)
+        assert span.runs() == ((1, 2), (5, 6), (9, 9))
+        assert span.frame_ids() == (1, 2, 5, 6, 9)
+
+    def test_duplicate_append_is_noop(self):
+        span = span_of(1, 2)
+        revision = span.revision
+        assert span.append(2) is False
+        assert span.append(1) is False
+        assert span.frame_count == 2
+        assert span.revision == revision
+
+    def test_out_of_order_insert_bridges_gap(self):
+        span = span_of(1, 3)
+        span.append(2)  # bridges the two runs
+        assert span.runs() == ((1, 3),)
+        assert span.frame_count == 3
+
+    def test_out_of_order_insert_prepends_and_extends(self):
+        span = span_of(5, 9)
+        span.append(4)   # extend run start
+        span.append(10)  # extend run end
+        span.append(7)   # standalone mid run
+        assert span.runs() == ((4, 5), (7, 7), (9, 10))
+        assert span.contains(7)
+        assert not span.contains(6)
+
+    def test_len_and_iter(self):
+        span = span_of(2, 3, 7)
+        assert len(span) == 3
+        assert list(span) == [2, 3, 7]
+
+
+class TestMarks:
+    def test_mark_upgrade_and_dedup(self):
+        span = FrameSpan()
+        span.append(1)
+        span.append(2, marked=True)
+        span.append(2, marked=True)
+        span.append(1, marked=True)  # late mark upgrade (mid insertion)
+        assert span.marked_ids() == (1, 2)
+        assert span.marked_count == 2
+
+    def test_single_frame_window(self):
+        span = FrameSpan()
+        span.append(5, marked=True)
+        assert span.frame_count == 1
+        assert span.marked_count == 1
+        span.expire_before(6)
+        assert span.is_empty
+        assert span.marked_count == 0
+
+
+class TestExpiry:
+    def test_expiry_trims_partial_run(self):
+        span = span_of(0, 1, 2, 3, marked=(0, 2))
+        span.expire_before(2)
+        assert span.runs() == ((2, 3),)
+        assert span.marked_ids() == (2,)
+        assert span.frame_count == 2
+
+    def test_full_expiry(self):
+        span = span_of(0, 1, 4, 5, marked=(1, 5))
+        span.expire_before(10)
+        assert span.is_empty
+        assert span.frame_count == 0
+        assert span.marked_count == 0
+        # The span remains usable after full expiry.
+        span.append(12, marked=True)
+        assert span.runs() == ((12, 12),)
+        assert span.marked_count == 1
+
+    def test_expiry_is_noop_before_first_frame(self):
+        span = span_of(5, 6)
+        revision = span.revision
+        span.expire_before(5)
+        assert span.revision == revision
+        assert span.frame_count == 2
+
+    def test_amortised_compaction_keeps_contents(self):
+        span = FrameSpan()
+        for fid in range(0, 200, 2):  # 100 single-frame runs
+            span.append(fid, marked=True)
+        for oldest in range(0, 201, 5):
+            span.expire_before(oldest)
+        assert span.is_empty
+
+
+class TestMerge:
+    def test_merge_unions_runs_and_counts(self):
+        a = span_of(1, 2, 6, 7)
+        b = span_of(3, 8, 9, 20)
+        a.merge(b)
+        assert a.runs() == ((1, 3), (6, 9), (20, 20))
+        assert a.frame_count == 8
+
+    def test_merge_copies_marks_only_on_request(self):
+        source = span_of(1, 2, 3, marked=(2,))
+        plain = FrameSpan()
+        plain.merge(source, copy_marks=False)
+        assert plain.marked_count == 0
+        marked = FrameSpan()
+        marked.merge(source, copy_marks=True)
+        assert marked.marked_ids() == (2,)
+
+    def test_repeat_merge_is_memoised_noop(self):
+        source = span_of(1, 2, 3, marked=(1,))
+        target = FrameSpan()
+        target.merge(source, copy_marks=True)
+        revision = target.revision
+        target.merge(source, copy_marks=True)
+        assert target.revision == revision  # memo hit: nothing re-unioned
+
+    def test_incremental_merge_after_source_appends(self):
+        source = span_of(1, 2, marked=(1,))
+        target = span_of(1, 2, 10)
+        target.merge(source, copy_marks=True)
+        source.append(3)
+        source.append(11, marked=True)
+        target.merge(source, copy_marks=True)
+        assert target.frame_ids() == (1, 2, 3, 10, 11)
+        assert target.marked_ids() == (1, 11)
+
+    def test_merge_after_source_expiry_adds_nothing_stale(self):
+        source = span_of(1, 2, 3)
+        target = FrameSpan()
+        target.merge(source)
+        source.expire_before(3)
+        source.append(5)
+        target.expire_before(3)
+        target.merge(source)
+        assert target.frame_ids() == (3, 5)
+
+
+class TestRandomizedModel:
+    """Model check: FrameSpan vs a plain (set, set) model."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_operation_sequences(self, seed):
+        rng = random.Random(seed)
+        spans = [FrameSpan() for _ in range(4)]
+        models = [(set(), set()) for _ in range(4)]  # (frames, marks)
+        clock = 0
+        for _ in range(300):
+            op = rng.random()
+            idx = rng.randrange(4)
+            span, (frames, marks) = spans[idx], models[idx]
+            if op < 0.5:
+                clock += rng.randint(1, 3)
+                marked = rng.random() < 0.3
+                span.append(clock, marked=marked)
+                frames.add(clock)
+                if marked:
+                    marks.add(clock)
+            elif op < 0.7:
+                other_idx = rng.randrange(4)
+                copy_marks = rng.random() < 0.7
+                span.merge(spans[other_idx], copy_marks=copy_marks)
+                o_frames, o_marks = models[other_idx]
+                frames |= o_frames
+                if copy_marks:
+                    marks |= o_marks
+            elif op < 0.9:
+                oldest = clock - rng.randint(0, 8)
+                # Model contract: sources are always expired to the current
+                # window before being merged from, so expire all spans to the
+                # same horizon like the generators do.
+                for k in range(4):
+                    spans[k].expire_before(oldest)
+                    models[k] = (
+                        {f for f in models[k][0] if f >= oldest},
+                        {m for m in models[k][1] if m >= oldest},
+                    )
+            else:
+                clock += rng.randint(1, 4)
+                span.append(clock, marked=True)
+                frames.add(clock)
+                marks.add(clock)
+            for k in range(4):
+                s, (mf, mm) = spans[k], models[k]
+                assert s.frame_ids() == tuple(sorted(mf)), f"span {k} frames"
+                assert s.marked_ids() == tuple(sorted(mm)), f"span {k} marks"
+                assert s.frame_count == len(mf)
+                assert s.marked_count == len(mm)

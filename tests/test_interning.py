@@ -1,0 +1,104 @@
+"""Unit tests for the object-id interner (bitmask kernel)."""
+
+import pytest
+
+from repro.core.interning import ObjectInterner
+
+
+class TestEncodingDecoding:
+    def test_bits_are_dense_and_stable(self):
+        interner = ObjectInterner()
+        assert interner.bit_of(100) == 0
+        assert interner.bit_of(7) == 1
+        assert interner.bit_of(100) == 0  # stable on repeat
+        assert interner.mask_of(7) == 0b10
+        assert len(interner) == 2
+        assert interner.capacity == 2
+
+    def test_intern_ids_and_decode_roundtrip(self):
+        interner = ObjectInterner()
+        ids = {5, 17, 900, 3}
+        mask = interner.intern_ids(ids)
+        assert mask.bit_count() == len(ids)
+        assert interner.decode(mask) == frozenset(ids)
+        assert interner.decode(0) == frozenset()
+
+    def test_set_algebra_matches_frozensets(self):
+        interner = ObjectInterner()
+        a_ids, b_ids = {1, 2, 3, 50}, {2, 50, 99}
+        a, b = interner.intern_ids(a_ids), interner.intern_ids(b_ids)
+        assert interner.decode(a & b) == frozenset(a_ids & b_ids)
+        assert interner.decode(a | b) == frozenset(a_ids | b_ids)
+        sub = interner.intern_ids({2, 3})
+        assert sub & a == sub  # subset test
+        assert not (sub & b == sub)
+
+    def test_masks_are_per_interner(self):
+        one, two = ObjectInterner(), ObjectInterner()
+        two.bit_of(999)  # shift the mapping
+        assert one.intern_ids({1, 2}) != two.intern_ids({1, 2})
+
+    def test_contains_and_object_at(self):
+        interner = ObjectInterner()
+        interner.bit_of(42)
+        assert 42 in interner
+        assert 43 not in interner
+        assert interner.object_at(0) == 42
+        with pytest.raises(KeyError):
+            interner.object_at(1)
+
+
+class TestRecycling:
+    def test_release_reuses_lowest_position_first(self):
+        interner = ObjectInterner()
+        for oid in (10, 11, 12):
+            interner.bit_of(oid)
+        interner.release(11)
+        interner.release(10)
+        assert len(interner) == 1
+        assert interner.bit_of(99) == 0  # lowest freed position first
+        assert interner.bit_of(98) == 1
+        assert interner.capacity == 3
+
+    def test_release_unknown_id_is_noop(self):
+        interner = ObjectInterner()
+        interner.release(5)
+        assert len(interner) == 0
+
+    def test_decode_of_freed_bit_raises(self):
+        interner = ObjectInterner()
+        mask = interner.mask_of(1)
+        interner.release(1)
+        with pytest.raises(KeyError):
+            interner.decode(mask)
+
+    def test_compact_frees_everything_outside_live_mask(self):
+        interner = ObjectInterner()
+        masks = {oid: interner.mask_of(oid) for oid in range(20)}
+        live = masks[3] | masks[7] | masks[19]
+        freed = interner.compact(live)
+        assert freed == 17
+        assert len(interner) == 3
+        # Live ids keep their bits; decode still works on retained masks.
+        assert interner.decode(live) == frozenset({3, 7, 19})
+        # Freed positions are reused lowest-first.
+        assert interner.bit_of(1000) == 0
+
+    def test_compact_shrinks_capacity_when_tail_freed(self):
+        interner = ObjectInterner()
+        for oid in range(8):
+            interner.bit_of(oid)
+        live = interner.intern_ids({0, 1})
+        interner.compact(live)
+        assert interner.capacity == 2
+        # New ids allocate fresh positions beyond the shrunk tail.
+        assert interner.bit_of(50) == 2
+
+    def test_compact_with_zero_live_mask_resets(self):
+        interner = ObjectInterner()
+        for oid in range(5):
+            interner.bit_of(oid)
+        assert interner.compact(0) == 5
+        assert len(interner) == 0
+        assert interner.capacity == 0
+        assert interner.bit_of(123) == 0

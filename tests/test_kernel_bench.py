@@ -1,0 +1,48 @@
+"""Smoke test for the kernel benchmark harness (tiny scene, tier-1 safe)."""
+
+import json
+
+from repro.experiments.kernel_bench import render_report, run_kernel_benchmark
+
+
+def test_kernel_benchmark_runs_on_tiny_scene(tmp_path):
+    output = tmp_path / "BENCH_kernel.json"
+    report = run_kernel_benchmark(
+        scale=0.04,
+        datasets=("V1",),
+        repeats=1,
+        output_path=str(output),
+    )
+    assert output.exists()
+    on_disk = json.loads(output.read_text())
+    assert on_disk["benchmark"] == "kernel"
+    assert set(on_disk["datasets"]) == {"V1"}
+    methods = on_disk["datasets"]["V1"]["methods"]
+    assert set(methods) == {"NAIVE", "MFS", "SSG"}
+    for data in methods.values():
+        assert data["seconds"] > 0
+        assert data["frames_per_sec"] > 0
+        assert data["stats"]["frames_processed"] == on_disk["datasets"]["V1"]["frames"]
+    # The aggregate stream entry is present for every method.
+    for data in on_disk["fig10_stream"].values():
+        assert data["frames"] == on_disk["datasets"]["V1"]["frames"]
+        assert data["frames_per_sec"] > 0
+    # The recorded seed baseline uses a different scale, so no speedup
+    # comparison is emitted for this tiny configuration (ratios across
+    # configurations would be meaningless).
+    assert "speedup_vs_seed" not in report
+    # The plain-text rendering works on the same report.
+    text = render_report(report)
+    assert "fig10-stream" in text and "V1" in text
+
+
+def test_kernel_benchmark_without_baseline(tmp_path):
+    report = run_kernel_benchmark(
+        scale=0.04,
+        datasets=("V1",),
+        repeats=1,
+        output_path=None,
+        baseline_path=str(tmp_path / "missing.json"),
+    )
+    assert "speedup_vs_seed" not in report
+    assert "__written_to__" not in report

@@ -1,0 +1,197 @@
+"""Randomized equivalence suite for the bitmask/interval kernel.
+
+Seeded stream generators exercise the regimes that stress the fast-path
+representations hardest:
+
+* *bursty arrivals* — object sets that stay stable for a stretch, then churn
+  (long runs followed by fragmentation of the frame spans);
+* *duplicate object sets* — the same set recurring within and across windows
+  (state-table hits, merge-memo reuse, principal re-creation);
+* *full-window gaps* — stretches of empty frames long enough to expire every
+  state (interner recycling, complete graph teardown and rebuild).
+
+For every stream, NAIVE, MFS and SSG must report identical per-frame results;
+smaller configurations are additionally checked against the exact reference
+oracle.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    MarkedFrameSetGenerator,
+    NaiveGenerator,
+    ReferenceGenerator,
+    StrictStateGraphGenerator,
+)
+from repro.datamodel import VideoRelation
+
+from tests.conftest import result_mappings
+
+INCREMENTAL = [NaiveGenerator, MarkedFrameSetGenerator, StrictStateGraphGenerator]
+
+
+def bursty_stream(seed, num_frames=120, universe=10):
+    """Stable co-occurrence bursts separated by churn frames."""
+    rng = random.Random(seed)
+    frames = []
+    current = set(rng.sample(range(universe), rng.randint(2, universe // 2)))
+    while len(frames) < num_frames:
+        burst = rng.randint(2, 12)
+        for _ in range(min(burst, num_frames - len(frames))):
+            frames.append(set(current))
+        # churn: drop/add a few objects, sometimes emit noisy frames
+        for _ in range(rng.randint(0, 3)):
+            if len(frames) >= num_frames:
+                break
+            frames.append(set(rng.sample(range(universe),
+                                         rng.randint(0, universe))))
+        for oid in list(current):
+            if rng.random() < 0.3:
+                current.discard(oid)
+        while len(current) < 2:
+            current.add(rng.randrange(universe))
+    return VideoRelation.from_object_sets(frames, name=f"bursty-{seed}")
+
+
+def duplicate_heavy_stream(seed, num_frames=100, universe=8):
+    """A small pool of recurring object sets (heavy state-table reuse)."""
+    rng = random.Random(seed)
+    pool = [
+        set(rng.sample(range(universe), rng.randint(1, universe)))
+        for _ in range(4)
+    ]
+    frames = [set(rng.choice(pool)) for _ in range(num_frames)]
+    return VideoRelation.from_object_sets(frames, name=f"dups-{seed}")
+
+
+def gap_stream(seed, num_frames=100, universe=9, window=7):
+    """Interleaves activity with empty stretches longer than the window."""
+    rng = random.Random(seed)
+    frames = []
+    while len(frames) < num_frames:
+        for _ in range(rng.randint(1, 10)):
+            if len(frames) >= num_frames:
+                break
+            frames.append(set(rng.sample(range(universe),
+                                         rng.randint(1, universe))))
+        # a gap that expires every state
+        for _ in range(rng.randint(window + 1, window + 4)):
+            if len(frames) >= num_frames:
+                break
+            frames.append(set())
+    return VideoRelation.from_object_sets(frames, name=f"gaps-{seed}")
+
+
+STREAMS = [
+    (bursty_stream, (5, 3), (9, 6), (12, 12)),
+    (duplicate_heavy_stream, (4, 2), (8, 5), (10, 10)),
+    (gap_stream, (7, 4), (7, 7), (5, 1)),
+]
+
+
+class TestGeneratorsAgreeOnKernelStreams:
+    @pytest.mark.parametrize("maker,params", [
+        (maker, params) for maker, *param_sets in STREAMS
+        for params in param_sets
+    ])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_incremental_generators_identical(self, maker, params, seed):
+        window, duration = params
+        relation = maker(seed)
+        baseline = result_mappings(NaiveGenerator, relation, window, duration)
+        for generator_cls in (MarkedFrameSetGenerator, StrictStateGraphGenerator):
+            actual = result_mappings(generator_cls, relation, window, duration)
+            assert actual == baseline, (
+                f"{generator_cls.name} diverged on {relation.name} "
+                f"w={window} d={duration}"
+            )
+
+    @pytest.mark.parametrize("maker", [bursty_stream, duplicate_heavy_stream,
+                                       gap_stream])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_reference_oracle(self, maker, seed):
+        relation = maker(seed, num_frames=45, universe=7)
+        for window, duration in [(6, 3), (9, 9), (4, 0)]:
+            expected = result_mappings(ReferenceGenerator, relation, window,
+                                       duration)
+            for generator_cls in INCREMENTAL:
+                actual = result_mappings(generator_cls, relation, window,
+                                         duration)
+                assert actual == expected, (
+                    f"{generator_cls.name} vs oracle on {relation.name} "
+                    f"w={window} d={duration}"
+                )
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_generators_agree_under_state_filter(self, seed):
+        """Proposition-1 pruning must not change cross-generator agreement.
+
+        Regression: SSG's CNPS procedure used to connect terminated marker
+        states into the graph, reviving and reporting them.
+        """
+        relation = bursty_stream(40 + seed, num_frames=80, universe=8)
+
+        def keep_two_plus(object_ids, counts):
+            return len(object_ids) >= 2
+
+        def run(generator_cls):
+            generator = generator_cls(window_size=5, duration=3,
+                                      state_filter=keep_two_plus)
+            return [r.as_mapping() for r in generator.process_relation(relation)]
+
+        baseline = run(NaiveGenerator)
+        assert any(baseline)  # the filter must not wipe out every result
+        for generator_cls in (MarkedFrameSetGenerator, StrictStateGraphGenerator):
+            assert run(generator_cls) == baseline, generator_cls.name
+        # Terminated singleton states must never be reported.
+        for mapping in baseline:
+            assert all(len(objs) >= 2 for objs in mapping)
+
+    @pytest.mark.parametrize("generator_cls", INCREMENTAL)
+    def test_single_frame_window(self, generator_cls):
+        """w=1: every frame is its own window (exercises instant expiry)."""
+        relation = bursty_stream(11, num_frames=40)
+        expected = result_mappings(ReferenceGenerator, relation, 1, 1)
+        actual = result_mappings(generator_cls, relation, 1, 1)
+        assert actual == expected
+
+    @pytest.mark.parametrize("generator_cls", INCREMENTAL)
+    def test_interner_stays_narrow_across_gaps(self, generator_cls):
+        """Periodic compaction keeps mask width near the live population."""
+        relation = gap_stream(3, num_frames=400, universe=9, window=7)
+        generator = generator_cls(window_size=7, duration=3)
+        for frame in relation.frames():
+            generator.process_frame(frame)
+        # Nine distinct ids ever seen; capacity must not exceed that, and
+        # after compaction cycles it should be bounded by the recent window
+        # population, not the whole history.
+        assert generator.interner.capacity <= 9
+
+    def test_compact_interner_is_safe_midstream(self):
+        """Explicit compaction between frames never changes results."""
+        relation = bursty_stream(2, num_frames=60)
+        plain = MarkedFrameSetGenerator(window_size=8, duration=4)
+        compacted = MarkedFrameSetGenerator(window_size=8, duration=4)
+        for i, frame in enumerate(relation.frames()):
+            a = plain.process_frame(frame)
+            b = compacted.process_frame(frame)
+            assert a.as_mapping() == b.as_mapping()
+            if i % 3 == 0:
+                compacted.compact_interner()
+
+
+class TestGeneratorRunResultAt:
+    def test_result_at_with_offset_frame_ids(self):
+        """Frame ids starting at a nonzero offset resolve by id, not index."""
+        frames = [{1, 2}, {1, 2, 3}, {2, 3}]
+        relation = VideoRelation.from_object_sets(frames, first_frame_id=100)
+        run = NaiveGenerator(window_size=3, duration=1).run(relation)
+        assert len(run.per_frame_results) == 3
+        for offset, frame_id in enumerate(range(100, 103)):
+            assert run.result_at(frame_id) is run.per_frame_results[offset]
+        with pytest.raises(KeyError):
+            run.result_at(0)
+        with pytest.raises(KeyError):
+            run.result_at(103)

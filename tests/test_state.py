@@ -2,16 +2,32 @@
 
 import pytest
 
+from repro.core.interning import ObjectInterner
 from repro.core.state import State, StateTable
 
 
+def make_state(table, *object_ids):
+    """Create (or fetch) a state for the given object ids."""
+    bits = table.interner.intern_ids(object_ids)
+    state, _ = table.get_or_create(bits)
+    return state
+
+
 class TestState:
+    def setup_method(self):
+        self.table = StateTable()
+
     def test_requires_non_empty_object_set(self):
         with pytest.raises(ValueError):
-            State(frozenset())
+            State(0, ObjectInterner())
+
+    def test_object_ids_decode(self):
+        state = make_state(self.table, 7, 42)
+        assert state.object_ids == frozenset({7, 42})
+        assert state.size == 2
 
     def test_add_and_mark_frames(self):
-        state = State(frozenset({1, 2}))
+        state = make_state(self.table, 1, 2)
         state.add_frame(0, marked=True)
         state.add_frame(1)
         state.add_frame(2)
@@ -23,7 +39,7 @@ class TestState:
         assert not state.is_satisfied(4)
 
     def test_mark_upgrade_never_downgrades(self):
-        state = State(frozenset({1}))
+        state = make_state(self.table, 1)
         state.add_frame(0)
         state.add_frame(0, marked=True)
         state.add_frame(0, marked=False)
@@ -31,7 +47,7 @@ class TestState:
         assert state.marked_count == 1
 
     def test_expiry_removes_prefix_and_marks(self):
-        state = State(frozenset({1}))
+        state = make_state(self.table, 1)
         for fid, marked in [(0, True), (1, False), (2, True), (3, False)]:
             state.add_frame(fid, marked=marked)
         state.expire_before(2)
@@ -41,8 +57,8 @@ class TestState:
         assert state.is_empty
         assert not state.is_valid
 
-    def test_out_of_order_insertion_is_resorted(self):
-        state = State(frozenset({1}))
+    def test_out_of_order_insertion(self):
+        state = make_state(self.table, 1)
         state.add_frame(5)
         state.add_frame(2)  # arrives late via a merge
         state.add_frame(7)
@@ -51,49 +67,95 @@ class TestState:
         assert state.frame_ids == (5, 7)
 
     def test_merge_from_copies_marks_optionally(self):
-        source = State(frozenset({1, 2, 3}))
+        source = make_state(self.table, 1, 2, 3)
         source.add_frame(0, marked=True)
         source.add_frame(1)
-        with_marks = State(frozenset({1, 2}))
+        with_marks = make_state(self.table, 1, 2)
         with_marks.merge_from(source, copy_marks=True)
         assert with_marks.frame_ids == (0, 1)
         assert with_marks.marked_frame_ids == (0,)
-        without_marks = State(frozenset({1, 2}))
+        without_marks = make_state(self.table, 2, 3)
         without_marks.merge_from(source, copy_marks=False)
         assert without_marks.frame_ids == (0, 1)
         assert without_marks.marked_frame_ids == ()
 
     def test_merge_from_self_is_noop(self):
-        state = State(frozenset({1}))
+        state = make_state(self.table, 1)
         state.add_frame(0, marked=True)
         state.merge_from(state, copy_marks=True)
         assert state.frame_ids == (0,)
         assert state.marked_count == 1
 
+    def test_merge_late_arriving_frames_single_pass(self):
+        """Regression: merging older frames into a newer state must not lose
+        ordering, duplicate frames, or corrupt the count (the seed re-sorted
+        the whole frame dict on every out-of-order insert)."""
+        fresh = make_state(self.table, 1, 2)
+        fresh.add_frame(10)
+        fresh.add_frame(11)
+        older = make_state(self.table, 1, 2, 3)
+        for fid, marked in [(3, True), (4, False), (6, True), (7, False)]:
+            older.add_frame(fid, marked=marked)
+        fresh.merge_from(older, copy_marks=True)
+        assert fresh.frame_ids == (3, 4, 6, 7, 10, 11)
+        assert fresh.frame_count == 6
+        assert fresh.marked_frame_ids == (3, 6)
+        # Merging again is idempotent.
+        fresh.merge_from(older, copy_marks=True)
+        assert fresh.frame_ids == (3, 4, 6, 7, 10, 11)
+        assert fresh.frame_count == 6
+        # Expiry still treats the merged set as a sorted sequence.
+        fresh.expire_before(5)
+        assert fresh.frame_ids == (6, 7, 10, 11)
+        assert fresh.marked_frame_ids == (6,)
+
+    def test_to_result_caches_until_frames_change(self):
+        state = make_state(self.table, 1, 2)
+        state.add_frame(0, marked=True)
+        first = state.to_result()
+        assert first.object_ids == frozenset({1, 2})
+        assert first.frame_ids == (0,)
+        assert state.to_result() is first  # unchanged span -> cached
+        state.add_frame(1)
+        second = state.to_result()
+        assert second is not first
+        assert second.frame_ids == (0, 1)
+
 
 class TestStateTable:
     def test_get_or_create(self):
         table = StateTable()
-        state, created = table.get_or_create(frozenset({1, 2}))
+        bits = table.interner.intern_ids({1, 2})
+        state, created = table.get_or_create(bits)
         assert created
-        again, created_again = table.get_or_create(frozenset({1, 2}))
+        again, created_again = table.get_or_create(bits)
         assert not created_again
         assert again is state
         assert len(table) == 1
-        assert frozenset({1, 2}) in table
+        assert bits in table
+        assert state.object_ids == frozenset({1, 2})
 
     def test_remove_is_idempotent(self):
         table = StateTable()
-        state, _ = table.get_or_create(frozenset({1}))
+        bits = table.interner.intern_ids({1})
+        state, _ = table.get_or_create(bits)
         table.remove(state)
         table.remove(state)
         assert len(table) == 0
-        assert table.get(frozenset({1})) is None
+        assert table.get(bits) is None
 
     def test_states_snapshot_is_independent(self):
         table = StateTable()
-        table.get_or_create(frozenset({1}))
+        table.get_or_create(table.interner.intern_ids({1}))
         snapshot = table.states()
-        table.get_or_create(frozenset({2}))
+        table.get_or_create(table.interner.intern_ids({2}))
         assert len(snapshot) == 1
         assert len(table.states()) == 2
+
+    def test_live_mask_is_union_of_states(self):
+        table = StateTable()
+        a = table.interner.intern_ids({1, 2})
+        b = table.interner.intern_ids({2, 3})
+        table.get_or_create(a)
+        table.get_or_create(b)
+        assert table.live_mask() == a | b
