@@ -196,8 +196,93 @@ class MCOSGenerator(abc.ABC):
         Safe to call between frames on a long-running stream; returns the
         number of bit positions freed.  See
         :meth:`repro.core.interning.ObjectInterner.compact`.
+
+        The label lookup is pruned alongside: labels are only ever consulted
+        for objects of live states (all interned), so entries for departed
+        ids are dead weight that would otherwise grow with the total number
+        of objects the stream ever produced.
         """
-        return self.interner.compact(self._live_mask())
+        freed = self.interner.compact(self._live_mask())
+        if freed and self._label_lookup:
+            interner = self.interner
+            self._label_lookup = {
+                oid: label
+                for oid, label in self._label_lookup.items()
+                if oid in interner
+            }
+        return freed
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def export_checkpoint(self) -> Dict:
+        """Snapshot the full generator state between frames.
+
+        The snapshot is a JSON-serialisable dict that, imported into a
+        freshly constructed generator of the same class and configuration
+        (:meth:`import_checkpoint`), resumes the stream with byte-identical
+        results.  Performance caches (merge memos, edge memos, decoded-result
+        caches) are deliberately excluded: they rebuild on the fly and never
+        influence results.  Must only be called between frames (never from a
+        ``state_filter`` callback mid-maintenance).
+        """
+        labels = self.config.labels_of_interest
+        return {
+            "method": self.name,
+            "window_size": self.config.window_size,
+            "duration": self.config.duration,
+            "labels_of_interest": sorted(labels) if labels is not None else None,
+            "last_frame_id": self._last_frame_id,
+            "label_lookup": [
+                [oid, label] for oid, label in self._label_lookup.items()
+            ],
+            "stats": self.stats.as_dict(),
+            "interner": self.interner.export_table(),
+            "state": self._export_impl(),
+        }
+
+    def import_checkpoint(self, payload: Dict) -> None:
+        """Restore the generator (in place) from an :meth:`export_checkpoint` dict.
+
+        The receiving generator must have the same method name, window size,
+        duration and label projection as the checkpointed one; anything else
+        would silently change semantics, so a mismatch raises ``ValueError``.
+        (A ``state_filter`` callback cannot be compared and remains the
+        caller's responsibility — the engine layer pins it via its own
+        ``enable_pruning`` config check.)
+        """
+        if payload.get("method") != self.name:
+            raise ValueError(
+                f"checkpoint was taken from method {payload.get('method')!r}, "
+                f"cannot import into {self.name!r}"
+            )
+        if (payload.get("window_size") != self.config.window_size
+                or payload.get("duration") != self.config.duration):
+            raise ValueError(
+                "checkpoint window/duration "
+                f"({payload.get('window_size')}, {payload.get('duration')}) do "
+                f"not match the generator's "
+                f"({self.config.window_size}, {self.config.duration})"
+            )
+        labels = self.config.labels_of_interest
+        own_labels = sorted(labels) if labels is not None else None
+        ckpt_labels = payload.get("labels_of_interest")
+        ckpt_labels = sorted(ckpt_labels) if ckpt_labels is not None else None
+        if ckpt_labels != own_labels:
+            raise ValueError(
+                f"checkpoint label projection {ckpt_labels} does not match "
+                f"the generator's {own_labels}; resuming would project frames "
+                "onto the wrong class set"
+            )
+        self._reset_impl()
+        self.interner.restore_table(payload["interner"])
+        self.stats = GeneratorStats(**payload["stats"])
+        last = payload.get("last_frame_id")
+        self._last_frame_id = int(last) if last is not None else None
+        self._label_lookup = {
+            int(oid): label for oid, label in payload.get("label_lookup", [])
+        }
+        self._import_impl(payload["state"])
 
     # ------------------------------------------------------------------
     # Hooks for subclasses
@@ -217,6 +302,14 @@ class MCOSGenerator(abc.ABC):
     @abc.abstractmethod
     def live_state_count(self) -> int:
         """Number of states currently maintained (for diagnostics/tests)."""
+
+    @abc.abstractmethod
+    def _export_impl(self) -> Dict:
+        """Strategy-specific checkpoint payload (tables, graphs, windows)."""
+
+    @abc.abstractmethod
+    def _import_impl(self, payload: Dict) -> None:
+        """Restore the strategy-specific state from ``_export_impl`` output."""
 
     def _live_mask(self) -> int:
         """Union of every retained mask (overridden by stateful generators)."""

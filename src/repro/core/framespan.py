@@ -476,6 +476,57 @@ class FrameSpan:
             ]
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def export_snapshot(self) -> List[List[int]]:
+        """Snapshot the live runs and marks for checkpointing.
+
+        Returns ``[starts, ends, marked]`` with the expired prefix already
+        dropped.  Revision counters, serials and merge memos are *not*
+        exported: they are pure performance caches whose absence only costs
+        one full re-merge per surviving state pair after a restore.
+        """
+        head = self._head
+        return [
+            list(self._starts[head:]),
+            list(self._ends[head:]),
+            list(self._marked[self._mhead:]),
+        ]
+
+    @classmethod
+    def from_snapshot(cls, snapshot: List[List[int]]) -> "FrameSpan":
+        """Rebuild a span from an :meth:`export_snapshot` payload."""
+        starts, ends, marked = snapshot
+        if len(starts) != len(ends):
+            raise ValueError("malformed span snapshot: run bounds differ in length")
+        span = cls()
+        frame_count = 0
+        previous_end = None
+        for start, end in zip(starts, ends):
+            start, end = int(start), int(end)
+            if end < start or (previous_end is not None and start <= previous_end + 1):
+                raise ValueError(
+                    f"malformed span snapshot: runs not sorted/disjoint at {start}..{end}"
+                )
+            frame_count += end - start + 1
+            previous_end = end
+        span._starts = [int(s) for s in starts]
+        span._ends = [int(e) for e in ends]
+        span.frame_count = frame_count
+        span._marked = [int(m) for m in marked]
+        span.marked_count = len(span._marked)
+        previous_mark = None
+        for mark in span._marked:
+            if previous_mark is not None and mark <= previous_mark:
+                raise ValueError("malformed span snapshot: marks not sorted")
+            if not span.contains(mark):
+                raise ValueError(
+                    f"malformed span snapshot: mark {mark} outside the frame set"
+                )
+            previous_mark = mark
+        return span
+
+    # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
     @property

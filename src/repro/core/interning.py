@@ -128,6 +128,49 @@ class ObjectInterner:
         return len(self._id_by_bit)
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def export_table(self) -> List[Optional[int]]:
+        """Snapshot the bit-position table for checkpointing.
+
+        The returned list is the full ``position -> object id`` table
+        (``None`` marks a freed position); it determines the interner's state
+        completely, so :meth:`restore_table` on a fresh interner reproduces
+        every mask assignment bit for bit.  Used by the streaming runtime's
+        checkpoint/restore path (:mod:`repro.streaming.checkpoint`).
+        """
+        return list(self._id_by_bit)
+
+    def restore_table(self, table: List[Optional[int]]) -> None:
+        """Restore the interner (in place) from an :meth:`export_table` snapshot.
+
+        Any existing content is discarded.  Freed positions are rebuilt as a
+        min-heap; heap pops always return the smallest free position, so the
+        reconstructed interner allocates future bits exactly as the original
+        would have.
+        """
+        id_by_bit: List[Optional[int]] = []
+        bit_by_id: Dict[int, int] = {}
+        free: List[int] = []
+        for position, object_id in enumerate(table):
+            if object_id is None:
+                id_by_bit.append(None)
+                free.append(position)
+            else:
+                object_id = int(object_id)
+                if object_id in bit_by_id:
+                    raise ValueError(
+                        f"object id {object_id} appears at two positions in "
+                        "the interner snapshot"
+                    )
+                id_by_bit.append(object_id)
+                bit_by_id[object_id] = position
+        heapq.heapify(free)
+        self._id_by_bit = id_by_bit
+        self._bit_by_id = bit_by_id
+        self._free = free
+
+    # ------------------------------------------------------------------
     # Recycling
     # ------------------------------------------------------------------
     def release(self, object_id: int) -> None:

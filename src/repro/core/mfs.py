@@ -32,7 +32,7 @@ is a single ``&`` and state merging is O(runs).
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 from repro.core.base import MCOSGenerator
 from repro.core.result import ResultStateSet
@@ -208,3 +208,9 @@ class MarkedFrameSetGenerator(MCOSGenerator):
 
     def _live_mask(self) -> int:
         return self._states.live_mask()
+
+    def _export_impl(self) -> Dict:
+        return {"states": self._states.export_states()}
+
+    def _import_impl(self, payload: Dict) -> None:
+        self._states.import_states(payload["states"])

@@ -169,3 +169,9 @@ class NaiveGenerator(MCOSGenerator):
 
     def _live_mask(self) -> int:
         return self._states.live_mask()
+
+    def _export_impl(self) -> Dict:
+        return {"states": self._states.export_states()}
+
+    def _import_impl(self, payload: Dict) -> None:
+        self._states.import_states(payload["states"])

@@ -103,3 +103,24 @@ class ReferenceGenerator(MCOSGenerator):
 
     def live_state_count(self) -> int:
         return 0
+
+    def _live_mask(self) -> int:
+        """Union mask of every object still inside the window.
+
+        The oracle keeps raw frames rather than states, but interner
+        compaction (and the label pruning layered on it) must still treat
+        the window population as live: every reported MCOS is a subset of
+        these objects.
+        """
+        mask = 0
+        for frame in self._window:
+            mask |= self.interner.intern_ids(frame.object_ids)
+        return mask
+
+    def _export_impl(self) -> Dict:
+        return {"window": [frame.to_record() for frame in self._window]}
+
+    def _import_impl(self, payload: Dict) -> None:
+        self._window = [
+            FrameObservation.from_record(record) for record in payload["window"]
+        ]

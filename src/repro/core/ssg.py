@@ -402,10 +402,8 @@ class StrictStateGraphGenerator(MCOSGenerator):
                     span.append(frame_id)
                 appended += 1
             else:
-                created = False
                 target = by_bits.get(inter)
                 if target is None:
-                    created = True
                     target = State(inter, interner)
                     by_bits[inter] = target
                     stats.states_created += 1
@@ -571,6 +569,85 @@ class StrictStateGraphGenerator(MCOSGenerator):
 
     def _live_mask(self) -> int:
         return self._states.live_mask()
+
+    def _export_impl(self) -> Dict:
+        """Checkpoint the table plus the graph layered on top of it.
+
+        Adjacency is exported as explicit per-state child/parent bit lists
+        (``None`` for states that are not graph nodes, i.e. terminated
+        markers) because dict insertion order steers Property-2 repairs and
+        traversal order — rebuilding adjacency from one side only could
+        permute the other side's order and de-synchronise a restored shard
+        from its uninterrupted twin.
+
+        The edge-reachability memo must be exported too, translated from
+        process-local span serials to state bitmasks: a memoised
+        "reachability satisfied" verdict suppresses future ``_add_edge``
+        calls, so a restored run without it could insert edges the original
+        never would, evolving a differently-shaped (equally correct, but not
+        byte-identical) graph.  Entries whose states are gone are dropped,
+        exactly as ``_prune_edge_memo`` would.
+        """
+        graph = []
+        state_by_serial: Dict[int, State] = {}
+        for state in self._states:
+            state_by_serial[state.span.serial] = state
+            graph.append([
+                list(state.children) if state.children is not None else None,
+                list(state.parents) if state.parents is not None else None,
+            ])
+        edge_memo = sorted(
+            (state_by_serial[a].bits, state_by_serial[b].bits)
+            for a, b in self._edge_memo
+            if a in state_by_serial and b in state_by_serial
+        )
+        return {
+            "states": self._states.export_states(),
+            "graph": graph,
+            "roots": list(self._root_keys),
+            "principals": [
+                [bits, list(frames)] for bits, frames in self._principals.items()
+            ],
+            "previous_results": list(self._previous_results),
+            "edge_memo": [[a, b] for a, b in edge_memo],
+        }
+
+    def _import_impl(self, payload: Dict) -> None:
+        self._states.import_states(payload["states"])
+        by_bits = self._states._by_bits
+
+        def resolve(bits: int) -> State:
+            state = by_bits.get(int(bits))
+            if state is None:
+                raise ValueError(
+                    f"SSG checkpoint references unknown state bitmask {bits}"
+                )
+            return state
+
+        states = self._states.states()
+        graph = payload["graph"]
+        if len(graph) != len(states):
+            raise ValueError(
+                "SSG checkpoint graph does not align with its state table "
+                f"({len(graph)} adjacency entries for {len(states)} states)"
+            )
+        for state, (children, parents) in zip(states, graph):
+            if children is not None:
+                state.children = {int(b): resolve(b) for b in children}
+            if parents is not None:
+                state.parents = {int(b): resolve(b) for b in parents}
+        self._root_keys = {int(b): resolve(b) for b in payload["roots"]}
+        self._principals = {
+            int(bits): [int(f) for f in frames]
+            for bits, frames in payload["principals"]
+        }
+        self._previous_results = {
+            int(b): resolve(b) for b in payload["previous_results"]
+        }
+        self._edge_memo = {
+            (resolve(a).span.serial, resolve(b).span.serial)
+            for a, b in payload.get("edge_memo", [])
+        }
 
     def edges(self) -> List[Tuple[FrozenSet[int], FrozenSet[int]]]:
         """All ``(parent, child)`` edges of the graph, decoded (tests only)."""

@@ -25,7 +25,7 @@ are decoded lazily and only at the reporting boundary (``object_ids``,
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.framespan import FrameSpan
 from repro.core.interning import ObjectInterner
@@ -178,6 +178,29 @@ class State:
         """Return an immutable ``(object_ids, frame_ids)`` snapshot."""
         return (self.object_ids, self.span.frame_ids())
 
+    def export_snapshot(self) -> Dict:
+        """Snapshot the state for checkpointing (bits, span, terminated flag).
+
+        Adjacency (``children``/``parents``) is graph-owned and exported by
+        the SSG generator alongside the table; the visitation stamp and the
+        decoded-result caches are rebuilt lazily and are not exported.
+        """
+        return {
+            "bits": self.bits,
+            "span": self.span.export_snapshot(),
+            "terminated": self.terminated,
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: Dict, interner: Optional[ObjectInterner] = None
+    ) -> "State":
+        """Rebuild a state from an :meth:`export_snapshot` payload."""
+        state = cls(int(snapshot["bits"]), interner)
+        state.span = FrameSpan.from_snapshot(snapshot["span"])
+        state.terminated = bool(snapshot.get("terminated", False))
+        return state
+
     def to_result(self) -> ResultState:
         """Decode the state into an immutable :class:`ResultState`.
 
@@ -271,3 +294,26 @@ class StateTable:
     def clear(self) -> None:
         """Drop every state."""
         self._by_bits.clear()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def export_states(self) -> List[Dict]:
+        """Snapshot every live state, preserving table insertion order.
+
+        Insertion order matters: the generators' report loops iterate the
+        table, so restoring states in a different order would permute result
+        sets and break byte-identical resume.
+        """
+        return [state.export_snapshot() for state in self._by_bits.values()]
+
+    def import_states(self, snapshots: Iterable[Dict]) -> None:
+        """Rebuild the table (in place) from an :meth:`export_states` payload."""
+        self._by_bits.clear()
+        for snapshot in snapshots:
+            state = State.from_snapshot(snapshot, self._interner)
+            if state.bits in self._by_bits:
+                raise ValueError(
+                    f"duplicate state bitmask {state.bits} in table snapshot"
+                )
+            self._by_bits[state.bits] = state

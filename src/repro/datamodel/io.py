@@ -29,13 +29,19 @@ PathLike = Union[str, Path]
 def save_relation_csv(relation: VideoRelation, path: PathLike) -> None:
     """Write a relation as a CSV file with header ``fid,id,class,confidence``.
 
-    Empty frames produce no rows; the total frame count is therefore stored in
-    a ``# num_frames=N`` comment on the first line so that loading restores
-    trailing empty frames as well.
+    Empty frames produce no rows; the total frame count is therefore stored
+    in a ``# num_frames=N first_frame=F`` comment on the first line so that
+    loading restores leading/trailing empty frames as well.  ``first_frame``
+    records the base frame id of offset relations (cut from the middle of a
+    longer feed); readers of the pre-offset format treat a missing field
+    as 0.
     """
     path = Path(path)
     with path.open("w", newline="") as handle:
-        handle.write(f"# num_frames={relation.num_frames}\n")
+        handle.write(
+            f"# num_frames={relation.num_frames} "
+            f"first_frame={relation.first_frame_id}\n"
+        )
         writer = csv.writer(handle)
         writer.writerow(["fid", "id", "class", "confidence"])
         for observation in relation.observations():
@@ -52,19 +58,40 @@ def save_relation_csv(relation: VideoRelation, path: PathLike) -> None:
 def load_relation_csv(path: PathLike, name: str = "") -> VideoRelation:
     """Load a relation previously written by :func:`save_relation_csv`."""
     path = Path(path)
-    num_frames = None
     tuples = []
     with path.open() as handle:
         first = handle.readline().strip()
         if first.startswith("#") and "num_frames=" in first:
-            num_frames = int(first.split("num_frames=")[1])
+            num_frames = int(first.split("num_frames=")[1].split()[0])
+            # Offset relations record their base frame id; files written
+            # before the field existed implicitly start at 0.
+            first_frame = (
+                int(first.split("first_frame=")[1].split()[0])
+                if "first_frame=" in first else 0
+            )
         else:
             raise ValueError(f"{path} is missing the '# num_frames=' header line")
         reader = csv.DictReader(handle)
-        for row in reader:
-            tuples.append((int(row["fid"]), int(row["id"]), row["class"]))
+        for line_number, row in enumerate(reader, start=3):
+            label = row.get("class")
+            if label is None or row.get("fid") is None or row.get("id") is None:
+                # DictReader pads truncated rows with None instead of failing;
+                # a silently label-less observation would corrupt every query
+                # downstream, so reject the file here.
+                raise ValueError(
+                    f"{path}:{line_number}: truncated or incomplete row {row!r}"
+                )
+            fid = int(row["fid"])
+            if not first_frame <= fid < first_frame + num_frames:
+                raise ValueError(
+                    f"{path}:{line_number}: frame id {fid} outside the declared "
+                    f"range [{first_frame}, {first_frame + num_frames}) "
+                    "(truncated header or extra rows)"
+                )
+            tuples.append((fid, int(row["id"]), label))
     return VideoRelation.from_tuples(
-        tuples, num_frames=num_frames, name=name or path.stem
+        tuples, num_frames=num_frames, name=name or path.stem,
+        first_frame_id=first_frame,
     )
 
 

@@ -100,6 +100,28 @@ class FrameObservation:
         """Return a copy of the id -> label mapping."""
         return dict(self._labels)
 
+    def to_record(self) -> list:
+        """Serialise the frame as ``[frame_id, [[object_id, label], ...]]``.
+
+        Objects are listed in ascending id order, so the record (and anything
+        embedding it, such as a streaming checkpoint) is deterministic for a
+        given frame.  Round-trips through :meth:`from_record`.
+        """
+        return [
+            self._frame_id,
+            [[oid, self._labels[oid]] for oid in sorted(self._labels)],
+        ]
+
+    @classmethod
+    def from_record(cls, record: list) -> "FrameObservation":
+        """Rebuild a frame from a :meth:`to_record` payload."""
+        try:
+            frame_id, pairs = record
+            labels = {int(oid): str(label) for oid, label in pairs}
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"malformed frame record: {record!r}") from exc
+        return cls(int(frame_id), labels)
+
     def restricted_to_labels(self, allowed: Optional[Iterable[str]]) -> "FrameObservation":
         """Project the frame onto the given class labels.
 

@@ -42,6 +42,7 @@ class VideoRelation:
         tuples: Iterable[Tuple[int, int, str]],
         num_frames: Optional[int] = None,
         name: str = "video",
+        first_frame_id: int = 0,
     ) -> "VideoRelation":
         """Build a relation from raw ``(fid, id, class)`` tuples.
 
@@ -51,19 +52,37 @@ class VideoRelation:
             Iterable of ``(frame_id, object_id, class_label)`` tuples.  Frame
             ids may appear in any order.
         num_frames:
-            Total number of frames.  Defaults to ``max(fid) + 1``; frames with
-            no tuples become empty frames.
+            Total number of frames.  Defaults to ``max(fid) - first_frame_id
+            + 1``; frames with no tuples become empty frames.
         name:
             Human readable dataset name.
+        first_frame_id:
+            Frame id of the relation's first frame (nonzero for a relation
+            cut from the middle of a longer feed); tuples must not refer to
+            earlier frames.
         """
         by_frame: Dict[int, Dict[int, str]] = {}
-        max_fid = -1
+        max_fid = first_frame_id - 1
         for fid, oid, label in tuples:
+            if fid < first_frame_id:
+                raise ValueError(
+                    f"tuple frame id {fid} precedes first_frame_id {first_frame_id}"
+                )
             by_frame.setdefault(fid, {})[oid] = label
             if fid > max_fid:
                 max_fid = fid
-        total = num_frames if num_frames is not None else max_fid + 1
-        frames = [FrameObservation(fid, by_frame.get(fid, {})) for fid in range(total)]
+        total = num_frames if num_frames is not None else max_fid - first_frame_id + 1
+        if max_fid >= first_frame_id + total:
+            # Materialising only `total` frames would silently drop the
+            # out-of-range observations, so reject the inconsistency instead.
+            raise ValueError(
+                f"tuple frame id {max_fid} outside the declared range "
+                f"[{first_frame_id}, {first_frame_id + total})"
+            )
+        frames = [
+            FrameObservation(fid, by_frame.get(fid, {}))
+            for fid in range(first_frame_id, first_frame_id + total)
+        ]
         return cls(frames, name=name)
 
     @classmethod
@@ -144,7 +163,12 @@ class VideoRelation:
         return iter(self._frames)
 
     def __getitem__(self, frame_id: int) -> FrameObservation:
-        return self._frames[frame_id]
+        """Subscript access by *frame id* (same contract as :meth:`frame`).
+
+        For relations starting at frame 0 this equals positional indexing;
+        for mid-feed cuts the two differ, and the frame-id contract wins.
+        """
+        return self.frame(frame_id)
 
     def tuples(self) -> Iterator[Tuple[int, int, str]]:
         """Yield all ``(fid, id, class)`` tuples of the relation."""

@@ -78,18 +78,23 @@ class WindowView:
 class SlidingWindow:
     """Iterates over a relation producing one :class:`WindowView` per frame.
 
-    The window at frame ``i`` contains frames ``max(0, i - w + 1) .. i`` --
-    i.e. at most ``w`` frames, fewer during warm-up.
+    The window at frame ``i`` contains frames ``max(first, i - w + 1) .. i``
+    (``first`` being the relation's first frame id) -- i.e. at most ``w``
+    frames, fewer during warm-up.
     """
 
     def __init__(self, relation: VideoRelation, window_size: int,
-                 start: int = 0, stop: Optional[int] = None):
+                 start: Optional[int] = None, stop: Optional[int] = None):
+        """``start``/``stop`` are *frame ids* (a half-open range); they
+        default to the relation's full frame-id range, which need not begin
+        at 0 for a relation cut from the middle of a longer feed."""
         if window_size <= 0:
             raise ValueError("window_size must be positive")
         self._relation = relation
         self._window_size = window_size
-        self._start = start
-        self._stop = stop if stop is not None else relation.num_frames
+        base = relation.first_frame_id
+        self._start = start if start is not None else base
+        self._stop = stop if stop is not None else base + relation.num_frames
 
     @property
     def window_size(self) -> int:
@@ -98,7 +103,8 @@ class SlidingWindow:
 
     def view_at(self, frame_id: int) -> WindowView:
         """Return the window view whose most recent frame is ``frame_id``."""
-        lo = max(0, frame_id - self._window_size + 1)
+        lo = max(self._relation.first_frame_id,
+                 frame_id - self._window_size + 1)
         frames = [self._relation.frame(fid) for fid in range(lo, frame_id + 1)]
         return WindowView(frames, self._window_size)
 

@@ -79,6 +79,10 @@ class TemporalVideoQueryEngine:
         self._evaluation_seconds = 0.0
         self._frames_processed = 0
         self._result_states = 0
+        #: Prune the engine's label map every this many frames (aligned with
+        #: the generators' interner-compaction cadence), keeping long-running
+        #: memory bounded by the window population.
+        self._prune_labels_every = 4 * self.config.window_size
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -124,7 +128,25 @@ class TemporalVideoQueryEngine:
 
         self._frames_processed += 1
         self._result_states += len(results)
+        if self._frames_processed % self._prune_labels_every == 0:
+            self._prune_labels()
         return matches
+
+    def _prune_labels(self) -> None:
+        """Drop labels of objects no live state references.
+
+        Evaluation only ever looks up labels of reported states' objects,
+        which are all interned — so after compacting the interner to the
+        live population, any label outside it can never be needed again.
+        Without this, ``_labels`` (and hence checkpoint size) would grow
+        with every distinct tracker id the feed ever produced, the one
+        structure not bounded by the window.
+        """
+        self.generator.compact_interner()
+        interner = self.interner
+        self._labels = {
+            oid: label for oid, label in self._labels.items() if oid in interner
+        }
 
     def stream(self, relation: VideoRelation) -> Iterator[List[QueryMatch]]:
         """Yield the per-frame query matches for an entire relation."""
@@ -145,6 +167,96 @@ class TemporalVideoQueryEngine:
             generator_stats=self.generator.stats,
             result_states=self._result_states,
         )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _config_dict(self) -> Dict:
+        """The semantics-affecting config fields, as stored in checkpoints.
+
+        Single source of truth for :meth:`checkpoint`, :meth:`restore`'s
+        validation and :meth:`from_checkpoint`'s parsing: a future config
+        field added here is automatically serialised *and* validated.
+        """
+        return {
+            "method": self.config.method.value,
+            "window_size": self.config.window_size,
+            "duration": self.config.duration,
+            "enable_pruning": self.config.enable_pruning,
+            "restrict_labels": self.config.restrict_labels,
+        }
+
+    def checkpoint(self) -> Dict:
+        """Snapshot the engine between frames (JSON-serialisable).
+
+        The snapshot is self-contained: it embeds the configuration and the
+        registered queries, so :meth:`from_checkpoint` can resume the stream
+        byte-identically in a fresh process.  Only call between frames.
+        """
+        return {
+            "config": self._config_dict(),
+            "queries": [query.to_dict() for query in self._queries],
+            "labels": [[oid, label] for oid, label in self._labels.items()],
+            "counters": {
+                "mcos_seconds": self._mcos_seconds,
+                "evaluation_seconds": self._evaluation_seconds,
+                "frames_processed": self._frames_processed,
+                "result_states": self._result_states,
+            },
+            "generator": self.generator.export_checkpoint(),
+        }
+
+    def restore(self, payload: Dict) -> None:
+        """Restore labels, counters and generator state from a checkpoint.
+
+        The engine must be configured identically to the snapshot
+        (:meth:`from_checkpoint` guarantees this; direct callers are checked
+        here) — a silent config mismatch would change semantics mid-stream.
+        """
+        config = payload.get("config", {})
+        own = self._config_dict()
+        mismatched = {
+            key: (config.get(key), value)
+            for key, value in own.items()
+            if config.get(key) != value
+        }
+        if mismatched:
+            raise ValueError(
+                f"checkpoint config does not match the engine's: {mismatched}"
+            )
+        own_queries = [query.to_dict() for query in self._queries]
+        if payload.get("queries") != own_queries:
+            raise ValueError(
+                "checkpoint queries do not match the engine's registered "
+                "queries; resuming would evaluate the wrong workload"
+            )
+        self._labels = {int(oid): label for oid, label in payload["labels"]}
+        counters = payload["counters"]
+        self._mcos_seconds = float(counters["mcos_seconds"])
+        self._evaluation_seconds = float(counters["evaluation_seconds"])
+        self._frames_processed = int(counters["frames_processed"])
+        self._result_states = int(counters["result_states"])
+        self.generator.import_checkpoint(payload["generator"])
+
+    @classmethod
+    def from_checkpoint(cls, payload: Dict) -> "TemporalVideoQueryEngine":
+        """Rebuild an engine from a :meth:`checkpoint` snapshot.
+
+        Queries are re-registered in their checkpointed order (ids are stored
+        in the snapshot, so assignments cannot drift), then the mutable state
+        is restored on top.
+        """
+        config = EngineConfig(
+            method=MCOSMethod(payload["config"]["method"]),
+            window_size=int(payload["config"]["window_size"]),
+            duration=int(payload["config"]["duration"]),
+            enable_pruning=bool(payload["config"]["enable_pruning"]),
+            restrict_labels=bool(payload["config"]["restrict_labels"]),
+        )
+        queries = [CNFQuery.from_dict(entry) for entry in payload["queries"]]
+        engine = cls(queries, config)
+        engine.restore(payload)
+        return engine
 
     def reset(self) -> None:
         """Reset the engine to process another relation from scratch.

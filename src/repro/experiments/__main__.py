@@ -41,10 +41,18 @@ def main(argv=None) -> int:
                         help="subset of experiments (e.g. table6 figure9)")
     parser.add_argument("--datasets", nargs="*", default=None,
                         help="restrict to these datasets (e.g. V1 M2)")
-    parser.add_argument("--bench", choices=["kernel"], default=None,
+    parser.add_argument("--bench", choices=["kernel", "streaming"], default=None,
                         help="run a micro-benchmark instead of the figures "
                              "(kernel: MCOS generation frames/sec, writes "
-                             "BENCH_kernel.json)")
+                             "BENCH_kernel.json; streaming: StreamRouter vs "
+                             "sequential single-engine runs over simulated "
+                             "camera feeds, writes BENCH_streaming.json)")
+    parser.add_argument("--feeds", type=int, default=None,
+                        help="number of simulated camera feeds for "
+                             "--bench streaming (default 8)")
+    parser.add_argument("--frames", type=int, default=None,
+                        help="frames per simulated feed for --bench streaming "
+                             "(default 400)")
     args = parser.parse_args(argv)
 
     if args.bench == "kernel":
@@ -54,6 +62,18 @@ def main(argv=None) -> int:
         report = run_kernel_benchmark(
             scale=args.scale,
             datasets=args.datasets or list(DEFAULT_DATASETS),
+        )
+        print(render_report(report))
+        return 0
+
+    if args.bench == "streaming":
+        from repro.experiments.streaming_bench import (
+            DEFAULT_FEEDS, DEFAULT_FRAMES, render_report,
+            run_streaming_benchmark,
+        )
+        report = run_streaming_benchmark(
+            num_feeds=args.feeds if args.feeds is not None else DEFAULT_FEEDS,
+            frames_per_feed=args.frames if args.frames is not None else DEFAULT_FRAMES,
         )
         print(render_report(report))
         return 0

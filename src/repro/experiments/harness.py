@@ -94,27 +94,37 @@ def time_mcos_generation(
     window_size: int,
     duration: int,
     labels_of_interest: Optional[Iterable[str]] = None,
+    repeats: int = 1,
 ) -> MethodTiming:
-    """Time one MCOS generation strategy over a relation."""
-    generator = method.generator_class(
-        window_size=window_size,
-        duration=duration,
-        labels_of_interest=labels_of_interest,
-    )
-    start = time.perf_counter()
-    result_states = 0
-    for result in generator.process_relation(relation):
-        result_states += len(result)
-    seconds = time.perf_counter() - start
-    return MethodTiming(
-        method=method.value,
-        dataset=relation.name,
-        parameter="",
-        value=None,
-        seconds=seconds,
-        result_states=result_states,
-        stats=generator.stats,
-    )
+    """Time one MCOS generation strategy over a relation.
+
+    ``repeats > 1`` keeps the best of several runs on fresh generators (the
+    machine only adds noise, never speed) — use it for experiments whose
+    assertions compare measurements against each other.
+    """
+    best: Optional[MethodTiming] = None
+    for _ in range(max(1, repeats)):
+        generator = method.generator_class(
+            window_size=window_size,
+            duration=duration,
+            labels_of_interest=labels_of_interest,
+        )
+        start = time.perf_counter()
+        result_states = 0
+        for result in generator.process_relation(relation):
+            result_states += len(result)
+        seconds = time.perf_counter() - start
+        if best is None or seconds < best.seconds:
+            best = MethodTiming(
+                method=method.value,
+                dataset=relation.name,
+                parameter="",
+                value=None,
+                seconds=seconds,
+                result_states=result_states,
+                stats=generator.stats,
+            )
+    return best
 
 
 def run_mcos_generation(
@@ -137,25 +147,38 @@ def run_query_evaluation(
     window_size: int,
     duration: int,
     enable_pruning: bool = False,
+    repeats: int = 1,
 ) -> MethodTiming:
-    """Time the full engine (MCOS generation + query evaluation)."""
+    """Time the full engine (MCOS generation + query evaluation).
+
+    With ``repeats > 1`` the measurement is repeated on a fresh engine and
+    the best run is kept — the interpreter and machine only add noise, never
+    speed (same methodology as the kernel benchmark).  Experiments whose
+    assertions compare method variants against each other should repeat:
+    variants are timed sequentially, so a single-shot measurement hands the
+    later ones a progressively noisier process.
+    """
     config = EngineConfig(
         method=method,
         window_size=window_size,
         duration=duration,
         enable_pruning=enable_pruning,
     )
-    engine = TemporalVideoQueryEngine(queries, config)
-    start = time.perf_counter()
-    run = engine.run(relation)
-    seconds = time.perf_counter() - start
-    return MethodTiming(
-        method=config.method_label,
-        dataset=relation.name,
-        parameter="",
-        value=None,
-        seconds=seconds,
-        result_states=run.result_states,
-        matches=len(run.matches),
-        stats=run.generator_stats,
-    )
+    best: Optional[MethodTiming] = None
+    for _ in range(max(1, repeats)):
+        engine = TemporalVideoQueryEngine(queries, config)
+        start = time.perf_counter()
+        run = engine.run(relation)
+        seconds = time.perf_counter() - start
+        if best is None or seconds < best.seconds:
+            best = MethodTiming(
+                method=config.method_label,
+                dataset=relation.name,
+                parameter="",
+                value=None,
+                seconds=seconds,
+                result_states=run.result_states,
+                matches=len(run.matches),
+                stats=run.generator_stats,
+            )
+    return best

@@ -1,0 +1,247 @@
+"""Streaming runtime benchmark: StreamRouter vs sequential single-engine runs.
+
+Simulates ``N`` camera feeds answering one mixed query workload whose queries
+span several ``(window, duration)`` groups and compares two ways of serving
+it, writing a ``BENCH_streaming.json`` report:
+
+* **baseline** — the workflow without the router: every query runs in its own
+  engine over every feed, sequentially.  This is what
+  :class:`~repro.engine.config.EngineConfig`'s "queries with differing
+  windows should be run in separate engine instances" caveat leaves a user
+  with, since grouping by hand is exactly what the router automates;
+* **router** — one :class:`~repro.streaming.router.StreamRouter` ingesting
+  the interleaved feeds.  Queries sharing a window group also share one MCOS
+  generation pass per stream, so the state-maintenance work drops from one
+  pass per (feed, query) to one per (feed, group).
+
+Both sides answer the same workload over the same frames and are verified to
+produce identical matches before any number is reported.  Label projection
+(``restrict_labels``) is disabled on every configuration: a single-query
+engine would otherwise project frames onto *its* query's classes while a
+grouped engine projects onto the group union, making per-query answers
+legitimately differ — with projection off, per-query matches are invariant
+to grouping and the verification is exact.  (The simulated feeds only emit
+the four classes the workload queries anyway, so projection would be a
+no-op here.)  The headline
+``aggregate_frames_per_sec`` is *source* frames served per second — feeds
+times frames per feed, divided by wall seconds — i.e. how fast each
+architecture drains the same fleet of camera feeds.
+
+A ``grouped_baseline`` (one engine per (feed, group), sequential, no router
+machinery) is reported as well: it isolates how much of the win is the
+auto-grouping (all of it) versus router overhead (batching and the reorder
+buffer cost a few percent, which the comparison makes visible).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.config import EngineConfig, MCOSMethod
+from repro.engine.engine import TemporalVideoQueryEngine
+from repro.streaming.router import StreamRouter, group_queries_by_window
+from repro.workloads.streams import (
+    interleave_feeds,
+    multi_window_workload,
+    simulated_feeds,
+)
+
+#: Window groups of the default workload (scaled paper-style parameters).
+DEFAULT_GROUPS: Sequence[Tuple[int, int]] = ((24, 16), (36, 24), (48, 32))
+
+#: Queries per window group in the default workload.
+DEFAULT_QUERIES_PER_GROUP = 4
+
+#: Simulated camera feeds (the acceptance configuration).
+DEFAULT_FEEDS = 8
+
+#: Frames per simulated feed.
+DEFAULT_FRAMES = 400
+
+
+def run_streaming_benchmark(
+    num_feeds: int = DEFAULT_FEEDS,
+    frames_per_feed: int = DEFAULT_FRAMES,
+    groups: Sequence[Tuple[int, int]] = DEFAULT_GROUPS,
+    queries_per_group: int = DEFAULT_QUERIES_PER_GROUP,
+    method: MCOSMethod = MCOSMethod.SSG,
+    batch_size: int = 16,
+    seed: int = 7,
+    output_path: Optional[str] = "BENCH_streaming.json",
+) -> Dict:
+    """Run the comparison and return (and optionally write) the report."""
+    if num_feeds <= 0 or frames_per_feed <= 0:
+        raise ValueError(
+            f"num_feeds and frames_per_feed must be positive, got "
+            f"{num_feeds} and {frames_per_feed}"
+        )
+    feeds = simulated_feeds(num_feeds, seed=seed, num_frames=frames_per_feed)
+    # Global query ids up-front so baseline and router matches carry the same
+    # query_id and can be compared verbatim.
+    queries = [
+        query.with_id(index)
+        for index, query in enumerate(
+            multi_window_workload(
+                list(groups), queries_per_group=queries_per_group, seed=seed
+            )
+        )
+    ]
+    total_frames = sum(relation.num_frames for relation in feeds.values())
+
+    # --- baseline: one engine per (feed, query), sequential ---------------
+    baseline_matches: Dict[Tuple[str, int], list] = {}
+    start = time.perf_counter()
+    for stream_id, relation in feeds.items():
+        for query in queries:
+            engine = TemporalVideoQueryEngine(
+                [query],
+                EngineConfig(
+                    method=method,
+                    window_size=query.window,
+                    duration=query.duration,
+                    restrict_labels=False,
+                ),
+            )
+            run = engine.run(relation)
+            baseline_matches[(stream_id, query.query_id)] = run.matches
+    baseline_seconds = time.perf_counter() - start
+
+    # --- grouped baseline: one engine per (feed, window group) ------------
+    grouped = group_queries_by_window(queries)
+    grouped_matches: Dict[str, List] = {stream_id: [] for stream_id in feeds}
+    start = time.perf_counter()
+    for stream_id, relation in feeds.items():
+        for (window, duration), group_queries in grouped.items():
+            engine = TemporalVideoQueryEngine(
+                group_queries,
+                EngineConfig(
+                    method=method,
+                    window_size=window,
+                    duration=duration,
+                    restrict_labels=False,
+                ),
+            )
+            grouped_matches[stream_id].extend(engine.run(relation).matches)
+    grouped_seconds = time.perf_counter() - start
+
+    # --- router: auto-grouped shards over the interleaved feeds -----------
+    router = StreamRouter(
+        queries, method=method, batch_size=batch_size, restrict_labels=False
+    )
+    events = list(interleave_feeds(feeds))
+    start = time.perf_counter()
+    router.route_many(events)
+    router.flush()
+    router_seconds = time.perf_counter() - start
+
+    _verify_equivalence(router, feeds, baseline_matches, grouped_matches)
+
+    def throughput(seconds: float) -> float:
+        return round(total_frames / seconds, 2) if seconds else 0.0
+
+    router_stats = router.stats()
+    report: Dict = {
+        "benchmark": "streaming",
+        "method": method.value,
+        "feeds": num_feeds,
+        "frames_per_feed": frames_per_feed,
+        "total_source_frames": total_frames,
+        "queries": len(queries),
+        "window_groups": len(grouped),
+        "batch_size": batch_size,
+        "seed": seed,
+        "baseline": {
+            "description": "one engine per (feed, query), sequential",
+            "engine_runs": num_feeds * len(queries),
+            "seconds": round(baseline_seconds, 5),
+            "aggregate_frames_per_sec": throughput(baseline_seconds),
+        },
+        "grouped_baseline": {
+            "description": "one engine per (feed, window group), sequential",
+            "engine_runs": num_feeds * len(grouped),
+            "seconds": round(grouped_seconds, 5),
+            "aggregate_frames_per_sec": throughput(grouped_seconds),
+        },
+        "router": {
+            "description": "StreamRouter, auto-grouped per-(stream, group) shards",
+            "shards": router_stats["shards"],
+            "seconds": round(router_seconds, 5),
+            "aggregate_frames_per_sec": throughput(router_seconds),
+            "ingest_totals": router_stats["totals"],
+        },
+        "speedup_vs_baseline": round(baseline_seconds / router_seconds, 2)
+        if router_seconds else 0.0,
+        "speedup_vs_grouped_baseline": round(grouped_seconds / router_seconds, 2)
+        if router_seconds else 0.0,
+        "results_verified_identical": True,
+    }
+
+    if output_path:
+        with open(output_path, "w") as handle:
+            json.dump(report, handle, indent=2)
+        report["__written_to__"] = os.path.abspath(output_path)
+    return report
+
+
+def _verify_equivalence(
+    router: StreamRouter,
+    feeds: Dict,
+    baseline_matches: Dict,
+    grouped_matches: Dict,
+) -> None:
+    """Assert all three configurations answered the workload identically.
+
+    Matches are compared per (stream, query) against the dedicated
+    single-query engines: both the router's and the grouped baseline's
+    matches are split by query id and must equal the per-query engine's
+    list.  A silent divergence here would make the speedups meaningless, so
+    this raises instead of reporting.
+    """
+    def split_by_query(matches) -> Dict[int, List]:
+        per_query: Dict[int, List] = {
+            query.query_id: [] for query in router.queries
+        }
+        for match in matches:
+            per_query[match.query_id].append(match)
+        return per_query
+
+    for stream_id in feeds:
+        contenders = {
+            "router": split_by_query(router.matches_for(stream_id)),
+            "grouped baseline": split_by_query(grouped_matches[stream_id]),
+        }
+        for query in router.queries:
+            expected = baseline_matches[(stream_id, query.query_id)]
+            for label, per_query in contenders.items():
+                actual = per_query[query.query_id]
+                if actual != expected:
+                    raise AssertionError(
+                        f"{label} diverged from the dedicated engine on "
+                        f"stream {stream_id!r}, query {query.query_id} "
+                        f"({len(actual)} vs {len(expected)} matches)"
+                    )
+
+
+def render_report(report: Dict) -> str:
+    """Plain-text table of the benchmark report."""
+    lines = [
+        f"streaming benchmark  method={report['method']}  "
+        f"feeds={report['feeds']}x{report['frames_per_feed']}f  "
+        f"queries={report['queries']} in {report['window_groups']} window groups",
+        f"{'configuration':34s} {'engines':>8s} {'seconds':>9s} {'frames/s':>10s}",
+    ]
+    for key in ("baseline", "grouped_baseline", "router"):
+        entry = report[key]
+        engines = entry.get("engine_runs", entry.get("shards", 0))
+        lines.append(
+            f"{key:34s} {engines:8d} {entry['seconds']:9.3f} "
+            f"{entry['aggregate_frames_per_sec']:10.1f}"
+        )
+    lines.append(
+        f"speedup vs per-query baseline: {report['speedup_vs_baseline']}x   "
+        f"vs grouped baseline: {report['speedup_vs_grouped_baseline']}x"
+    )
+    return "\n".join(lines)

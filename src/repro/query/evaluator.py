@@ -30,6 +30,38 @@ class QueryMatch:
         """Per-class counts of the matching MCOS as a dictionary."""
         return dict(self.class_counts)
 
+    def to_record(self) -> list:
+        """Serialise the match as a deterministic JSON-friendly list.
+
+        Used by the streaming checkpoint format to carry produced-but-not-
+        yet-consumed matches across a shard hand-off.  Round-trips through
+        :meth:`from_record`.
+        """
+        return [
+            self.query_id,
+            self.frame_id,
+            sorted(self.object_ids),
+            list(self.frame_ids),
+            [[label, count] for label, count in self.class_counts],
+        ]
+
+    @classmethod
+    def from_record(cls, record: list) -> "QueryMatch":
+        """Rebuild a match from a :meth:`to_record` payload."""
+        try:
+            query_id, frame_id, object_ids, frame_ids, class_counts = record
+            return cls(
+                query_id=int(query_id),
+                frame_id=int(frame_id),
+                object_ids=frozenset(int(oid) for oid in object_ids),
+                frame_ids=tuple(int(fid) for fid in frame_ids),
+                class_counts=tuple(
+                    (str(label), int(count)) for label, count in class_counts
+                ),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"malformed match record: {record!r}") from exc
+
 
 @dataclass
 class EvaluationStats:

@@ -169,6 +169,36 @@ class CNFQuery:
             disjunctions.append(Disjunction(conditions))
         return cls(tuple(disjunctions), window=window, duration=duration, name=name)
 
+    def to_dict(self) -> Dict:
+        """Serialise the query as a JSON-friendly dict (see :meth:`from_dict`).
+
+        Used by the streaming checkpoint format so that a shard snapshot is
+        self-contained: a fresh process can rebuild the engine without access
+        to the original query objects.
+        """
+        return {
+            "groups": [
+                [[c.label, c.comparison.value, c.threshold] for c in d.conditions]
+                for d in self.disjunctions
+            ],
+            "window": self.window,
+            "duration": self.duration,
+            "query_id": self.query_id,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CNFQuery":
+        """Rebuild a query from a :meth:`to_dict` payload."""
+        query = cls.from_condition_lists(
+            payload["groups"],
+            window=int(payload["window"]),
+            duration=int(payload["duration"]),
+            name=payload.get("name", ""),
+        )
+        query_id = payload.get("query_id")
+        return query.with_id(int(query_id)) if query_id is not None else query
+
     def with_id(self, query_id: int) -> "CNFQuery":
         """Return a copy of the query carrying the given identifier."""
         return CNFQuery(

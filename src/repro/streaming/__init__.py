@@ -1,0 +1,31 @@
+"""Sharded multi-stream streaming runtime with checkpoint/restore.
+
+Serves many concurrent video feeds on top of the single-relation engine:
+a :class:`~repro.streaming.router.StreamRouter` auto-groups queries by their
+``(window, duration)`` parameters and partitions incoming frames across
+per-(stream, window-group) :class:`~repro.streaming.shard.StreamShard`\\ s,
+each wrapping one :class:`~repro.engine.engine.TemporalVideoQueryEngine`.
+Shards ingest in batches, tolerate late/out-of-order frames up to a
+watermark, expose ingest statistics, and snapshot/restore their full state
+through the versioned checkpoint format of
+:mod:`repro.streaming.checkpoint`.
+"""
+
+from repro.streaming.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    CheckpointError,
+)
+from repro.streaming.router import StreamRouter, group_queries_by_window
+from repro.streaming.shard import ShardKey, ShardStats, StreamShard
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "ShardKey",
+    "ShardStats",
+    "StreamShard",
+    "StreamRouter",
+    "group_queries_by_window",
+]

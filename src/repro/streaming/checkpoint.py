@@ -1,0 +1,128 @@
+"""Versioned checkpoint envelope for the streaming runtime.
+
+A checkpoint is a JSON document wrapping one component snapshot::
+
+    {
+      "format": "repro-streaming-checkpoint",
+      "version": 1,
+      "kind": "shard" | "router" | "engine" | "generator",
+      "payload": { ... }
+    }
+
+The payload is produced by the component's own ``checkpoint()`` /
+``export_checkpoint()`` method (shards and routers here; engines in
+:mod:`repro.engine.engine`; generators in :mod:`repro.core.base`).  JSON was
+chosen over pickle deliberately: the bytes are inspectable, diffable,
+process- and version-independent, and loading one can never execute code.
+
+Determinism
+-----------
+Serialisation preserves every insertion order the runtime depends on (state
+tables, SSG adjacency, principal lists), and ``to_bytes`` is canonical — the
+same component state always produces the same bytes — so checkpoints can be
+content-addressed and compared directly in tests.
+
+Compatibility
+-------------
+``version`` is bumped whenever the payload layout changes incompatibly.
+Loading rejects unknown formats and future versions instead of guessing;
+older readers therefore fail loudly rather than resuming a shard with
+half-understood state.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+PathLike = Union[str, Path]
+
+#: Identifies the envelope; never changes.
+CHECKPOINT_FORMAT = "repro-streaming-checkpoint"
+
+#: Bumped on every incompatible payload layout change.
+CHECKPOINT_VERSION = 1
+
+#: Component kinds a checkpoint may wrap.
+KNOWN_KINDS = ("shard", "router", "engine", "generator")
+
+
+class CheckpointError(ValueError):
+    """Raised when a checkpoint cannot be parsed, validated or applied."""
+
+
+def wrap(kind: str, payload: Dict) -> Dict:
+    """Wrap a component snapshot in the versioned envelope."""
+    if kind not in KNOWN_KINDS:
+        raise CheckpointError(f"unknown checkpoint kind {kind!r}")
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "kind": kind,
+        "payload": payload,
+    }
+
+
+def unwrap(document: Dict, expect_kind: Optional[str] = None) -> Dict:
+    """Validate the envelope and return the inner payload.
+
+    Rejects foreign documents, future versions, and — when ``expect_kind`` is
+    given — snapshots of the wrong component kind.
+    """
+    if not isinstance(document, dict):
+        raise CheckpointError(
+            f"checkpoint must be a JSON object, got {type(document).__name__}"
+        )
+    if document.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"not a streaming checkpoint (format={document.get('format')!r})"
+        )
+    version = document.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {version!r} "
+            f"(this runtime reads version {CHECKPOINT_VERSION})"
+        )
+    kind = document.get("kind")
+    if kind not in KNOWN_KINDS:
+        raise CheckpointError(f"unknown checkpoint kind {kind!r}")
+    if expect_kind is not None and kind != expect_kind:
+        raise CheckpointError(
+            f"expected a {expect_kind!r} checkpoint, got {kind!r}"
+        )
+    payload = document.get("payload")
+    if not isinstance(payload, dict):
+        raise CheckpointError("checkpoint payload must be a JSON object")
+    return payload
+
+
+def to_bytes(kind: str, payload: Dict) -> bytes:
+    """Serialise a snapshot to canonical UTF-8 JSON bytes.
+
+    Compact separators and no key sorting: insertion order *is* part of the
+    state (see the module docstring), so the bytes are canonical for a given
+    component state.
+    """
+    return json.dumps(
+        wrap(kind, payload), separators=(",", ":"), ensure_ascii=True
+    ).encode("ascii")
+
+
+def from_bytes(data: bytes, expect_kind: Optional[str] = None) -> Dict:
+    """Parse checkpoint bytes back into the inner payload."""
+    try:
+        document = json.loads(data)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CheckpointError(f"checkpoint is not valid JSON: {exc}") from exc
+    return unwrap(document, expect_kind)
+
+
+def save(path: PathLike, kind: str, payload: Dict) -> None:
+    """Write a checkpoint file (canonical bytes, see :func:`to_bytes`)."""
+    Path(path).write_bytes(to_bytes(kind, payload))
+
+
+def load(path: PathLike, expect_kind: Optional[str] = None) -> Dict:
+    """Read and validate a checkpoint file."""
+    return from_bytes(Path(path).read_bytes(), expect_kind)

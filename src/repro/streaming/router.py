@@ -1,0 +1,376 @@
+"""Routing incoming frames across per-(stream, window-group) shards.
+
+The paper's engine evaluates one query group over one relation; the
+:class:`StreamRouter` is the runtime layer that serves *many concurrent video
+feeds* and *heterogeneous query workloads* on top of it:
+
+* queries are **auto-grouped** by their ``(window, duration)`` parameters —
+  the grouping the engine requires but previously had to be done by hand
+  ("queries with differing windows should be run in separate engine
+  instances", :class:`~repro.engine.config.EngineConfig`).  All queries of a
+  group share one MCOS generation pass per stream instead of one per query;
+* each ``(stream, group)`` pair gets its own :class:`StreamShard`, created
+  lazily on the stream's first frame, so per-stream state is isolated,
+  bounded by that stream's window, and independently checkpointable;
+* shards can be **detached** (checkpointed and removed) and **adopted**
+  elsewhere, which is how streams are rebalanced across processes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.datamodel.observation import FrameObservation
+from repro.engine.config import MCOSMethod
+from repro.query.evaluator import QueryMatch
+from repro.query.model import CNFQuery
+from repro.streaming.checkpoint import CheckpointError, from_bytes, to_bytes
+from repro.streaming.shard import ShardKey, StreamShard
+
+#: A window group: the ``(window, duration)`` pair shards are keyed by.
+GroupKey = Tuple[int, int]
+
+
+def group_queries_by_window(
+    queries: Iterable[CNFQuery],
+) -> Dict[GroupKey, List[CNFQuery]]:
+    """Partition queries into window groups, preserving registration order.
+
+    Group order follows the first query of each group, and queries keep their
+    relative order within a group, so shard engines assign ids and report
+    matches deterministically.
+    """
+    groups: Dict[GroupKey, List[CNFQuery]] = {}
+    for query in queries:
+        groups.setdefault((query.window, query.duration), []).append(query)
+    return groups
+
+
+class StreamRouter:
+    """Partitions frames of many streams across per-(stream, group) shards."""
+
+    def __init__(
+        self,
+        queries: Iterable[CNFQuery],
+        method: MCOSMethod = MCOSMethod.SSG,
+        batch_size: int = 8,
+        watermark: int = 0,
+        enable_pruning: bool = False,
+        restrict_labels: bool = True,
+        retain_matches: bool = True,
+    ):
+        queries = list(queries)
+        if not queries:
+            raise ValueError("the router needs at least one query")
+        self.method = MCOSMethod(method)
+        self.batch_size = batch_size
+        self.watermark = watermark
+        self.enable_pruning = enable_pruning
+        self.restrict_labels = restrict_labels
+        self.retain_matches = retain_matches
+        #: Registered queries with router-global ids (assigned here so that a
+        #: match's ``query_id`` means the same thing on every shard).
+        self.queries: List[CNFQuery] = self._assign_ids(queries)
+        self._groups: Dict[GroupKey, List[CNFQuery]] = group_queries_by_window(
+            self.queries
+        )
+        self._shards: Dict[Tuple[str, GroupKey], StreamShard] = {}
+        #: Streams handed off via :meth:`detach`, with the window groups
+        #: still awaiting adoption.  Routing to one raises instead of
+        #: silently resurrecting an empty shard that would fork the stream's
+        #: state; the tombstone lifts only once :meth:`adopt` has restored
+        #: every detached group (a partially-adopted stream is still forked).
+        self._detached: Dict[str, List[GroupKey]] = {}
+
+    @staticmethod
+    def _assign_ids(queries: Sequence[CNFQuery]) -> List[CNFQuery]:
+        """Give every query a unique id, keeping any pre-assigned ones."""
+        used = {q.query_id for q in queries if q.query_id is not None}
+        if len(used) != sum(1 for q in queries if q.query_id is not None):
+            raise ValueError("queries carry duplicate pre-assigned ids")
+        next_id = 0
+        assigned: List[CNFQuery] = []
+        for query in queries:
+            if query.query_id is None:
+                while next_id in used:
+                    next_id += 1
+                used.add(next_id)
+                query = query.with_id(next_id)
+            assigned.append(query)
+        return assigned
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def group_keys(self) -> List[GroupKey]:
+        """The window groups the registered queries fall into."""
+        return list(self._groups)
+
+    def queries_of_group(self, group: GroupKey) -> List[CNFQuery]:
+        """The queries of one window group, in registration order."""
+        return list(self._groups[group])
+
+    def stream_ids(self) -> List[str]:
+        """Streams that have routed at least one frame, first-seen order."""
+        seen: Dict[str, None] = {}
+        for stream_id, _ in self._shards:
+            seen.setdefault(stream_id, None)
+        return list(seen)
+
+    def shards(self) -> Dict[Tuple[str, GroupKey], StreamShard]:
+        """Live shards keyed by ``(stream_id, (window, duration))``."""
+        return dict(self._shards)
+
+    def shard_for(self, stream_id: str, group: Optional[GroupKey] = None) -> StreamShard:
+        """Return (creating if necessary) the shard of a stream and group.
+
+        ``group`` may be omitted when the workload has a single window group.
+        """
+        if group is None:
+            if len(self._groups) != 1:
+                raise ValueError(
+                    "the workload has several window groups; pass group="
+                    f"{self.group_keys}"
+                )
+            group = self.group_keys[0]
+        elif group not in self._groups:
+            raise KeyError(f"no queries registered for window group {group}")
+        if stream_id in self._detached:
+            raise ValueError(
+                f"stream {stream_id!r} was detached from this router; a new "
+                "shard here would fork its state (adopt the checkpoint to "
+                "resume it)"
+            )
+        shard = self._shards.get((stream_id, group))
+        if shard is None:
+            window, duration = group
+            shard = StreamShard(
+                ShardKey(stream_id=stream_id, window=window, duration=duration),
+                self._groups[group],
+                method=self.method,
+                batch_size=self.batch_size,
+                watermark=self.watermark,
+                enable_pruning=self.enable_pruning,
+                restrict_labels=self.restrict_labels,
+                retain_matches=self.retain_matches,
+            )
+            self._shards[(stream_id, group)] = shard
+        return shard
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, stream_id: str, frame: FrameObservation) -> List[QueryMatch]:
+        """Route one frame of one stream to all of its group shards.
+
+        Returns the matches produced by this call (across every group the
+        stream's queries fall into).
+        """
+        matches: List[QueryMatch] = []
+        for group in self._groups:
+            matches.extend(self.shard_for(stream_id, group).offer(frame))
+        return matches
+
+    def route_many(
+        self, events: Iterable[Tuple[str, FrameObservation]]
+    ) -> List[QueryMatch]:
+        """Route a ``(stream_id, frame)`` event sequence; returns all matches."""
+        matches: List[QueryMatch] = []
+        for stream_id, frame in events:
+            matches.extend(self.route(stream_id, frame))
+        return matches
+
+    def flush(self) -> List[QueryMatch]:
+        """Flush every shard's reorder buffer (end of stream / drain point)."""
+        matches: List[QueryMatch] = []
+        for shard in self._shards.values():
+            matches.extend(shard.flush())
+        return matches
+
+    def matches_for(self, stream_id: str) -> List[QueryMatch]:
+        """A stream's matches across all its group shards, in frame order.
+
+        Within a frame, matches keep each shard's emission order; groups are
+        interleaved by frame id (stable, so repeated calls agree).
+        """
+        keyed: List[Tuple[int, int, int, QueryMatch]] = []
+        for group_index, group in enumerate(self._groups):
+            shard = self._shards.get((stream_id, group))
+            if shard is None:
+                continue
+            for seq, match in enumerate(shard.matches):
+                keyed.append((match.frame_id, group_index, seq, match))
+        keyed.sort(key=lambda item: item[:3])
+        return [match for _, _, _, match in keyed]
+
+    def drain_matches(self) -> Dict[str, List[QueryMatch]]:
+        """Drain every shard's retained matches, grouped by stream.
+
+        Per-stream ordering follows :meth:`matches_for`.  Draining
+        periodically (or constructing the router with
+        ``retain_matches=False`` and consuming ``route``'s return values)
+        keeps long-running memory bounded by the windows alone.
+        """
+        drained: Dict[str, List[QueryMatch]] = {}
+        for stream_id in self.stream_ids():
+            matches = self.matches_for(stream_id)
+            if matches:
+                drained[stream_id] = matches
+        for shard in self._shards.values():
+            shard.drain_matches()
+        return drained
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict:
+        """Aggregate + per-shard ingest statistics (JSON-friendly)."""
+        per_shard = {}
+        totals = {
+            "frames_ingested": 0,
+            "frames_processed": 0,
+            "dropped_late": 0,
+            "duplicates": 0,
+            "reordered": 0,
+            "processing_seconds": 0.0,
+            "queue_depth": 0,
+        }
+        for (stream_id, group), shard in self._shards.items():
+            entry = shard.stats.as_dict()
+            entry["queue_depth"] = shard.queue_depth
+            per_shard[str(shard.key)] = entry
+            totals["frames_ingested"] += shard.stats.frames_ingested
+            totals["frames_processed"] += shard.stats.frames_processed
+            totals["dropped_late"] += shard.stats.dropped_late
+            totals["duplicates"] += shard.stats.duplicates
+            totals["reordered"] += shard.stats.reordered
+            totals["processing_seconds"] += shard.stats.processing_seconds
+            totals["queue_depth"] += shard.queue_depth
+        seconds = totals["processing_seconds"]
+        totals["processing_seconds"] = round(seconds, 6)
+        totals["frames_per_sec"] = (
+            round(totals["frames_processed"] / seconds, 2) if seconds else 0.0
+        )
+        return {
+            "streams": len(self.stream_ids()),
+            "window_groups": len(self._groups),
+            "shards": len(self._shards),
+            "totals": totals,
+            "per_shard": per_shard,
+        }
+
+    # ------------------------------------------------------------------
+    # Checkpointing and rebalancing
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Dict:
+        """Snapshot the router: configuration, queries, and every shard."""
+        return {
+            "method": self.method.value,
+            "batch_size": self.batch_size,
+            "watermark": self.watermark,
+            "enable_pruning": self.enable_pruning,
+            "restrict_labels": self.restrict_labels,
+            "retain_matches": self.retain_matches,
+            "queries": [query.to_dict() for query in self.queries],
+            "detached": [
+                [stream_id, [list(group) for group in groups]]
+                for stream_id, groups in self._detached.items()
+            ],
+            "shards": [shard.checkpoint() for shard in self._shards.values()],
+        }
+
+    def to_bytes(self) -> bytes:
+        """The router snapshot as canonical checkpoint bytes."""
+        return to_bytes("router", self.checkpoint())
+
+    @classmethod
+    def from_checkpoint(cls, payload: Dict) -> "StreamRouter":
+        """Rebuild a router (and all its shards) from a snapshot."""
+        try:
+            router = cls(
+                [CNFQuery.from_dict(q) for q in payload["queries"]],
+                method=MCOSMethod(payload["method"]),
+                batch_size=int(payload["batch_size"]),
+                watermark=int(payload["watermark"]),
+                enable_pruning=bool(payload["enable_pruning"]),
+                restrict_labels=bool(payload["restrict_labels"]),
+                retain_matches=bool(payload.get("retain_matches", True)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed router checkpoint: {exc}") from exc
+        for shard_payload in payload.get("shards", []):
+            router.adopt(shard_payload)
+        for stream_id, groups in payload.get("detached", []):
+            router._detached[str(stream_id)] = [
+                (int(window), int(duration)) for window, duration in groups
+            ]
+        return router
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "StreamRouter":
+        """Rebuild a router from canonical checkpoint bytes."""
+        return cls.from_checkpoint(from_bytes(data, expect_kind="router"))
+
+    def detach(self, stream_id: str) -> List[Dict]:
+        """Checkpoint and remove every shard of one stream (for rebalancing).
+
+        The returned snapshots can be :meth:`adopt`-ed by another router —
+        typically in another process — which resumes the stream exactly where
+        this one left off.  Retained (produced-but-not-yet-drained) matches
+        travel with the snapshot, so nothing is lost in the hand-off; matches
+        already consumed via :meth:`drain_matches` are not replayed.
+        """
+        detached: List[Dict] = []
+        detached_groups: List[GroupKey] = []
+        for key in [k for k in self._shards if k[0] == stream_id]:
+            shard = self._shards.pop(key)
+            detached.append(shard.checkpoint())
+            detached_groups.append(key[1])
+        if not detached:
+            raise KeyError(f"no shards for stream {stream_id!r}")
+        self._detached[stream_id] = detached_groups
+        return detached
+
+    def adopt(self, shard_payload: Dict) -> StreamShard:
+        """Restore a detached shard snapshot into this router.
+
+        The shard's window group must be one this router serves, its queries
+        must be exactly that group's queries (ids included — otherwise the
+        shard would keep answering a foreign workload while ``queries`` and
+        :meth:`matches_for` describe this router's), and the
+        ``(stream, group)`` slot must be free.
+        """
+        shard = StreamShard.from_checkpoint(shard_payload)
+        group = shard.key.group
+        if group not in self._groups:
+            raise CheckpointError(
+                f"cannot adopt shard {shard.key}: this router serves window "
+                f"groups {self.group_keys}"
+            )
+        own_queries = [query.to_dict() for query in self._groups[group]]
+        shard_queries = [query.to_dict() for query in shard.engine.queries]
+        if shard_queries != own_queries:
+            raise CheckpointError(
+                f"cannot adopt shard {shard.key}: its queries do not match "
+                f"this router's window group {group} workload"
+            )
+        slot = (shard.key.stream_id, group)
+        if slot in self._shards:
+            raise CheckpointError(
+                f"cannot adopt shard {shard.key}: slot already occupied"
+            )
+        self._shards[slot] = shard
+        pending = self._detached.get(shard.key.stream_id)
+        if pending is not None:
+            if group in pending:
+                pending.remove(group)
+            if not pending:
+                del self._detached[shard.key.stream_id]
+        return shard
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"StreamRouter(queries={len(self.queries)}, "
+            f"groups={len(self._groups)}, shards={len(self._shards)})"
+        )

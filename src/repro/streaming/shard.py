@@ -1,0 +1,364 @@
+"""A single streaming shard: one engine serving one (stream, window-group).
+
+A :class:`StreamShard` wraps a
+:class:`~repro.engine.engine.TemporalVideoQueryEngine` with the machinery a
+long-running feed needs and the bare engine does not have:
+
+* **batched ingest** — frames are buffered and handed to the engine in
+  configurable batches, so the per-frame bookkeeping above the engine is
+  amortised;
+* **late/out-of-order tolerance** — a reorder buffer holds frames until the
+  watermark passes.  A frame is released once frames ``watermark`` positions
+  ahead of it have been seen, so any frame delayed by at most ``watermark``
+  arrivals is slotted back into order; frames arriving after their slot was
+  emitted are counted and dropped (the engine's frame-order invariant is
+  never violated);
+* **per-shard stats** — frames/sec, queue depth, dropped-late/duplicate
+  counts, batch counts;
+* **checkpoint/restore** — a versioned, self-contained snapshot (engine +
+  reorder buffer + counters) that a fresh process can resume byte-identically
+  (see :mod:`repro.streaming.checkpoint`).
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.datamodel.observation import FrameObservation
+from repro.engine.config import EngineConfig, MCOSMethod
+from repro.engine.engine import TemporalVideoQueryEngine
+from repro.query.evaluator import QueryMatch
+from repro.query.model import CNFQuery
+from repro.streaming.checkpoint import CheckpointError, from_bytes, to_bytes
+
+
+@dataclass(frozen=True)
+class ShardKey:
+    """Identity of a shard: the stream it serves and its window group."""
+
+    stream_id: str
+    window: int
+    duration: int
+
+    @property
+    def group(self) -> Tuple[int, int]:
+        """The ``(window, duration)`` group the shard's queries share."""
+        return (self.window, self.duration)
+
+    def __str__(self) -> str:
+        return f"{self.stream_id}/w{self.window}d{self.duration}"
+
+
+@dataclass
+class ShardStats:
+    """Ingest-side counters of one shard (engine counters live on the engine)."""
+
+    frames_ingested: int = 0
+    frames_processed: int = 0
+    dropped_late: int = 0
+    duplicates: int = 0
+    reordered: int = 0
+    batches: int = 0
+    max_queue_depth: int = 0
+    processing_seconds: float = 0.0
+
+    @property
+    def frames_per_sec(self) -> float:
+        """Processed-frame throughput over the shard's lifetime."""
+        if self.processing_seconds <= 0.0:
+            return 0.0
+        return self.frames_processed / self.processing_seconds
+
+    def as_dict(self) -> Dict:
+        """Counters plus the derived throughput, JSON-friendly.
+
+        The throughput is derived from the *rounded* seconds so that a
+        checkpointed stats block re-exports byte-identically after restore.
+        """
+        seconds = round(self.processing_seconds, 6)
+        return {
+            "frames_ingested": self.frames_ingested,
+            "frames_processed": self.frames_processed,
+            "dropped_late": self.dropped_late,
+            "duplicates": self.duplicates,
+            "reordered": self.reordered,
+            "batches": self.batches,
+            "max_queue_depth": self.max_queue_depth,
+            "processing_seconds": seconds,
+            "frames_per_sec": round(self.frames_processed / seconds, 2)
+            if seconds else 0.0,
+        }
+
+
+class StreamShard:
+    """One engine instance serving one stream's frames for one window group."""
+
+    def __init__(
+        self,
+        key: ShardKey,
+        queries: Iterable[CNFQuery],
+        method: MCOSMethod = MCOSMethod.SSG,
+        batch_size: int = 8,
+        watermark: int = 0,
+        enable_pruning: bool = False,
+        restrict_labels: bool = True,
+        retain_matches: bool = True,
+    ):
+        queries = list(queries)
+        for query in queries:
+            if (query.window, query.duration) != key.group:
+                raise ValueError(
+                    f"query {query.name or query.query_id!r} has window group "
+                    f"({query.window}, {query.duration}), shard {key} expects "
+                    f"{key.group}"
+                )
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if watermark < 0:
+            raise ValueError("watermark must be non-negative")
+        self.key = key
+        self.batch_size = batch_size
+        self.watermark = watermark
+        #: Whether produced matches accumulate on the shard (for
+        #: :attr:`matches` / the router's ``matches_for``).  Long-running
+        #: deployments that consume matches from ``offer``'s return value
+        #: should pass ``False`` — the retained list otherwise grows with the
+        #: total match count, the one thing the window does not bound.
+        self.retain_matches = retain_matches
+        self.stats = ShardStats()
+        self.engine = TemporalVideoQueryEngine(
+            queries,
+            EngineConfig(
+                method=method,
+                window_size=key.window,
+                duration=key.duration,
+                enable_pruning=enable_pruning,
+                restrict_labels=restrict_labels,
+            ),
+        )
+        #: Reorder buffer: frames waiting for their watermark, sorted by id.
+        self._pending_ids: List[int] = []
+        self._pending: List[FrameObservation] = []
+        #: Highest frame id ever offered (watermark reference point).
+        self._max_seen: Optional[int] = None
+        #: Highest frame id handed to the engine; older arrivals are late.
+        self._last_emitted: Optional[int] = None
+        self._matches: List[QueryMatch] = []
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Number of frames currently held in the reorder buffer."""
+        return len(self._pending)
+
+    @property
+    def matches(self) -> List[QueryMatch]:
+        """Retained matches in emission order (see ``retain_matches``)."""
+        return list(self._matches)
+
+    def drain_matches(self) -> List[QueryMatch]:
+        """Return the retained matches and clear the retention buffer.
+
+        The bound on shard memory is the stream's window *plus* whatever the
+        consumer lets accumulate here; long-running consumers should either
+        drain periodically or construct the shard with
+        ``retain_matches=False``.
+        """
+        drained = self._matches
+        self._matches = []
+        return drained
+
+    def offer(self, frame: FrameObservation) -> List[QueryMatch]:
+        """Ingest one frame; returns the matches produced by this call.
+
+        Frames may arrive out of order by up to ``watermark`` positions.  A
+        frame whose slot has already been emitted is dropped (counted in
+        ``stats.dropped_late``); a duplicate of a buffered frame or an
+        immediate redelivery of the frame just emitted is dropped and counted
+        in ``stats.duplicates`` instead.  (A redelivery of an *older* emitted
+        frame is indistinguishable from genuine lateness — the shard does not
+        remember the full emission history — and lands in ``dropped_late``.)
+        Matches are produced whenever a full batch of frames clears the
+        watermark.
+        """
+        stats = self.stats
+        stats.frames_ingested += 1
+        frame_id = frame.frame_id
+        if self._last_emitted is not None and frame_id <= self._last_emitted:
+            if frame_id == self._last_emitted:
+                stats.duplicates += 1
+            else:
+                stats.dropped_late += 1
+            return []
+        ids = self._pending_ids
+        index = bisect_left(ids, frame_id)
+        if index < len(ids) and ids[index] == frame_id:
+            stats.duplicates += 1
+            return []
+        if index < len(ids):
+            stats.reordered += 1
+        ids.insert(index, frame_id)
+        self._pending.insert(index, frame)
+        if self._max_seen is None or frame_id > self._max_seen:
+            self._max_seen = frame_id
+        if len(ids) > stats.max_queue_depth:
+            stats.max_queue_depth = len(ids)
+        ready = bisect_left(ids, self._max_seen - self.watermark + 1)
+        if ready >= self.batch_size:
+            return self._process(ready)
+        return []
+
+    def offer_many(self, frames: Iterable[FrameObservation]) -> List[QueryMatch]:
+        """Ingest a sequence of frames; returns all matches produced."""
+        matches: List[QueryMatch] = []
+        for frame in frames:
+            matches.extend(self.offer(frame))
+        return matches
+
+    def flush(self) -> List[QueryMatch]:
+        """Process every buffered frame regardless of watermark or batch size."""
+        if not self._pending:
+            return []
+        return self._process(len(self._pending))
+
+    def _process(self, count: int) -> List[QueryMatch]:
+        """Hand the first ``count`` buffered frames to the engine, in order."""
+        frames = self._pending[:count]
+        del self._pending[:count]
+        del self._pending_ids[:count]
+        stats = self.stats
+        engine = self.engine
+        produced: List[QueryMatch] = []
+        start = time.perf_counter()
+        for frame in frames:
+            produced.extend(engine.process_frame(frame))
+        stats.processing_seconds += time.perf_counter() - start
+        stats.frames_processed += len(frames)
+        stats.batches += 1
+        self._last_emitted = frames[-1].frame_id
+        if self.retain_matches:
+            self._matches.extend(produced)
+        return produced
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Dict:
+        """Snapshot the shard: engine state, reorder buffer, counters, and
+        any retained (produced-but-not-yet-drained) matches.
+
+        Matches already consumed through :meth:`drain_matches` (or delivered
+        via ``offer``'s return value with ``retain_matches=False``) are gone
+        from the retention buffer and therefore never replayed — only
+        unconsumed results survive a hand-off, so nothing is lost and
+        nothing double-delivers.  Snapshots must be taken between ``offer``
+        calls.
+        """
+        return {
+            "key": {
+                "stream_id": self.key.stream_id,
+                "window": self.key.window,
+                "duration": self.key.duration,
+            },
+            "batch_size": self.batch_size,
+            "watermark": self.watermark,
+            "retain_matches": self.retain_matches,
+            "max_seen": self._max_seen,
+            "last_emitted": self._last_emitted,
+            "pending": [frame.to_record() for frame in self._pending],
+            "retained": [match.to_record() for match in self._matches],
+            "stats": self.stats.as_dict(),
+            "engine": self.engine.checkpoint(),
+        }
+
+    def to_bytes(self) -> bytes:
+        """The shard snapshot as canonical checkpoint bytes."""
+        return to_bytes("shard", self.checkpoint())
+
+    @classmethod
+    def from_checkpoint(cls, payload: Dict) -> "StreamShard":
+        """Rebuild a shard (typically in a fresh process) from a snapshot."""
+        try:
+            key = ShardKey(
+                stream_id=str(payload["key"]["stream_id"]),
+                window=int(payload["key"]["window"]),
+                duration=int(payload["key"]["duration"]),
+            )
+            engine_payload = payload["engine"]
+            config = engine_payload["config"]
+            queries = [CNFQuery.from_dict(q) for q in engine_payload["queries"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed shard checkpoint: {exc}") from exc
+        shard = cls(
+            key,
+            queries,
+            method=MCOSMethod(config["method"]),
+            batch_size=int(payload["batch_size"]),
+            watermark=int(payload["watermark"]),
+            enable_pruning=bool(config["enable_pruning"]),
+            restrict_labels=bool(config["restrict_labels"]),
+            retain_matches=bool(payload.get("retain_matches", True)),
+        )
+        try:
+            shard.engine.restore(engine_payload)
+        except CheckpointError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            # Missing/mistyped keys deep in the engine or generator payload
+            # must surface under the checkpoint contract, not as raw errors.
+            raise CheckpointError(f"malformed shard checkpoint: {exc!r}") from exc
+        max_seen = payload.get("max_seen")
+        shard._max_seen = int(max_seen) if max_seen is not None else None
+        last = payload.get("last_emitted")
+        shard._last_emitted = int(last) if last is not None else None
+        for record in payload.get("pending", []):
+            frame = FrameObservation.from_record(record)
+            shard._pending_ids.append(frame.frame_id)
+            shard._pending.append(frame)
+        if shard._pending_ids != sorted(set(shard._pending_ids)):
+            raise CheckpointError(
+                "shard checkpoint reorder buffer is not sorted/unique"
+            )
+        if (shard._last_emitted is not None and shard._pending_ids
+                and shard._pending_ids[0] <= shard._last_emitted):
+            # Replaying an already-emitted frame would violate the strict
+            # frame-order invariant the shard exists to protect.
+            raise CheckpointError(
+                f"shard checkpoint pending frame {shard._pending_ids[0]} is "
+                f"at or before the emission frontier {shard._last_emitted}"
+            )
+        try:
+            shard._matches = [
+                QueryMatch.from_record(record)
+                for record in payload.get("retained", [])
+            ]
+        except ValueError as exc:
+            raise CheckpointError(str(exc)) from exc
+        stats = payload.get("stats", {})
+        shard.stats = ShardStats(
+            frames_ingested=int(stats.get("frames_ingested", 0)),
+            frames_processed=int(stats.get("frames_processed", 0)),
+            dropped_late=int(stats.get("dropped_late", 0)),
+            duplicates=int(stats.get("duplicates", 0)),
+            reordered=int(stats.get("reordered", 0)),
+            batches=int(stats.get("batches", 0)),
+            max_queue_depth=int(stats.get("max_queue_depth", 0)),
+            processing_seconds=float(stats.get("processing_seconds", 0.0)),
+        )
+        return shard
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "StreamShard":
+        """Rebuild a shard from canonical checkpoint bytes."""
+        return cls.from_checkpoint(from_bytes(data, expect_kind="shard"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"StreamShard({self.key}, queue={self.queue_depth}, "
+            f"processed={self.stats.frames_processed})"
+        )

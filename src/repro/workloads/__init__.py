@@ -6,10 +6,22 @@ from repro.workloads.generator import (
     incident_workload,
     random_cnf_workload,
 )
+from repro.workloads.streams import (
+    StreamEvent,
+    interleave_feeds,
+    multi_window_workload,
+    simulated_feed,
+    simulated_feeds,
+)
 
 __all__ = [
     "QueryWorkload",
     "random_cnf_workload",
     "ge_only_workload",
     "incident_workload",
+    "StreamEvent",
+    "simulated_feed",
+    "simulated_feeds",
+    "interleave_feeds",
+    "multi_window_workload",
 ]

@@ -1,0 +1,392 @@
+"""Randomized serialize→restore property tests for the checkpoint layer.
+
+Every component snapshot must round-trip through JSON into a fresh object
+that behaves *byte-identically*: a restored generator/engine/shard continuing
+over a randomized suffix must report exactly what its uninterrupted twin
+reports — same result states, same frame sets, same report order.  All
+randomized cases carry their seed in the assertion message.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import FrameSpan, ObjectInterner, StateTable, StrictStateGraphGenerator
+from repro.engine import EngineConfig, MCOSMethod, TemporalVideoQueryEngine
+from repro.streaming import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    StreamShard,
+)
+from repro.streaming import checkpoint as ckpt
+from repro.streaming.shard import ShardKey
+
+from tests.conftest import (
+    ALL_GENERATORS,
+    build_queries,
+    bursty_stream,
+    canonical_results,
+    gap_stream,
+    labelled_stream,
+)
+
+
+def json_roundtrip(payload):
+    """Force the payload through its on-disk representation."""
+    return json.loads(json.dumps(payload))
+
+
+# ----------------------------------------------------------------------
+# Component round-trips
+# ----------------------------------------------------------------------
+class TestInternerRoundTrip:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_release_patterns(self, seed):
+        import random
+        rng = random.Random(seed)
+        interner = ObjectInterner()
+        live = set()
+        for _ in range(200):
+            oid = rng.randrange(40)
+            if oid in live and rng.random() < 0.4:
+                interner.release(oid)
+                live.discard(oid)
+            else:
+                interner.bit_of(oid)
+                live.add(oid)
+        restored = ObjectInterner()
+        restored.restore_table(json_roundtrip(interner.export_table()))
+        assert restored.export_table() == interner.export_table(), f"seed={seed}"
+        # Identical decode of every live mask and identical future allocation.
+        for oid in live:
+            assert restored.bit_of(oid) == interner.bit_of(oid), f"seed={seed}"
+        for fresh in range(100, 120):
+            assert restored.bit_of(fresh) == interner.bit_of(fresh), (
+                f"seed={seed}: allocation of fresh id {fresh} diverged"
+            )
+
+    def test_duplicate_ids_rejected(self):
+        interner = ObjectInterner()
+        with pytest.raises(ValueError):
+            interner.restore_table([3, None, 3])
+
+
+class TestFrameSpanRoundTrip:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_append_expire_mark(self, seed):
+        import random
+        rng = random.Random(seed)
+        span = FrameSpan()
+        frame_id = 0
+        for _ in range(150):
+            frame_id += rng.randint(1, 3)
+            span.append(frame_id, marked=rng.random() < 0.3)
+            if rng.random() < 0.2:
+                span.expire_before(frame_id - rng.randint(3, 12))
+        restored = FrameSpan.from_snapshot(json_roundtrip(span.export_snapshot()))
+        assert restored.runs() == span.runs(), f"seed={seed}"
+        assert restored.marked_ids() == span.marked_ids(), f"seed={seed}"
+        assert restored.frame_count == span.frame_count, f"seed={seed}"
+        assert restored.marked_count == span.marked_count, f"seed={seed}"
+        # The restored span keeps behaving identically.
+        for extra in range(frame_id + 1, frame_id + 6):
+            span.append(extra)
+            restored.append(extra)
+        span.expire_before(frame_id - 1)
+        restored.expire_before(frame_id - 1)
+        assert restored.runs() == span.runs(), f"seed={seed}"
+
+    @pytest.mark.parametrize("snapshot", [
+        [[0], [1, 2], []],            # bounds differ in length
+        [[5], [3], []],               # end before start
+        [[0, 1], [0, 4], []],         # adjacent runs not coalesced
+        [[3, 0], [3, 0], []],         # runs out of order
+        [[0], [3], [9]],              # mark outside the frame set
+        [[0, 10], [3, 12], [11, 11]], # marks not strictly sorted
+    ])
+    def test_malformed_snapshots_rejected(self, snapshot):
+        with pytest.raises(ValueError):
+            FrameSpan.from_snapshot(snapshot)
+
+
+class TestStateTableRoundTrip:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_table_preserves_order_and_contents(self, seed):
+        import random
+        rng = random.Random(seed)
+        interner = ObjectInterner()
+        table = StateTable(interner)
+        for i in range(30):
+            bits = interner.intern_ids(rng.sample(range(12), rng.randint(1, 6)))
+            state, _ = table.get_or_create(bits)
+            for fid in sorted(rng.sample(range(50), rng.randint(1, 10))):
+                state.add_frame(fid, marked=rng.random() < 0.5)
+            state.terminated = rng.random() < 0.1
+        snapshot = json_roundtrip(table.export_states())
+        restored = StateTable(interner)
+        restored.import_states(snapshot)
+        assert len(restored) == len(table), f"seed={seed}"
+        for original, copy in zip(table, restored):
+            assert copy.bits == original.bits, f"seed={seed}"
+            assert copy.terminated == original.terminated, f"seed={seed}"
+            assert copy.span.runs() == original.span.runs(), f"seed={seed}"
+            assert copy.span.marked_ids() == original.span.marked_ids(), f"seed={seed}"
+
+    def test_duplicate_bits_rejected(self):
+        table = StateTable(ObjectInterner())
+        snapshot = [
+            {"bits": 3, "span": [[0], [1], []], "terminated": False},
+            {"bits": 3, "span": [[2], [2], []], "terminated": False},
+        ]
+        with pytest.raises(ValueError):
+            table.import_states(snapshot)
+
+
+class TestSSGGraphRoundTrip:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_mid_stream_graph_restores_identically(self, seed):
+        relation = bursty_stream(seed, num_frames=90)
+        generator = StrictStateGraphGenerator(window_size=9, duration=5)
+        frames = list(relation.frames())
+        for frame in frames[:60]:
+            generator.process_frame(frame)
+        restored = StrictStateGraphGenerator(window_size=9, duration=5)
+        restored.import_checkpoint(json_roundtrip(generator.export_checkpoint()))
+        assert sorted(restored.edges()) == sorted(generator.edges()), f"seed={seed}"
+        assert restored.principal_object_sets() == generator.principal_object_sets(), (
+            f"seed={seed}"
+        )
+        assert restored.live_state_count() == generator.live_state_count(), f"seed={seed}"
+        a = canonical_results(generator.process_frame(f) for f in frames[60:])
+        b = canonical_results(restored.process_frame(f) for f in frames[60:])
+        assert a == b, f"seed={seed}: SSG diverged after restore"
+
+
+# ----------------------------------------------------------------------
+# Whole-generator round-trips (all four methods)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("generator_cls", ALL_GENERATORS)
+class TestGeneratorRoundTrip:
+    @pytest.mark.parametrize("maker", [bursty_stream, gap_stream])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_restored_suffix_is_byte_identical(self, generator_cls, maker, seed):
+        relation = maker(seed, num_frames=80)
+        frames = list(relation.frames())
+        cut = len(frames) // 2
+        generator = generator_cls(window_size=7, duration=4)
+        for frame in frames[:cut]:
+            generator.process_frame(frame)
+        payload = json_roundtrip(generator.export_checkpoint())
+        restored = generator_cls(window_size=7, duration=4)
+        restored.import_checkpoint(payload)
+        a = canonical_results(generator.process_frame(f) for f in frames[cut:])
+        b = canonical_results(restored.process_frame(f) for f in frames[cut:])
+        assert a == b, (
+            f"{generator_cls.name} seed={seed} stream={relation.name}: "
+            "restored run diverged from uninterrupted run"
+        )
+        assert restored.stats.as_dict() == generator.stats.as_dict(), (
+            f"{generator_cls.name} seed={seed}: work counters diverged"
+        )
+
+    def test_method_mismatch_rejected(self, generator_cls):
+        generator = generator_cls(window_size=5, duration=2)
+        payload = generator.export_checkpoint()
+        payload["method"] = "SOMETHING_ELSE"
+        with pytest.raises(ValueError):
+            generator_cls(window_size=5, duration=2).import_checkpoint(payload)
+
+    def test_window_mismatch_rejected(self, generator_cls):
+        generator = generator_cls(window_size=5, duration=2)
+        payload = generator.export_checkpoint()
+        with pytest.raises(ValueError):
+            generator_cls(window_size=6, duration=2).import_checkpoint(payload)
+
+    def test_label_projection_mismatch_rejected(self, generator_cls):
+        """Importing under a different label projection would silently
+        project frames onto the wrong class set."""
+        generator = generator_cls(
+            window_size=5, duration=2, labels_of_interest={"car"}
+        )
+        payload = generator.export_checkpoint()
+        receiver = generator_cls(
+            window_size=5, duration=2, labels_of_interest={"person"}
+        )
+        with pytest.raises(ValueError, match="label projection"):
+            receiver.import_checkpoint(payload)
+        unrestricted = generator_cls(window_size=5, duration=2)
+        with pytest.raises(ValueError, match="label projection"):
+            unrestricted.import_checkpoint(payload)
+
+
+# ----------------------------------------------------------------------
+# Engine and shard round-trips
+# ----------------------------------------------------------------------
+class TestEngineRoundTrip:
+    @pytest.mark.parametrize("method", list(MCOSMethod))
+    @pytest.mark.parametrize("seed", range(3))
+    def test_engine_resumes_identically(self, method, seed, small_workload):
+        relation = labelled_stream(seed, num_frames=70)
+        frames = list(relation.frames())
+        cut = 40
+        engine = TemporalVideoQueryEngine(
+            small_workload,
+            EngineConfig(method=method, window_size=10, duration=5),
+        )
+        pre = [engine.process_frame(f) for f in frames[:cut]]
+        restored = TemporalVideoQueryEngine.from_checkpoint(
+            json_roundtrip(engine.checkpoint())
+        )
+        assert [q.query_id for q in restored.queries] == [
+            q.query_id for q in engine.queries
+        ]
+        a = [engine.process_frame(f) for f in frames[cut:]]
+        b = [restored.process_frame(f) for f in frames[cut:]]
+        assert a == b, f"method={method.value} seed={seed}"
+
+    def test_restore_into_mismatched_engine_config_rejected(self, small_workload):
+        engine = TemporalVideoQueryEngine(
+            small_workload,
+            EngineConfig(method=MCOSMethod.SSG, window_size=10, duration=5),
+        )
+        payload = engine.checkpoint()
+        other = TemporalVideoQueryEngine(
+            small_workload,
+            EngineConfig(method=MCOSMethod.MFS, window_size=10, duration=5),
+        )
+        with pytest.raises(ValueError, match="config does not match"):
+            other.restore(payload)
+
+    def test_restore_into_mismatched_queries_rejected(self, small_workload):
+        """Same config, different workload: resuming would silently evaluate
+        the wrong queries under the restored generator state."""
+        config = EngineConfig(method=MCOSMethod.SSG, window_size=10, duration=5)
+        engine = TemporalVideoQueryEngine(small_workload, config)
+        payload = engine.checkpoint()
+        other = TemporalVideoQueryEngine(
+            list(reversed(small_workload)),
+            EngineConfig(method=MCOSMethod.SSG, window_size=10, duration=5),
+        )
+        with pytest.raises(ValueError, match="queries do not match"):
+            other.restore(payload)
+
+
+class TestEngineLabelBound:
+    def test_labels_stay_bounded_on_fresh_id_streams(self, small_workload):
+        """Real trackers mint ever-fresh ids; the engine's label map (and
+        hence checkpoint size) must track the window population, not the
+        stream length."""
+        import random
+        rng = random.Random(0)
+        engine = TemporalVideoQueryEngine(
+            small_workload,
+            EngineConfig(method=MCOSMethod.MFS, window_size=10, duration=5),
+        )
+        from repro.datamodel import FrameObservation
+        next_id = 0
+        for frame_id in range(400):
+            count = rng.randint(1, 4)
+            labels = {}
+            for _ in range(count):
+                labels[next_id] = rng.choice(["person", "car"])
+                next_id += 1  # every object appears exactly once
+            engine.process_frame(FrameObservation(frame_id, labels))
+        # ~1000 distinct ids were seen; only the recent population survives.
+        assert len(engine.checkpoint()["labels"]) < 200
+
+
+class TestShardRoundTrip:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_shard_with_pending_buffer_resumes_identically(self, seed, small_workload):
+        import random
+        rng = random.Random(seed)
+        relation = labelled_stream(seed + 50, num_frames=90)
+        frames = list(relation.frames())
+        # Bounded shuffle: displace frames by at most the watermark.
+        jitter = 4
+        for start in range(0, len(frames), jitter):
+            block = frames[start:start + jitter]
+            rng.shuffle(block)
+            frames[start:start + jitter] = block
+        cut = 50
+        shard = StreamShard(
+            ShardKey("cam-a", 10, 5), small_workload,
+            batch_size=6, watermark=jitter,
+        )
+        shard.offer_many(frames[:cut])
+        blob = shard.to_bytes()
+        restored = StreamShard.from_bytes(blob)
+        assert restored.queue_depth == shard.queue_depth, f"seed={seed}"
+        assert restored.to_bytes() == blob, (
+            f"seed={seed}: restore→re-checkpoint is not byte-identical"
+        )
+        a = shard.offer_many(frames[cut:]) + shard.flush()
+        b = restored.offer_many(frames[cut:]) + restored.flush()
+        assert a == b, f"seed={seed}: shard diverged after restore"
+        assert shard.stats.as_dict()["frames_ingested"] == \
+            restored.stats.as_dict()["frames_ingested"], f"seed={seed}"
+
+
+# ----------------------------------------------------------------------
+# Envelope validation
+# ----------------------------------------------------------------------
+class TestCheckpointEnvelope:
+    def test_roundtrip(self):
+        payload = {"hello": [1, 2, {"three": 4}]}
+        data = ckpt.to_bytes("generator", payload)
+        assert ckpt.from_bytes(data, expect_kind="generator") == payload
+
+    def test_rejects_foreign_format(self):
+        with pytest.raises(CheckpointError):
+            ckpt.unwrap({"format": "something-else", "version": 1})
+
+    def test_rejects_future_version(self):
+        document = ckpt.wrap("shard", {})
+        document["version"] = CHECKPOINT_VERSION + 1
+        with pytest.raises(CheckpointError):
+            ckpt.unwrap(document)
+
+    def test_rejects_wrong_kind(self):
+        data = ckpt.to_bytes("router", {})
+        with pytest.raises(CheckpointError):
+            ckpt.from_bytes(data, expect_kind="shard")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(CheckpointError):
+            ckpt.wrap("mystery", {})
+        document = ckpt.wrap("shard", {})
+        document["kind"] = "mystery"
+        with pytest.raises(CheckpointError):
+            ckpt.unwrap(document)
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(CheckpointError):
+            ckpt.from_bytes(b"{not json")
+
+    def test_truncated_shard_payload_raises_checkpoint_error(self, small_workload):
+        """Deeply-missing keys surface as CheckpointError, not raw KeyError."""
+        from repro.engine import EngineConfig, MCOSMethod, TemporalVideoQueryEngine
+        from repro.streaming import StreamShard
+        from repro.streaming.shard import ShardKey
+        shard = StreamShard(ShardKey("s", 10, 5), small_workload)
+        payload = shard.checkpoint()
+        del payload["engine"]["labels"]
+        with pytest.raises(CheckpointError):
+            StreamShard.from_checkpoint(payload)
+        payload2 = shard.checkpoint()
+        del payload2["engine"]["generator"]["interner"]
+        with pytest.raises(CheckpointError):
+            StreamShard.from_checkpoint(payload2)
+
+    def test_rejects_non_object_payload(self):
+        document = ckpt.wrap("shard", {})
+        document["payload"] = [1, 2, 3]
+        with pytest.raises(CheckpointError):
+            ckpt.unwrap(document)
+
+    def test_save_load_file(self, tmp_path):
+        path = tmp_path / "shard.ckpt"
+        ckpt.save(path, "shard", {"x": 1})
+        assert ckpt.load(path, expect_kind="shard") == {"x": 1}

@@ -104,3 +104,20 @@ class TestSlidingWindow:
         rel = VideoRelation.from_object_sets([{1}])
         with pytest.raises(ValueError):
             SlidingWindow(rel, window_size=0)
+
+    def test_offset_relation_windows(self):
+        """Relations cut from mid-feed slide over their real frame ids.
+
+        Regression: the iterator used to count from frame id 0 regardless of
+        the relation's base id and raised KeyError on offset relations.
+        """
+        rel = VideoRelation.from_object_sets(
+            [{1}, {1, 2}, {2}, {2, 3}], first_frame_id=100
+        )
+        window = SlidingWindow(rel, window_size=2)
+        views = list(window)
+        assert len(views) == 4
+        assert views[0].frame_ids == [100]
+        assert views[1].frame_ids == [100, 101]
+        assert views[3].frame_ids == [102, 103]
+        assert window.view_at(101).cooccurrence(frozenset({1})) == [100, 101]

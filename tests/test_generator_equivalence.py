@@ -10,19 +10,12 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core import (
     MarkedFrameSetGenerator,
-    NaiveGenerator,
     ReferenceGenerator,
     StrictStateGraphGenerator,
 )
 from repro.datamodel import VideoRelation
 
-from tests.conftest import random_relation, result_mappings
-
-INCREMENTAL_GENERATORS = [
-    NaiveGenerator,
-    MarkedFrameSetGenerator,
-    StrictStateGraphGenerator,
-]
+from tests.conftest import INCREMENTAL_GENERATORS, random_relation, result_mappings
 
 # Strategy: a short video of frames over a small universe of object ids, plus
 # window and duration parameters.

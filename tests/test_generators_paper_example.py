@@ -2,21 +2,9 @@
 
 import pytest
 
-from repro.core import (
-    MarkedFrameSetGenerator,
-    NaiveGenerator,
-    ReferenceGenerator,
-    StrictStateGraphGenerator,
-)
+from repro.core import MarkedFrameSetGenerator
 
-from tests.conftest import A, B, C, D, F
-
-GENERATORS = [
-    NaiveGenerator,
-    MarkedFrameSetGenerator,
-    StrictStateGraphGenerator,
-    ReferenceGenerator,
-]
+from tests.conftest import ALL_GENERATORS as GENERATORS, A, B, C, D, F
 
 
 @pytest.mark.parametrize("generator_cls", GENERATORS)

@@ -15,8 +15,6 @@ smaller configurations are additionally checked against the exact reference
 oracle.
 """
 
-import random
-
 import pytest
 
 from repro.core import (
@@ -27,61 +25,13 @@ from repro.core import (
 )
 from repro.datamodel import VideoRelation
 
-from tests.conftest import result_mappings
-
-INCREMENTAL = [NaiveGenerator, MarkedFrameSetGenerator, StrictStateGraphGenerator]
-
-
-def bursty_stream(seed, num_frames=120, universe=10):
-    """Stable co-occurrence bursts separated by churn frames."""
-    rng = random.Random(seed)
-    frames = []
-    current = set(rng.sample(range(universe), rng.randint(2, universe // 2)))
-    while len(frames) < num_frames:
-        burst = rng.randint(2, 12)
-        for _ in range(min(burst, num_frames - len(frames))):
-            frames.append(set(current))
-        # churn: drop/add a few objects, sometimes emit noisy frames
-        for _ in range(rng.randint(0, 3)):
-            if len(frames) >= num_frames:
-                break
-            frames.append(set(rng.sample(range(universe),
-                                         rng.randint(0, universe))))
-        for oid in list(current):
-            if rng.random() < 0.3:
-                current.discard(oid)
-        while len(current) < 2:
-            current.add(rng.randrange(universe))
-    return VideoRelation.from_object_sets(frames, name=f"bursty-{seed}")
-
-
-def duplicate_heavy_stream(seed, num_frames=100, universe=8):
-    """A small pool of recurring object sets (heavy state-table reuse)."""
-    rng = random.Random(seed)
-    pool = [
-        set(rng.sample(range(universe), rng.randint(1, universe)))
-        for _ in range(4)
-    ]
-    frames = [set(rng.choice(pool)) for _ in range(num_frames)]
-    return VideoRelation.from_object_sets(frames, name=f"dups-{seed}")
-
-
-def gap_stream(seed, num_frames=100, universe=9, window=7):
-    """Interleaves activity with empty stretches longer than the window."""
-    rng = random.Random(seed)
-    frames = []
-    while len(frames) < num_frames:
-        for _ in range(rng.randint(1, 10)):
-            if len(frames) >= num_frames:
-                break
-            frames.append(set(rng.sample(range(universe),
-                                         rng.randint(1, universe))))
-        # a gap that expires every state
-        for _ in range(rng.randint(window + 1, window + 4)):
-            if len(frames) >= num_frames:
-                break
-            frames.append(set())
-    return VideoRelation.from_object_sets(frames, name=f"gaps-{seed}")
+from tests.conftest import (
+    INCREMENTAL_GENERATORS as INCREMENTAL,
+    bursty_stream,
+    duplicate_heavy_stream,
+    gap_stream,
+    result_mappings,
+)
 
 
 STREAMS = [

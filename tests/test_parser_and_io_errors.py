@@ -1,0 +1,264 @@
+"""Error-path coverage for the CNF query parser and relation persistence.
+
+Both modules are on user-facing boundaries (hand-written query strings,
+files from disk) and previously had almost no negative-path tests: a
+malformed input must produce a clear exception, never a silently wrong
+query or relation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datamodel import (
+    VideoRelation,
+    load_relation_csv,
+    load_relation_jsonl,
+    save_relation_csv,
+    save_relation_jsonl,
+)
+from repro.query.model import CNFQuery, Comparison
+from repro.query.parser import QueryParseError, parse_condition, parse_query
+
+
+class TestParserErrorPaths:
+    @pytest.mark.parametrize("text", ["", "   ", "\t\n"])
+    def test_empty_query_rejected(self, text):
+        with pytest.raises(QueryParseError, match="empty query"):
+            parse_query(text)
+
+    @pytest.mark.parametrize("text", [
+        "car >",                 # missing threshold
+        "car >= ",               # missing threshold after operator
+        ">= 2",                  # missing label
+        "car 2",                 # missing operator
+        "car >= two",            # non-integer threshold
+        "car >= 2.5",            # non-integer threshold
+        "car > 2",               # strict operators are not in the grammar
+        "car < 2",
+        "car != 2",
+        "car >= -1",             # negative thresholds never parse
+        "2 >= car",              # label and value swapped
+        "car >= 2 person >= 1",  # missing connective
+    ])
+    def test_malformed_conditions_rejected(self, text):
+        with pytest.raises(QueryParseError):
+            parse_query(text)
+
+    @pytest.mark.parametrize("text", [
+        "(car >= 2",             # unbalanced open
+        "car >= 2)",             # unbalanced close
+        "((car >= 2) AND person >= 1))",
+        ")car >= 2(",
+    ])
+    def test_unbalanced_parentheses_rejected(self, text):
+        with pytest.raises(QueryParseError):
+            parse_query(text)
+
+    @pytest.mark.parametrize("text", [
+        "AND car >= 2",          # leading connective
+        "car >= 2 AND",          # trailing connective
+        "car >= 2 AND AND person >= 1",
+        "car >= 2 OR",
+        "OR car >= 2",
+        "car >= 2 AND () AND person >= 1",
+    ])
+    def test_dangling_connectives_rejected(self, text):
+        with pytest.raises(QueryParseError):
+            parse_query(text)
+
+    def test_parse_error_is_a_value_error(self):
+        """Callers that catch ValueError keep working."""
+        with pytest.raises(ValueError):
+            parse_query("car >")
+
+    def test_condition_requires_full_match(self):
+        with pytest.raises(QueryParseError):
+            parse_condition("car >= 2 junk")
+
+    def test_valid_queries_still_parse(self):
+        """Guard: the negative paths must not have narrowed the grammar."""
+        query = parse_query(
+            "(car >= 2 OR person <= 3) AND (CAR-type_x == 1) and bus = 0",
+            window=20, duration=10,
+        )
+        assert len(query.disjunctions) == 3
+        assert query.window == 20 and query.duration == 10
+        condition = parse_condition("  person   >=  4 ")
+        assert condition.comparison is Comparison.GE
+        assert condition.threshold == 4
+
+    def test_labels_may_contain_keyword_substrings(self):
+        """'AND'/'OR' inside an identifier are not connectives."""
+        query = parse_query("android >= 1 AND corridor >= 2")
+        labels = query.labels()
+        assert labels == {"android", "corridor"}
+
+
+@pytest.fixture
+def relation() -> VideoRelation:
+    return VideoRelation.from_tuples(
+        [(0, 1, "car"), (0, 2, "person"), (2, 1, "car")],
+        num_frames=4,
+        name="tiny",
+    )
+
+
+class TestCsvErrorPaths:
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "relation.csv"
+        path.write_text("fid,id,class,confidence\n0,1,car,1.0\n")
+        with pytest.raises(ValueError, match="num_frames"):
+            load_relation_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="num_frames"):
+            load_relation_csv(path)
+
+    def test_truncated_row_rejected(self, tmp_path, relation):
+        path = tmp_path / "relation.csv"
+        save_relation_csv(relation, path)
+        content = path.read_text().splitlines()
+        content.append("3,9")  # row cut off mid-record
+        path.write_text("\n".join(content) + "\n")
+        with pytest.raises((ValueError, TypeError)):
+            load_relation_csv(path)
+
+    def test_row_beyond_declared_num_frames_rejected(self, tmp_path, relation):
+        """A row outside the header's frame count means file corruption."""
+        path = tmp_path / "relation.csv"
+        save_relation_csv(relation, path)
+        with path.open("a") as handle:
+            handle.write("99,1,car,1.0\n")
+        with pytest.raises(ValueError, match="outside the declared"):
+            load_relation_csv(path)
+
+    def test_non_integer_ids_rejected(self, tmp_path):
+        path = tmp_path / "relation.csv"
+        path.write_text(
+            "# num_frames=2\nfid,id,class,confidence\nzero,1,car,1.0\n"
+        )
+        with pytest.raises(ValueError):
+            load_relation_csv(path)
+
+    def test_corrupt_num_frames_rejected(self, tmp_path):
+        path = tmp_path / "relation.csv"
+        path.write_text("# num_frames=lots\nfid,id,class,confidence\n")
+        with pytest.raises(ValueError):
+            load_relation_csv(path)
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_relation_csv(tmp_path / "does-not-exist.csv")
+
+    def test_roundtrip_still_works(self, tmp_path, relation):
+        path = tmp_path / "relation.csv"
+        save_relation_csv(relation, path)
+        loaded = load_relation_csv(path)
+        assert loaded.num_frames == relation.num_frames
+        assert list(loaded.tuples()) == list(relation.tuples())
+
+    def test_offset_relation_subscript_uses_frame_ids(self):
+        """``rel[fid]`` and ``rel.frame(fid)`` agree on mid-feed cuts."""
+        offset = VideoRelation.from_object_sets(
+            [{1}, {2}], first_frame_id=100,
+        )
+        assert offset[100] is offset.frame(100)
+        assert offset[101].object_ids == frozenset({2})
+        with pytest.raises(KeyError):
+            offset[0]
+
+    def test_offset_relation_roundtrips(self, tmp_path):
+        """A relation cut from mid-feed keeps its frame ids through CSV.
+
+        Regression: the loader used to rebuild offset relations from frame 0,
+        silently dropping every observation.
+        """
+        offset = VideoRelation.from_object_sets(
+            [{1, 2}, {2}, set()], first_frame_id=100, name="offset",
+        )
+        path = tmp_path / "offset.csv"
+        save_relation_csv(offset, path)
+        loaded = load_relation_csv(path)
+        assert loaded.first_frame_id == 100
+        assert loaded.num_frames == 3
+        assert list(loaded.tuples()) == list(offset.tuples())
+
+    def test_from_tuples_rejects_out_of_range_frame_ids(self):
+        """The constructor itself refuses to silently drop observations.
+
+        Regression: tuples beyond first_frame_id + num_frames used to vanish
+        without an error for every caller except the CSV loader.
+        """
+        with pytest.raises(ValueError, match="outside the declared"):
+            VideoRelation.from_tuples([(5, 1, "car")], num_frames=3)
+        with pytest.raises(ValueError, match="precedes"):
+            VideoRelation.from_tuples(
+                [(5, 1, "car")], num_frames=3, first_frame_id=10
+            )
+
+    def test_headers_without_first_frame_still_load(self, tmp_path):
+        """Files written before the first_frame header field default to 0."""
+        path = tmp_path / "legacy.csv"
+        path.write_text(
+            "# num_frames=2\nfid,id,class,confidence\n0,1,car,1.0\n1,1,car,1.0\n"
+        )
+        loaded = load_relation_csv(path)
+        assert loaded.first_frame_id == 0
+        assert list(loaded.tuples()) == [(0, 1, "car"), (1, 1, "car")]
+
+
+class TestJsonlErrorPaths:
+    def test_truncated_json_line_rejected(self, tmp_path, relation):
+        path = tmp_path / "relation.jsonl"
+        save_relation_jsonl(relation, path)
+        content = path.read_text()
+        path.write_text(content[:-15])  # cut the last record mid-object
+        with pytest.raises(ValueError):
+            load_relation_jsonl(path)
+
+    def test_non_json_line_rejected(self, tmp_path):
+        path = tmp_path / "relation.jsonl"
+        path.write_text('{"fid": 0, "objects": {}}\nnot json at all\n')
+        with pytest.raises(ValueError):
+            load_relation_jsonl(path)
+
+    def test_missing_objects_key_rejected(self, tmp_path):
+        path = tmp_path / "relation.jsonl"
+        path.write_text('{"fid": 0}\n')
+        with pytest.raises(KeyError):
+            load_relation_jsonl(path)
+
+    def test_non_integer_object_id_rejected(self, tmp_path):
+        path = tmp_path / "relation.jsonl"
+        path.write_text('{"fid": 0, "objects": {"abc": "car"}}\n')
+        with pytest.raises(ValueError):
+            load_relation_jsonl(path)
+
+    def test_blank_lines_are_tolerated(self, tmp_path, relation):
+        path = tmp_path / "relation.jsonl"
+        save_relation_jsonl(relation, path)
+        path.write_text(path.read_text().replace("\n", "\n\n"))
+        loaded = load_relation_jsonl(path)
+        assert list(loaded.tuples()) == list(relation.tuples())
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_relation_jsonl(tmp_path / "does-not-exist.jsonl")
+
+
+class TestFrameRecordErrorPaths:
+    def test_malformed_records_rejected(self):
+        from repro.datamodel import FrameObservation
+        for record in ([1], [1, [[1, "car"]], "extra"], "nope", [1, [["x"]]]):
+            with pytest.raises(ValueError):
+                FrameObservation.from_record(record)
+
+    def test_query_dict_roundtrip(self):
+        query = parse_query(
+            "(car >= 2 OR person <= 3) AND bus = 1", window=30, duration=15,
+            name="roundtrip",
+        ).with_id(7)
+        assert CNFQuery.from_dict(query.to_dict()) == query

@@ -1,0 +1,437 @@
+"""Cross-shard equivalence suite and streaming-runtime behavior tests.
+
+The central property: interleaved multi-stream workloads routed through a
+:class:`~repro.streaming.router.StreamRouter` yield, for every stream, results
+identical to a dedicated single-engine run over that stream alone.  Streams
+are randomized and every assertion message carries the seed that produced the
+failing stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+import pytest
+
+from repro.datamodel import FrameObservation, VideoRelation
+from repro.engine import EngineConfig, MCOSMethod, TemporalVideoQueryEngine
+from repro.query.parser import parse_query
+from repro.streaming import CheckpointError, StreamRouter, StreamShard
+from repro.streaming.shard import ShardKey
+from repro.workloads.streams import interleave_feeds
+
+from tests.conftest import build_queries, labelled_stream
+
+
+def make_feeds(seed: int, num_feeds: int = 4, num_frames: int = 70) -> Dict[str, VideoRelation]:
+    """Independent labelled feeds for one randomized scenario."""
+    return {
+        f"cam-{i}": labelled_stream(seed * 37 + i, num_frames=num_frames)
+        for i in range(num_feeds)
+    }
+
+
+def interleaved(feeds: Dict[str, VideoRelation], seed: int, jitter: int = 0):
+    """The shipped interleaving (round-robin + bounded jitter), as a list."""
+    return list(interleave_feeds(feeds, jitter=jitter, seed=seed))
+
+
+def multi_group_queries() -> List:
+    """A mixed workload spanning two window groups."""
+    return (
+        build_queries(
+            ["person >= 1", "car >= 1 AND person >= 1", "truck >= 1 OR bus >= 1"],
+            window=8, duration=4,
+        )
+        + build_queries(
+            ["person >= 2", "(car >= 1 OR truck >= 1) AND person <= 4"],
+            window=12, duration=7,
+        )
+    )
+
+
+class TestRouterEquivalence:
+    @pytest.mark.parametrize("method", list(MCOSMethod))
+    @pytest.mark.parametrize("seed", range(4))
+    def test_per_stream_results_match_dedicated_engines(self, method, seed):
+        """In-order multi-stream routing == one dedicated engine per group."""
+        feeds = make_feeds(seed)
+        queries = multi_group_queries()
+        router = StreamRouter(queries, method=method, batch_size=5)
+        router.route_many(interleaved(feeds, seed))
+        router.flush()
+        for stream_id, relation in feeds.items():
+            for group in router.group_keys:
+                window, duration = group
+                dedicated = TemporalVideoQueryEngine(
+                    router.queries_of_group(group),
+                    EngineConfig(
+                        method=method, window_size=window, duration=duration
+                    ),
+                )
+                expected = dedicated.run(relation).matches
+                actual = router.shard_for(stream_id, group).matches
+                assert actual == expected, (
+                    f"seed={seed} method={method.value} stream={stream_id} "
+                    f"group={group}: router diverged from the dedicated engine "
+                    f"({len(actual)} vs {len(expected)} matches)"
+                )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_jittered_arrival_within_watermark_is_lossless(self, seed):
+        """Out-of-order arrival (bounded by the watermark) changes nothing."""
+        feeds = make_feeds(seed, num_feeds=3)
+        queries = multi_group_queries()
+        jitter = 3  # 3 feeds round-robin: same-stream displacement < 3
+        router = StreamRouter(queries, batch_size=4, watermark=3)
+        router.route_many(interleaved(feeds, seed, jitter=jitter))
+        router.flush()
+        stats = router.stats()
+        # Guard against a vacuous scenario: the jitter must actually have
+        # produced out-of-order arrival within streams.
+        assert stats["totals"]["reordered"] > 0, f"seed={seed}"
+        assert stats["totals"]["dropped_late"] == 0, f"seed={seed}"
+        assert (
+            stats["totals"]["frames_processed"]
+            == stats["totals"]["frames_ingested"]
+        ), f"seed={seed}"
+        for stream_id, relation in feeds.items():
+            for group in router.group_keys:
+                window, duration = group
+                dedicated = TemporalVideoQueryEngine(
+                    router.queries_of_group(group),
+                    EngineConfig(window_size=window, duration=duration),
+                )
+                expected = dedicated.run(relation).matches
+                actual = router.shard_for(stream_id, group).matches
+                assert actual == expected, (
+                    f"seed={seed} stream={stream_id} group={group}: jittered "
+                    "routing diverged from the in-order dedicated engine"
+                )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_jitter_bound_holds_for_unequal_length_feeds(self, seed):
+        """The per-stream jitter bound must survive short feeds exhausting.
+
+        Regression: fixed-size shuffle blocks let a surviving stream's
+        frames displace by a whole block once shorter feeds ended, so a
+        watermark equal to the jitter silently dropped frames.
+        """
+        feeds = {
+            "long": labelled_stream(seed * 91 + 1, num_frames=60),
+            "short": labelled_stream(seed * 91 + 2, num_frames=10),
+        }
+        queries = build_queries(["person >= 1", "car >= 1"], window=8, duration=4)
+        router = StreamRouter(queries, batch_size=1, watermark=2)
+        router.route_many(interleaved(feeds, seed, jitter=2))
+        router.flush()
+        stats = router.stats()
+        assert stats["totals"]["dropped_late"] == 0, f"seed={seed}"
+        assert (
+            stats["totals"]["frames_processed"]
+            == stats["totals"]["frames_ingested"]
+        ), f"seed={seed}"
+        for stream_id, relation in feeds.items():
+            dedicated = TemporalVideoQueryEngine(
+                router.queries_of_group((8, 4)),
+                EngineConfig(window_size=8, duration=4),
+            )
+            assert router.shard_for(stream_id, (8, 4)).matches == \
+                dedicated.run(relation).matches, f"seed={seed} stream={stream_id}"
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_mid_stream_checkpoint_restore_is_transparent(self, seed):
+        """Restoring the router mid-stream must not change any match."""
+        feeds = make_feeds(seed, num_feeds=3)
+        queries = multi_group_queries()
+        events = interleaved(feeds, seed)
+        cut = len(events) // 2
+
+        control = StreamRouter(queries, batch_size=4)
+        all_matches = control.route_many(events)
+        all_matches += control.flush()
+
+        router = StreamRouter(queries, batch_size=4)
+        first = router.route_many(events[:cut])
+        restored = StreamRouter.from_bytes(router.to_bytes())
+        second = restored.route_many(events[cut:])
+        second += restored.flush()
+        assert first + second == all_matches, (
+            f"seed={seed}: checkpoint/restore changed the match stream"
+        )
+
+    def test_matches_for_collects_across_groups(self):
+        feeds = make_feeds(0, num_feeds=2)
+        queries = multi_group_queries()
+        router = StreamRouter(queries, batch_size=4)
+        router.route_many(interleaved(feeds, 0))
+        router.flush()
+        for stream_id in feeds:
+            combined = router.matches_for(stream_id)
+            per_shard = sum(
+                len(router.shard_for(stream_id, group).matches)
+                for group in router.group_keys
+            )
+            assert len(combined) == per_shard
+            assert [m.frame_id for m in combined] == sorted(
+                m.frame_id for m in combined
+            )
+
+
+class TestShardBehavior:
+    def queries(self):
+        return build_queries(["person >= 1"], window=6, duration=2)
+
+    def frames(self, ids):
+        return [FrameObservation(i, {1: "person"}) for i in ids]
+
+    def test_batching_defers_processing(self):
+        shard = StreamShard(ShardKey("s", 6, 2), self.queries(), batch_size=4)
+        for frame in self.frames(range(3)):
+            assert shard.offer(frame) == []
+        assert shard.queue_depth == 3
+        assert shard.stats.frames_processed == 0
+        shard.offer(self.frames([3])[0])  # fourth frame completes the batch
+        assert shard.queue_depth == 0
+        assert shard.stats.frames_processed == 4
+        assert shard.stats.batches == 1
+
+    def test_watermark_holds_frames_back(self):
+        shard = StreamShard(
+            ShardKey("s", 6, 2), self.queries(), batch_size=1, watermark=2
+        )
+        shard.offer_many(self.frames([0, 1, 2]))
+        # Only frame 0 has cleared the watermark (max_seen=2, watermark=2).
+        assert shard.stats.frames_processed == 1
+        assert shard.queue_depth == 2
+        shard.flush()
+        assert shard.stats.frames_processed == 3
+
+    def test_out_of_order_within_watermark_reorders(self):
+        shard = StreamShard(
+            ShardKey("s", 6, 2), self.queries(), batch_size=10, watermark=3
+        )
+        shard.offer_many(self.frames([1, 0, 3, 2]))
+        shard.flush()
+        assert shard.stats.reordered == 2
+        assert shard.stats.dropped_late == 0
+        assert shard.stats.frames_processed == 4
+
+    def test_late_frame_dropped_after_emission(self):
+        shard = StreamShard(ShardKey("s", 6, 2), self.queries(), batch_size=1)
+        shard.offer_many(self.frames([0, 1, 2]))
+        assert shard.stats.frames_processed == 3
+        shard.offer(self.frames([1])[0])  # slot already emitted: late
+        assert shard.stats.dropped_late == 1
+        shard.offer(self.frames([2])[0])  # redelivery of the frontier frame
+        assert shard.stats.duplicates == 1
+        assert shard.stats.dropped_late == 1
+        assert shard.stats.frames_processed == 3
+
+    def test_duplicate_buffered_frame_dropped(self):
+        shard = StreamShard(
+            ShardKey("s", 6, 2), self.queries(), batch_size=10, watermark=5
+        )
+        shard.offer_many(self.frames([0, 1, 1]))
+        assert shard.stats.duplicates == 1
+        shard.flush()
+        assert shard.stats.frames_processed == 2
+
+    def test_window_group_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            StreamShard(
+                ShardKey("s", 10, 5),
+                build_queries(["person >= 1"], window=6, duration=2),
+            )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            StreamShard(ShardKey("s", 6, 2), self.queries(), batch_size=0)
+        with pytest.raises(ValueError):
+            StreamShard(ShardKey("s", 6, 2), self.queries(), watermark=-1)
+
+
+class TestRouterTopology:
+    def test_queries_grouped_by_window(self):
+        queries = multi_group_queries()
+        router = StreamRouter(queries)
+        assert router.group_keys == [(8, 4), (12, 7)]
+        assert len(router.queries_of_group((8, 4))) == 3
+        assert len(router.queries_of_group((12, 7))) == 2
+        # Global ids are unique and stable.
+        ids = [q.query_id for q in router.queries]
+        assert ids == sorted(set(ids))
+
+    def test_shards_created_lazily_per_stream_and_group(self):
+        router = StreamRouter(multi_group_queries())
+        assert router.shards() == {}
+        router.route("cam-a", FrameObservation(0, {1: "person"}))
+        assert sorted(k[0] for k in router.shards()) == ["cam-a", "cam-a"]
+        router.route("cam-b", FrameObservation(0, {1: "person"}))
+        assert len(router.shards()) == 4
+        assert router.stream_ids() == ["cam-a", "cam-b"]
+
+    def test_shard_for_single_group_shortcut(self):
+        router = StreamRouter(build_queries(["person >= 1"], window=6, duration=2))
+        shard = router.shard_for("cam-a")
+        assert shard.key.group == (6, 2)
+        multi = StreamRouter(multi_group_queries())
+        with pytest.raises(ValueError):
+            multi.shard_for("cam-a")
+        with pytest.raises(KeyError):
+            multi.shard_for("cam-a", (99, 1))
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            StreamRouter([])
+
+    def test_detach_and_adopt_moves_a_stream(self):
+        feeds = make_feeds(5, num_feeds=2)
+        queries = multi_group_queries()
+        events = interleaved(feeds, 5)
+        cut = len(events) // 2
+        control = StreamRouter(queries, batch_size=4)
+        control.route_many(events)
+        control.flush()
+
+        source = StreamRouter(queries, batch_size=4)
+        source.route_many(events[:cut])
+        payloads = source.detach("cam-0")
+        assert all(k[0] != "cam-0" for k in source.shards())
+        target = StreamRouter(queries, batch_size=4)
+        for payload in payloads:
+            target.adopt(payload)
+        for stream_id, frame in events[cut:]:
+            (target if stream_id == "cam-0" else source).route(stream_id, frame)
+        source.flush()
+        target.flush()
+        # Retained matches travel with the hand-off, so the adopted stream's
+        # history is complete on the target.
+        assert target.matches_for("cam-0") == control.matches_for("cam-0")
+        assert source.matches_for("cam-1") == control.matches_for("cam-1")
+
+    def test_partial_adoption_keeps_the_tombstone(self):
+        """Multi-group streams: routing must stay blocked until every
+        detached group is adopted back, or the un-adopted groups would
+        restart with empty history."""
+        router = StreamRouter(multi_group_queries())
+        router.route("cam-a", FrameObservation(0, {1: "person"}))
+        payloads = router.detach("cam-a")
+        assert len(payloads) == 2  # two window groups
+        router.adopt(payloads[0])
+        with pytest.raises(ValueError, match="detached"):
+            router.route("cam-a", FrameObservation(1, {1: "person"}))
+        router.adopt(payloads[1])
+        router.route("cam-a", FrameObservation(1, {1: "person"}))
+
+    def test_drained_matches_stay_with_their_consumer_across_handoff(self):
+        """Consumed matches are not replayed; unconsumed ones are not lost."""
+        feeds = make_feeds(6, num_feeds=1, num_frames=40)
+        events = interleaved(feeds, 6)
+        cut = len(events) // 2
+        control = StreamRouter(multi_group_queries(), batch_size=4)
+        control.route_many(events)
+        control.flush()
+
+        router = StreamRouter(multi_group_queries(), batch_size=4)
+        router.route_many(events[:cut])
+        consumed = router.drain_matches().get("cam-0", [])
+        router.route_many(events[cut:])
+        router.flush()
+        payloads = router.detach("cam-0")
+        target = StreamRouter(multi_group_queries(), batch_size=4)
+        for payload in payloads:
+            target.adopt(payload)
+        # Only the undrained tail crossed the hand-off...
+        unconsumed = target.matches_for("cam-0")
+        assert consumed and unconsumed
+        # ...and together they reconstruct the full history exactly once.
+        assert consumed + unconsumed == control.matches_for("cam-0")
+
+    def test_detach_unknown_stream_rejected(self):
+        router = StreamRouter(multi_group_queries())
+        with pytest.raises(KeyError):
+            router.detach("nope")
+
+    def test_routing_to_detached_stream_rejected(self):
+        """A straggler event after a hand-off must fail loudly, not fork the
+        stream into a fresh empty shard."""
+        router = StreamRouter(multi_group_queries())
+        router.route("cam-a", FrameObservation(0, {1: "person"}))
+        payloads = router.detach("cam-a")
+        with pytest.raises(ValueError, match="detached"):
+            router.route("cam-a", FrameObservation(1, {1: "person"}))
+        # The tombstone survives a checkpoint/restore of the router...
+        restored = StreamRouter.from_bytes(router.to_bytes())
+        with pytest.raises(ValueError, match="detached"):
+            restored.route("cam-a", FrameObservation(1, {1: "person"}))
+        # ...and adopting the stream back lifts it.
+        for payload in payloads:
+            router.adopt(payload)
+        router.route("cam-a", FrameObservation(1, {1: "person"}))
+
+    def test_drain_matches_bounds_retention(self):
+        feeds = make_feeds(3, num_feeds=2, num_frames=40)
+        router = StreamRouter(multi_group_queries(), batch_size=4)
+        router.route_many(interleaved(feeds, 3))
+        router.flush()
+        drained = router.drain_matches()
+        assert drained and all(matches for matches in drained.values())
+        assert router.drain_matches() == {}
+        for stream_id in feeds:
+            assert router.matches_for(stream_id) == []
+
+    def test_retain_matches_false_keeps_shards_empty(self):
+        feeds = make_feeds(4, num_feeds=1, num_frames=40)
+        retained = StreamRouter(multi_group_queries(), batch_size=4)
+        lean = StreamRouter(
+            multi_group_queries(), batch_size=4, retain_matches=False
+        )
+        events = interleaved(feeds, 4)
+        expected = retained.route_many(events) + retained.flush()
+        streamed = lean.route_many(events) + lean.flush()
+        # Callers still receive every match from the route calls...
+        assert streamed == expected
+        # ...but nothing accumulates on the shards.
+        assert lean.matches_for("cam-0") == []
+        assert lean.stats()["totals"]["frames_processed"] == \
+            retained.stats()["totals"]["frames_processed"]
+
+    def test_adopt_rejects_foreign_group_and_occupied_slot(self):
+        donor = StreamRouter(build_queries(["person >= 1"], window=6, duration=2))
+        donor.route("cam-a", FrameObservation(0, {1: "person"}))
+        payload = donor.detach("cam-a")[0]
+
+        foreign = StreamRouter(build_queries(["person >= 1"], window=9, duration=3))
+        with pytest.raises(CheckpointError):
+            foreign.adopt(payload)
+
+        occupied = StreamRouter(build_queries(["person >= 1"], window=6, duration=2))
+        occupied.route("cam-a", FrameObservation(0, {1: "person"}))
+        with pytest.raises(CheckpointError):
+            occupied.adopt(payload)
+
+    def test_adopt_rejects_mismatched_workload(self):
+        """Same window group, different queries: the shard would keep
+        answering a foreign workload under this router's query ids."""
+        donor = StreamRouter(build_queries(["car >= 1"], window=6, duration=2))
+        donor.route("cam-a", FrameObservation(0, {1: "car"}))
+        payload = donor.detach("cam-a")[0]
+        other = StreamRouter(build_queries(["person >= 1"], window=6, duration=2))
+        with pytest.raises(CheckpointError, match="do not match"):
+            other.adopt(payload)
+
+    def test_stats_aggregate_counts(self):
+        feeds = make_feeds(2, num_feeds=2, num_frames=30)
+        router = StreamRouter(multi_group_queries(), batch_size=4)
+        router.route_many(interleaved(feeds, 2))
+        router.flush()
+        stats = router.stats()
+        assert stats["streams"] == 2
+        assert stats["window_groups"] == 2
+        assert stats["shards"] == 4
+        # Every frame goes to every group shard of its stream.
+        assert stats["totals"]["frames_ingested"] == 2 * 30 * 2
+        assert stats["totals"]["queue_depth"] == 0
+        assert len(stats["per_shard"]) == 4
