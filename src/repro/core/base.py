@@ -284,6 +284,28 @@ class MCOSGenerator(abc.ABC):
         }
         self._import_impl(payload["state"])
 
+    def export_state(self) -> bytes:
+        """The :meth:`export_checkpoint` snapshot as compact checkpoint bytes.
+
+        Uses the streaming checkpoint codec's current (compact binary)
+        version — the form the multiprocess worker pool ships over queues
+        and the periodic-snapshot path writes.  :meth:`import_state` accepts
+        any supported version.
+        """
+        # Imported lazily: repro.streaming.checkpoint has no dependencies on
+        # repro.core, but importing it at module scope here would pull the
+        # streaming package (and through it the engine) into every core
+        # import, creating a cycle.
+        from repro.streaming.checkpoint import to_bytes
+
+        return to_bytes("generator", self.export_checkpoint())
+
+    def import_state(self, data: bytes) -> None:
+        """Restore the generator from :meth:`export_state` bytes (any version)."""
+        from repro.streaming.checkpoint import from_bytes
+
+        self.import_checkpoint(from_bytes(data, expect_kind="generator"))
+
     # ------------------------------------------------------------------
     # Hooks for subclasses
     # ------------------------------------------------------------------

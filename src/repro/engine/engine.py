@@ -238,6 +238,37 @@ class TemporalVideoQueryEngine:
         self._result_states = int(counters["result_states"])
         self.generator.import_checkpoint(payload["generator"])
 
+    def export_state(self) -> bytes:
+        """The :meth:`checkpoint` snapshot as compact checkpoint bytes.
+
+        This is the byte-level hand-off form: self-contained (config and
+        queries included), canonical, and written with the streaming codec's
+        current compact version.  :meth:`import_state` and
+        :meth:`from_state` accept any supported version.
+        """
+        # Lazy import: the streaming package imports this module, so a
+        # module-scope import here would be circular.
+        from repro.streaming.checkpoint import to_bytes
+
+        return to_bytes("engine", self.checkpoint())
+
+    def import_state(self, data: bytes) -> None:
+        """Restore this engine from :meth:`export_state` bytes.
+
+        The engine must be configured identically to the snapshot (see
+        :meth:`restore`); use :meth:`from_state` to rebuild from scratch.
+        """
+        from repro.streaming.checkpoint import from_bytes
+
+        self.restore(from_bytes(data, expect_kind="engine"))
+
+    @classmethod
+    def from_state(cls, data: bytes) -> "TemporalVideoQueryEngine":
+        """Rebuild an engine (typically in a fresh process) from state bytes."""
+        from repro.streaming.checkpoint import from_bytes
+
+        return cls.from_checkpoint(from_bytes(data, expect_kind="engine"))
+
     @classmethod
     def from_checkpoint(cls, payload: Dict) -> "TemporalVideoQueryEngine":
         """Rebuild an engine from a :meth:`checkpoint` snapshot.

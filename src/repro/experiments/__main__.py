@@ -41,18 +41,26 @@ def main(argv=None) -> int:
                         help="subset of experiments (e.g. table6 figure9)")
     parser.add_argument("--datasets", nargs="*", default=None,
                         help="restrict to these datasets (e.g. V1 M2)")
-    parser.add_argument("--bench", choices=["kernel", "streaming"], default=None,
+    parser.add_argument("--bench", choices=["kernel", "streaming", "pool"],
+                        default=None,
                         help="run a micro-benchmark instead of the figures "
                              "(kernel: MCOS generation frames/sec, writes "
                              "BENCH_kernel.json; streaming: StreamRouter vs "
                              "sequential single-engine runs over simulated "
-                             "camera feeds, writes BENCH_streaming.json)")
+                             "camera feeds, writes BENCH_streaming.json; "
+                             "pool: multiprocess ShardWorkerPool vs the "
+                             "single-process router vs sequential engines, "
+                             "writes BENCH_pool.json)")
     parser.add_argument("--feeds", type=int, default=None,
                         help="number of simulated camera feeds for "
-                             "--bench streaming (default 8)")
+                             "--bench streaming/pool (default 8)")
     parser.add_argument("--frames", type=int, default=None,
-                        help="frames per simulated feed for --bench streaming "
-                             "(default 400)")
+                        help="frames per simulated feed for --bench "
+                             "streaming/pool (default 400)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for --bench pool (default 4)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="shrink --bench pool to a CI-sized workload")
     args = parser.parse_args(argv)
 
     if args.bench == "kernel":
@@ -76,6 +84,20 @@ def main(argv=None) -> int:
             frames_per_feed=args.frames if args.frames is not None else DEFAULT_FRAMES,
         )
         print(render_report(report))
+        return 0
+
+    if args.bench == "pool":
+        from repro.experiments.streaming_bench import (
+            DEFAULT_FEEDS, DEFAULT_FRAMES, DEFAULT_WORKERS,
+            render_pool_report, run_pool_benchmark,
+        )
+        report = run_pool_benchmark(
+            num_feeds=args.feeds if args.feeds is not None else DEFAULT_FEEDS,
+            frames_per_feed=args.frames if args.frames is not None else DEFAULT_FRAMES,
+            workers=args.workers if args.workers is not None else DEFAULT_WORKERS,
+            smoke=args.smoke,
+        )
+        print(render_pool_report(report))
         return 0
 
     selected = args.only or ["table6", *EXPERIMENTS]

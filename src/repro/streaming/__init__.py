@@ -8,13 +8,28 @@ each wrapping one :class:`~repro.engine.engine.TemporalVideoQueryEngine`.
 Shards ingest in batches, tolerate late/out-of-order frames up to a
 watermark, expose ingest statistics, and snapshot/restore their full state
 through the versioned checkpoint format of
-:mod:`repro.streaming.checkpoint`.
+:mod:`repro.streaming.checkpoint` (compact binary version 2 by default,
+version-1 JSON still readable).
+
+A :class:`~repro.streaming.pool.ShardWorkerPool` moves the shards into
+``multiprocessing`` workers — shipped as checkpoint bytes, fed batched
+frames over queues, periodically snapshotted, and restored-plus-replayed
+when a worker crashes — while producing results byte-identical to the
+in-process router.
 """
 
 from repro.streaming.checkpoint import (
     CHECKPOINT_FORMAT,
     CHECKPOINT_VERSION,
+    SUPPORTED_VERSIONS,
     CheckpointError,
+)
+from repro.streaming.pool import (
+    PoolError,
+    ShardWorkerPool,
+    WorkerCrashError,
+    deterministic_stats,
+    match_report,
 )
 from repro.streaming.router import StreamRouter, group_queries_by_window
 from repro.streaming.shard import ShardKey, ShardStats, StreamShard
@@ -22,10 +37,16 @@ from repro.streaming.shard import ShardKey, ShardStats, StreamShard
 __all__ = [
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_VERSION",
+    "SUPPORTED_VERSIONS",
     "CheckpointError",
+    "PoolError",
     "ShardKey",
     "ShardStats",
+    "ShardWorkerPool",
     "StreamShard",
     "StreamRouter",
+    "WorkerCrashError",
+    "deterministic_stats",
     "group_queries_by_window",
+    "match_report",
 ]

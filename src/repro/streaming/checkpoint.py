@@ -1,64 +1,106 @@
-"""Versioned checkpoint envelope for the streaming runtime.
+"""Versioned checkpoint envelope and compact codec for the streaming runtime.
 
-A checkpoint is a JSON document wrapping one component snapshot::
+A checkpoint wraps one component snapshot::
 
     {
       "format": "repro-streaming-checkpoint",
-      "version": 1,
+      "version": 1 | 2,
       "kind": "shard" | "router" | "engine" | "generator",
       "payload": { ... }
     }
 
 The payload is produced by the component's own ``checkpoint()`` /
 ``export_checkpoint()`` method (shards and routers here; engines in
-:mod:`repro.engine.engine`; generators in :mod:`repro.core.base`).  JSON was
-chosen over pickle deliberately: the bytes are inspectable, diffable,
-process- and version-independent, and loading one can never execute code.
+:mod:`repro.engine.engine`; generators in :mod:`repro.core.base`).
+
+Two wire encodings exist:
+
+* **version 1** — plain UTF-8 JSON of the envelope.  Inspectable, diffable,
+  and still fully readable: :func:`from_bytes` accepts it forever.
+* **version 2** (the default written form) — a compact binary encoding of the
+  same envelope tree, built for frequent snapshots and process hand-offs:
+
+  ============  =====================================================
+  section       contents
+  ============  =====================================================
+  magic         ``b"RSCK2\\x00"`` (identifies format + version)
+  body          zlib-compressed stream of:
+  · strings     interned string table (varint count, then varint
+                length + UTF-8 bytes per string, first-use order)
+  · tree        tag-prefixed value tree; every string (dict keys
+                included) is a varint reference into the table
+  ============  =====================================================
+
+  Value tags: ``0`` None, ``1`` False, ``2`` True, ``3`` int (zigzag
+  varint, arbitrary precision — object-set bitmasks encode exactly),
+  ``4`` float (IEEE-754 big-endian double), ``5`` string reference,
+  ``6`` list, ``7`` dict (string keys only), ``8`` homogeneous int list,
+  **delta-coded**: first value then zigzag deltas.  Tag 8 is what makes
+  :class:`~repro.core.framespan.FrameSpan` snapshots cheap — run starts,
+  run ends and marked-frame lists are sorted int lists whose deltas are
+  tiny, so a span costs a few bytes instead of a JSON digit string per
+  frame id.
+
+Neither version can execute code when loaded, and loading rejects foreign
+formats, unknown versions, truncated or trailing bytes instead of guessing.
 
 Determinism
 -----------
 Serialisation preserves every insertion order the runtime depends on (state
-tables, SSG adjacency, principal lists), and ``to_bytes`` is canonical — the
-same component state always produces the same bytes — so checkpoints can be
-content-addressed and compared directly in tests.
-
-Compatibility
--------------
-``version`` is bumped whenever the payload layout changes incompatibly.
-Loading rejects unknown formats and future versions instead of guessing;
-older readers therefore fail loudly rather than resuming a shard with
-half-understood state.
+tables, SSG adjacency, principal lists), and ``to_bytes`` is canonical per
+version — the same component state always produces the same bytes — so
+checkpoints can be content-addressed and compared directly in tests.
 """
 
 from __future__ import annotations
 
 import json
+import struct
+import zlib
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 PathLike = Union[str, Path]
 
 #: Identifies the envelope; never changes.
 CHECKPOINT_FORMAT = "repro-streaming-checkpoint"
 
-#: Bumped on every incompatible payload layout change.
-CHECKPOINT_VERSION = 1
+#: The version :func:`to_bytes` writes by default.
+CHECKPOINT_VERSION = 2
+
+#: Every version :func:`from_bytes` still reads.
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Magic prefix of the version-2 binary encoding.
+MAGIC_V2 = b"RSCK2\x00"
+
+#: Ceiling on a version-2 body's decompressed size (decompression-bomb
+#: guard; far above any real router snapshot).
+MAX_DECOMPRESSED_BYTES = 1 << 28
 
 #: Component kinds a checkpoint may wrap.
 KNOWN_KINDS = ("shard", "router", "engine", "generator")
+
+#: Value tags of the version-2 tree encoding.
+_T_NONE, _T_FALSE, _T_TRUE, _T_INT, _T_FLOAT = 0, 1, 2, 3, 4
+_T_STR, _T_LIST, _T_DICT, _T_INTLIST = 5, 6, 7, 8
+
+_DOUBLE = struct.Struct(">d")
 
 
 class CheckpointError(ValueError):
     """Raised when a checkpoint cannot be parsed, validated or applied."""
 
 
-def wrap(kind: str, payload: Dict) -> Dict:
+def wrap(kind: str, payload: Dict, version: int = CHECKPOINT_VERSION) -> Dict:
     """Wrap a component snapshot in the versioned envelope."""
     if kind not in KNOWN_KINDS:
         raise CheckpointError(f"unknown checkpoint kind {kind!r}")
+    if version not in SUPPORTED_VERSIONS:
+        raise CheckpointError(f"cannot write checkpoint version {version!r}")
     return {
         "format": CHECKPOINT_FORMAT,
-        "version": CHECKPOINT_VERSION,
+        "version": version,
         "kind": kind,
         "payload": payload,
     }
@@ -67,8 +109,8 @@ def wrap(kind: str, payload: Dict) -> Dict:
 def unwrap(document: Dict, expect_kind: Optional[str] = None) -> Dict:
     """Validate the envelope and return the inner payload.
 
-    Rejects foreign documents, future versions, and — when ``expect_kind`` is
-    given — snapshots of the wrong component kind.
+    Rejects foreign documents, unsupported versions, and — when
+    ``expect_kind`` is given — snapshots of the wrong component kind.
     """
     if not isinstance(document, dict):
         raise CheckpointError(
@@ -79,10 +121,10 @@ def unwrap(document: Dict, expect_kind: Optional[str] = None) -> Dict:
             f"not a streaming checkpoint (format={document.get('format')!r})"
         )
     version = document.get("version")
-    if version != CHECKPOINT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise CheckpointError(
             f"unsupported checkpoint version {version!r} "
-            f"(this runtime reads version {CHECKPOINT_VERSION})"
+            f"(this runtime reads versions {SUPPORTED_VERSIONS})"
         )
     kind = document.get("kind")
     if kind not in KNOWN_KINDS:
@@ -97,20 +139,241 @@ def unwrap(document: Dict, expect_kind: Optional[str] = None) -> Dict:
     return payload
 
 
-def to_bytes(kind: str, payload: Dict) -> bytes:
-    """Serialise a snapshot to canonical UTF-8 JSON bytes.
+# ----------------------------------------------------------------------
+# Version-2 binary codec
+# ----------------------------------------------------------------------
+def _write_varint(out: bytearray, value: int) -> None:
+    """LEB128 unsigned varint (arbitrary precision)."""
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
 
-    Compact separators and no key sorting: insertion order *is* part of the
-    state (see the module docstring), so the bytes are canonical for a given
-    component state.
+
+def _zigzag(value: int) -> int:
+    """Map signed to unsigned so small magnitudes stay small (any precision)."""
+    return value << 1 if value >= 0 else ((-value) << 1) - 1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+def _encode_value(value, out: bytearray, strings: Dict[str, int]) -> None:
+    """Encode one JSON-tree value; interns strings on first encounter."""
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif type(value) is int:
+        out.append(_T_INT)
+        _write_varint(out, _zigzag(value))
+    elif type(value) is float:
+        out.append(_T_FLOAT)
+        out += _DOUBLE.pack(value)
+    elif type(value) is str:
+        out.append(_T_STR)
+        index = strings.get(value)
+        if index is None:
+            index = strings[value] = len(strings)
+        _write_varint(out, index)
+    elif type(value) in (list, tuple):
+        if value and all(type(item) is int for item in value):
+            # Delta-coded int list: FrameSpan runs/marks, interner bit
+            # tables without holes, frame-id lists — the bulk of a payload.
+            out.append(_T_INTLIST)
+            _write_varint(out, len(value))
+            previous = 0
+            for item in value:
+                _write_varint(out, _zigzag(item - previous))
+                previous = item
+        else:
+            out.append(_T_LIST)
+            _write_varint(out, len(value))
+            for item in value:
+                _encode_value(item, out, strings)
+    elif type(value) is dict:
+        out.append(_T_DICT)
+        _write_varint(out, len(value))
+        for key, item in value.items():
+            if type(key) is not str:
+                raise CheckpointError(
+                    f"checkpoint dict keys must be strings, got {key!r}"
+                )
+            index = strings.get(key)
+            if index is None:
+                index = strings[key] = len(strings)
+            _write_varint(out, index)
+            _encode_value(item, out, strings)
+    else:
+        raise CheckpointError(
+            f"value of type {type(value).__name__} is not checkpointable"
+        )
+
+
+class _Reader:
+    """Cursor over the decompressed version-2 body; strict about bounds."""
+
+    __slots__ = ("data", "pos", "strings")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+        self.strings: List[str] = []
+
+    def read_varint(self) -> int:
+        data, pos, end = self.data, self.pos, len(self.data)
+        value = 0
+        shift = 0
+        while True:
+            if pos >= end:
+                raise CheckpointError("truncated checkpoint: varint runs past the end")
+            byte = data[pos]
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                self.pos = pos
+                return value
+            shift += 7
+
+    def read_bytes(self, count: int) -> bytes:
+        chunk = self.data[self.pos:self.pos + count]
+        if len(chunk) != count:
+            raise CheckpointError("truncated checkpoint: body ends mid-value")
+        self.pos += count
+        return chunk
+
+    def read_string_table(self) -> None:
+        count = self.read_varint()
+        strings = self.strings
+        for _ in range(count):
+            length = self.read_varint()
+            try:
+                strings.append(self.read_bytes(length).decode("utf-8"))
+            except UnicodeDecodeError as exc:
+                raise CheckpointError(f"malformed string in checkpoint: {exc}") from exc
+
+    def read_value(self):
+        tag = self.read_bytes(1)[0]
+        if tag == _T_NONE:
+            return None
+        if tag == _T_TRUE:
+            return True
+        if tag == _T_FALSE:
+            return False
+        if tag == _T_INT:
+            return _unzigzag(self.read_varint())
+        if tag == _T_FLOAT:
+            return _DOUBLE.unpack(self.read_bytes(8))[0]
+        if tag == _T_STR:
+            return self._string_at(self.read_varint())
+        if tag == _T_INTLIST:
+            count = self.read_varint()
+            values: List[int] = []
+            previous = 0
+            for _ in range(count):
+                previous += _unzigzag(self.read_varint())
+                values.append(previous)
+            return values
+        if tag == _T_LIST:
+            return [self.read_value() for _ in range(self.read_varint())]
+        if tag == _T_DICT:
+            return {
+                self._string_at(self.read_varint()): self.read_value()
+                for _ in range(self.read_varint())
+            }
+        raise CheckpointError(f"unknown value tag {tag} in checkpoint body")
+
+    def _string_at(self, index: int) -> str:
+        try:
+            return self.strings[index]
+        except IndexError:
+            raise CheckpointError(
+                f"checkpoint string reference {index} is out of range"
+            ) from None
+
+
+def _encode_v2(document: Dict) -> bytes:
+    strings: Dict[str, int] = {}
+    tree = bytearray()
+    _encode_value(document, tree, strings)
+    body = bytearray()
+    _write_varint(body, len(strings))
+    for text in strings:  # dict preserves first-use order
+        encoded = text.encode("utf-8")
+        _write_varint(body, len(encoded))
+        body += encoded
+    body += tree
+    return MAGIC_V2 + zlib.compress(bytes(body), 6)
+
+
+def _decode_v2(data: bytes) -> Dict:
+    decompressor = zlib.decompressobj()
+    try:
+        # Bounded: a corrupt or crafted body at zlib's ~1000:1 limit must
+        # fail as a CheckpointError, not exhaust memory before validation.
+        body = decompressor.decompress(
+            data[len(MAGIC_V2):], MAX_DECOMPRESSED_BYTES
+        )
+        if decompressor.unconsumed_tail:
+            raise CheckpointError(
+                "checkpoint body exceeds the decompressed size limit "
+                f"({MAX_DECOMPRESSED_BYTES} bytes)"
+            )
+        body += decompressor.flush()
+    except zlib.error as exc:
+        raise CheckpointError(f"corrupt checkpoint body: {exc}") from exc
+    if not decompressor.eof:
+        raise CheckpointError("truncated checkpoint: compressed body is incomplete")
+    if decompressor.unused_data:
+        raise CheckpointError(
+            f"checkpoint has {len(decompressor.unused_data)} trailing bytes "
+            "after the compressed body"
+        )
+    reader = _Reader(body)
+    reader.read_string_table()
+    document = reader.read_value()
+    if reader.pos != len(body):
+        raise CheckpointError(
+            f"checkpoint has {len(body) - reader.pos} trailing bytes"
+        )
+    return document
+
+
+# ----------------------------------------------------------------------
+# Public byte-level API
+# ----------------------------------------------------------------------
+def to_bytes(kind: str, payload: Dict, version: int = CHECKPOINT_VERSION) -> bytes:
+    """Serialise a snapshot to canonical checkpoint bytes.
+
+    ``version=2`` (the default) writes the compact binary form; ``version=1``
+    writes the historical JSON form.  Both are canonical: insertion order
+    *is* part of the state (see the module docstring), so the bytes are a
+    pure function of the component state.
     """
-    return json.dumps(
-        wrap(kind, payload), separators=(",", ":"), ensure_ascii=True
-    ).encode("ascii")
+    document = wrap(kind, payload, version)
+    if version == 1:
+        return json.dumps(
+            document, separators=(",", ":"), ensure_ascii=True
+        ).encode("ascii")
+    return _encode_v2(document)
 
 
 def from_bytes(data: bytes, expect_kind: Optional[str] = None) -> Dict:
-    """Parse checkpoint bytes back into the inner payload."""
+    """Parse checkpoint bytes (either version) back into the inner payload."""
+    if isinstance(data, (bytes, bytearray)) and bytes(data[:len(MAGIC_V2)]) == MAGIC_V2:
+        document = _decode_v2(bytes(data))
+        if not isinstance(document, dict) or document.get("version") != 2:
+            raise CheckpointError(
+                "binary checkpoint body does not declare version 2"
+            )
+        return unwrap(document, expect_kind)
     try:
         document = json.loads(data)
     except (ValueError, UnicodeDecodeError) as exc:
@@ -118,9 +381,10 @@ def from_bytes(data: bytes, expect_kind: Optional[str] = None) -> Dict:
     return unwrap(document, expect_kind)
 
 
-def save(path: PathLike, kind: str, payload: Dict) -> None:
+def save(path: PathLike, kind: str, payload: Dict,
+         version: int = CHECKPOINT_VERSION) -> None:
     """Write a checkpoint file (canonical bytes, see :func:`to_bytes`)."""
-    Path(path).write_bytes(to_bytes(kind, payload))
+    Path(path).write_bytes(to_bytes(kind, payload, version))
 
 
 def load(path: PathLike, expect_kind: Optional[str] = None) -> Dict:

@@ -1,0 +1,785 @@
+"""Multiprocess shard worker pool with crash recovery.
+
+A :class:`ShardWorkerPool` takes the shards of a
+:class:`~repro.streaming.router.StreamRouter` out of the driving process and
+spreads them over ``multiprocessing`` workers:
+
+* **hand-off via checkpoints** — :meth:`start` detaches every live stream
+  from the origin router and ships each shard to its worker as versioned
+  checkpoint bytes (:mod:`repro.streaming.checkpoint`, compact version 2);
+  every worker runs an ordinary in-process router built from the origin's
+  :meth:`~repro.streaming.router.StreamRouter.config_checkpoint`, so worker
+  behaviour is *the* single-process behaviour, stream by stream;
+* **batched dispatch over queues** — frames are buffered per worker and
+  dispatched in batches; each stream is owned by exactly one worker
+  (assigned round-robin in first-seen order), so per-stream frame order is
+  preserved and results are independent of the worker count;
+* **crash recovery** — the parent keeps, per worker, the last periodic
+  checkpoint it received plus the log of state-changing operations sent
+  after it (the *unacked tail*).  When a worker dies (e.g. SIGKILL), a fresh
+  process is spawned, restored from the checkpoint, and the tail is replayed
+  in order.  Workers are deterministic functions of their operation log, so
+  a recovered worker produces exactly the matches the dead one would have;
+  duplicate acknowledgements from replay are discarded by sequence number;
+* **graceful shutdown** — :meth:`stop` checkpoints every worker and adopts
+  all shards back into the origin router, which resumes exactly where the
+  pool left off (detach tombstones lift).
+
+Exactly-once effects
+--------------------
+Every state-changing message carries a per-worker sequence number.  The
+parent records the highest acknowledged sequence per worker and ignores
+re-acknowledgements below it, and checkpoints cover exactly the operations
+sent before the checkpoint request (queues are FIFO), so a replayed tail is
+applied to a state that has seen none of it.  Matches are retained inside
+the worker's shards (and therefore inside every checkpoint) until
+explicitly drained, so produced-but-undelivered matches survive a crash.
+
+Read-only queries (stats, match listings, checkpoint requests) are not
+logged; if a crash swallows one, the caller transparently re-issues it.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import queue as queue_module
+import traceback
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.datamodel.observation import FrameObservation
+from repro.query.evaluator import QueryMatch
+from repro.streaming.checkpoint import from_bytes, to_bytes
+from repro.streaming.router import StreamRouter
+
+#: Sentinel stored as the "ack" of a read-only query lost to a worker crash.
+_LOST = object()
+
+
+class PoolError(RuntimeError):
+    """Raised when the pool is misused or a worker fails unrecoverably."""
+
+
+class WorkerCrashError(PoolError):
+    """A worker kept dying after exhausting its restart budget."""
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _apply_op(router: StreamRouter, op: Tuple):
+    """Apply one state-changing operation to the worker's local router."""
+    kind = op[0]
+    if kind == "adopt":
+        for blob in op[1]:
+            router.adopt(from_bytes(blob, expect_kind="shard"))
+        return None
+    if kind == "frames":
+        for stream_id, record in op[1]:
+            router.route(stream_id, FrameObservation.from_record(record))
+        return None
+    if kind == "flush":
+        router.flush()
+        return None
+    if kind == "drain":
+        return {
+            stream_id: [match.to_record() for match in matches]
+            for stream_id, matches in router.drain_matches().items()
+        }
+    raise PoolError(f"unknown worker operation {kind!r}")
+
+
+def _answer_query(router: StreamRouter, query: Tuple):
+    """Answer one read-only query against the worker's local router."""
+    kind = query[0]
+    if kind == "stats":
+        return router.stats()
+    if kind == "matches":
+        return [match.to_record() for match in router.matches_for(query[1])]
+    if kind == "ckpt":
+        return router.to_bytes()
+    raise PoolError(f"unknown worker query {kind!r}")
+
+
+def _worker_main(index: int, tasks, results, config_blob: bytes) -> None:
+    """Worker loop: fold the parent's operation stream into a local router.
+
+    State-changing operations and read-only queries are acknowledged with
+    their sequence number; ``restore`` replaces the whole router (crash
+    recovery) and ``stop`` answers with a final checkpoint and exits.
+    Checkpoints are only ever taken between messages, which is the
+    between-frames boundary the shard checkpoint contract requires.
+    """
+    try:
+        router = StreamRouter.from_bytes(config_blob)
+        while True:
+            message = tasks.get()
+            kind = message[0]
+            if kind == "op":
+                _, seq, op = message
+                results.put(("ack", index, seq, _apply_op(router, op)))
+            elif kind == "query":
+                _, seq, query = message
+                results.put(("ack", index, seq, _answer_query(router, query)))
+            elif kind == "restore":
+                router = StreamRouter.from_bytes(message[1])
+            elif kind == "stop":
+                results.put(("stopped", index, router.to_bytes()))
+                return
+            else:
+                raise PoolError(f"unknown worker message {kind!r}")
+    except Exception:
+        results.put(("error", index, traceback.format_exc()))
+
+
+# ----------------------------------------------------------------------
+# Parent-side bookkeeping
+# ----------------------------------------------------------------------
+class _WorkerHandle:
+    """Parent-side state of one worker: process, queues, log, checkpoints."""
+
+    __slots__ = (
+        "index", "process", "tasks", "results", "next_seq", "log",
+        "last_checkpoint", "pending_ckpt_seq", "inflight", "max_acked",
+        "acks", "buffer", "restarts", "ops_since_ckpt", "stopped_state",
+        "ckpt_count",
+    )
+
+    def __init__(self, index: int):
+        self.index = index
+        self.process = None
+        self.tasks = None
+        self.results = None
+        #: Next sequence number (monotonic across restarts of this worker).
+        self.next_seq = 0
+        #: Unacked tail: ``(seq, op)`` of state-changing operations not yet
+        #: covered by a received checkpoint.
+        self.log: List[Tuple[int, Tuple]] = []
+        #: Latest router checkpoint received from this worker.
+        self.last_checkpoint: Optional[bytes] = None
+        #: Sequence of the outstanding periodic checkpoint request, if any.
+        self.pending_ckpt_seq: Optional[int] = None
+        #: Sequences sent but not yet acknowledged.
+        self.inflight: set = set()
+        #: Highest acknowledged sequence (replay duplicates fall below it).
+        self.max_acked = -1
+        #: Payload-bearing acknowledgements not yet consumed by a caller.
+        self.acks: Dict[int, object] = {}
+        #: Frames buffered for the next ``frames`` dispatch.
+        self.buffer: List[Tuple[str, list]] = []
+        self.restarts = 0
+        self.ops_since_ckpt = 0
+        #: Checkpoints received over the worker's lifetime (freshness token
+        #: for :meth:`ShardWorkerPool.checkpoint_now`).
+        self.ckpt_count = 0
+        #: Final checkpoint delivered by a graceful ``stop``.
+        self.stopped_state: Optional[bytes] = None
+
+
+class ShardWorkerPool:
+    """Drives a router's shards from a pool of worker processes.
+
+    Parameters
+    ----------
+    router:
+        The origin :class:`StreamRouter`.  Its live shards are detached on
+        :meth:`start` and adopted back on :meth:`stop`; it must retain
+        matches (``retain_matches=True``), since the pool delivers matches
+        through :meth:`drain_matches` / :meth:`matches_for`.
+    num_workers:
+        Worker process count.  Results are identical for any value ≥ 1.
+    dispatch_batch:
+        Frames buffered per worker before a ``frames`` operation is sent.
+    checkpoint_every:
+        Periodic checkpoint cadence, in state-changing operations per
+        worker.  Smaller values shorten the replay tail after a crash at
+        the cost of more (compact, version-2) snapshot traffic.
+    max_inflight:
+        Bound on unacknowledged operations per worker (backpressure, and a
+        bound on parent-side replay-log memory between checkpoints).
+    max_restarts:
+        Crash-recovery budget per worker; exceeding it raises
+        :class:`WorkerCrashError` (a worker that dies deterministically
+        would otherwise replay-crash forever).
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (cheapest), else the platform default.
+    """
+
+    def __init__(
+        self,
+        router: StreamRouter,
+        num_workers: int = 2,
+        dispatch_batch: int = 32,
+        checkpoint_every: int = 8,
+        max_inflight: int = 64,
+        max_restarts: int = 3,
+        start_method: Optional[str] = None,
+        poll_interval: float = 0.02,
+    ):
+        if num_workers <= 0:
+            raise PoolError("num_workers must be positive")
+        if dispatch_batch <= 0 or checkpoint_every <= 0 or max_inflight <= 0:
+            raise PoolError(
+                "dispatch_batch, checkpoint_every and max_inflight must be positive"
+            )
+        if not router.retain_matches:
+            raise PoolError(
+                "the pool delivers matches via drain_matches/matches_for, "
+                "which requires the router to retain matches"
+            )
+        self.router = router
+        self.num_workers = num_workers
+        self.dispatch_batch = dispatch_batch
+        self.checkpoint_every = checkpoint_every
+        self.max_inflight = max_inflight
+        self.max_restarts = max_restarts
+        self.poll_interval = poll_interval
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = multiprocessing.get_context(start_method)
+        self._workers: List[_WorkerHandle] = []
+        #: Stream ownership, in global first-seen order (round-robin).
+        self._assignment: Dict[str, int] = {}
+        #: The origin router's ``departed`` block at start() time: streams
+        #: it had already handed to *other* owners.  Shards shipped to this
+        #: pool's own workers are excluded (they are being served, not
+        #: departed), so :meth:`stats` mirrors an uninterrupted router.
+        self._origin_departed: Optional[Dict] = None
+        self._config_blob: Optional[bytes] = None
+        self._started = False
+        self._stopped = False
+        self._broken = False
+        self._checkpoints_taken = 0
+        self._ops_dispatched = 0
+        self._frames_dispatched = 0
+        self._total_restarts = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def restarts(self) -> int:
+        """Workers restarted after crashes over the pool's lifetime."""
+        return self._total_restarts
+
+    def stream_ids(self) -> List[str]:
+        """Streams routed through (or handed to) the pool, first-seen order.
+
+        Matches :meth:`StreamRouter.stream_ids` on an uninterrupted
+        single-process run of the same event sequence.
+        """
+        return list(self._assignment)
+
+    def worker_pids(self) -> List[int]:
+        """Process ids of the current worker generation (fault injection)."""
+        self._require_running()
+        return [worker.process.pid for worker in self._workers]
+
+    def start(self) -> "ShardWorkerPool":
+        """Detach the origin router's shards and ship them to fresh workers."""
+        if self._started:
+            raise PoolError("the pool is already started")
+        if self._stopped or self._broken:
+            raise PoolError("a stopped or broken pool cannot be restarted")
+        router = self.router
+        # Streams the origin had already detached belong to someone else;
+        # their tombstones travel to every worker so a routing mistake fails
+        # there exactly as it would have failed on the origin router.
+        config = router.config_checkpoint(include_detached=True)
+        self._config_blob = to_bytes("router", config)
+        # Snapshot pre-existing hand-offs before our own detaches land.
+        self._origin_departed = dict(router.stats()["departed"])
+        self._workers = [_WorkerHandle(index) for index in range(self.num_workers)]
+        for worker in self._workers:
+            self._spawn(worker)
+        self._started = True
+        for stream_id in router.stream_ids():
+            payloads = router.detach(stream_id)
+            worker = self._workers[self._assign(stream_id)]
+            blobs = [to_bytes("shard", payload) for payload in payloads]
+            self._send_op(worker, ("adopt", blobs))
+        return self
+
+    def stop(self) -> StreamRouter:
+        """Gracefully shut down: checkpoint workers, adopt shards back.
+
+        Returns the origin router, which now owns every shard again (new
+        streams included) and resumes exactly where the workers left off.
+        """
+        self._require_running()
+        self._flush_buffers()
+        stop_sent_to = {}
+        for worker in self._workers:
+            worker.tasks.put(("stop",))
+            stop_sent_to[worker.index] = worker.process
+        while any(worker.stopped_state is None for worker in self._workers):
+            self._pump(block=True)
+            for worker in self._workers:
+                if (worker.stopped_state is None
+                        and worker.process is not stop_sent_to[worker.index]):
+                    # The worker died between our stop request and its final
+                    # checkpoint; _pump recovered it (restore + tail replay),
+                    # so re-request the stop from the fresh process.
+                    worker.tasks.put(("stop",))
+                    stop_sent_to[worker.index] = worker.process
+        for worker in self._workers:
+            worker.process.join()
+        self._started = False
+        self._stopped = True
+        # Adopt back in global first-seen stream order (not worker order):
+        # the origin router's shard/stream iteration order then matches what
+        # an uninterrupted single-process run would have produced.
+        by_stream: Dict[str, List[Dict]] = {}
+        for worker in self._workers:
+            payload = from_bytes(worker.stopped_state, expect_kind="router")
+            for shard_payload in payload.get("shards", []):
+                stream_id = str(shard_payload["key"]["stream_id"])
+                by_stream.setdefault(stream_id, []).append(shard_payload)
+        for stream_id in self._assignment:
+            for shard_payload in by_stream.pop(stream_id, []):
+                self.router.adopt(shard_payload)
+        for shard_payloads in by_stream.values():  # pragma: no cover - safety
+            for shard_payload in shard_payloads:
+                self.router.adopt(shard_payload)
+        self._close_queues()
+        return self.router
+
+    def terminate(self) -> None:
+        """Abort without adopting state back (used on errors and in tests)."""
+        for worker in self._workers:
+            process = worker.process
+            if process is not None and process.is_alive():
+                process.terminate()
+        for worker in self._workers:
+            if worker.process is not None:
+                worker.process.join(timeout=5)
+        self._close_queues()
+        self._started = False
+        self._stopped = True
+
+    def __enter__(self) -> "ShardWorkerPool":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and self._started:
+            self.stop()
+        elif self._started:
+            self.terminate()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, stream_id: str, frame: FrameObservation) -> None:
+        """Buffer one frame for its owning worker (dispatched in batches).
+
+        Unlike the in-process router, matches are not returned here — they
+        accumulate in the workers' shards and are collected with
+        :meth:`drain_matches` / :meth:`matches_for`.
+        """
+        self._require_running()
+        worker = self._workers[self._assign(stream_id)]
+        worker.buffer.append((stream_id, frame.to_record()))
+        if len(worker.buffer) >= self.dispatch_batch:
+            self._dispatch_buffer(worker)
+
+    def route_many(self, events: Iterable[Tuple[str, FrameObservation]]) -> None:
+        """Route a ``(stream_id, frame)`` event sequence."""
+        for stream_id, frame in events:
+            self.route(stream_id, frame)
+
+    def flush(self) -> None:
+        """Flush every worker shard's reorder buffer (end-of-stream point)."""
+        self._require_running()
+        self._flush_buffers()
+        seqs = [
+            (worker, self._send_op(worker, ("flush",)))
+            for worker in self._workers
+        ]
+        for worker, seq in seqs:
+            self._await(worker, seq)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def matches_for(self, stream_id: str) -> List[QueryMatch]:
+        """A stream's retained matches, ordered exactly as the router's."""
+        self._require_running()
+        index = self._assignment.get(stream_id)
+        if index is None:
+            return []
+        worker = self._workers[index]
+        self._dispatch_buffer(worker)
+        records = self._call(worker, ("matches", stream_id))
+        return [QueryMatch.from_record(record) for record in records]
+
+    def drain_matches(self) -> Dict[str, List[QueryMatch]]:
+        """Drain every worker's retained matches, grouped by stream.
+
+        Stream order is global first-seen order and per-stream match order
+        is the router's — byte-identical to what the single-process router
+        would have drained.
+        """
+        self._require_running()
+        self._flush_buffers()
+        seqs = [
+            (worker, self._send_op(worker, ("drain",)))
+            for worker in self._workers
+        ]
+        merged: Dict[str, List[QueryMatch]] = {}
+        per_worker = {}
+        for worker, seq in seqs:
+            # drain is a *logged* op: if the worker crashes first, the replay
+            # re-runs it with the same sequence number, so the await below
+            # always completes with the (deterministic) payload.
+            per_worker[worker.index] = self._await(worker, seq) or {}
+        for stream_id, index in self._assignment.items():
+            records = per_worker.get(index, {}).get(stream_id)
+            if records:
+                merged[stream_id] = [
+                    QueryMatch.from_record(record) for record in records
+                ]
+        return merged
+
+    def stats(self) -> Dict:
+        """Aggregate + per-shard statistics across all workers.
+
+        The layout mirrors :meth:`StreamRouter.stats` (plus a ``pool``
+        block), and ``per_shard`` is rebuilt in the router's canonical
+        creation order — stream first-seen order crossed with group
+        registration order — so reports are comparable byte for byte
+        after stripping wall-clock fields (:func:`deterministic_stats`).
+        """
+        self._require_running()
+        self._flush_buffers()
+        worker_stats = [
+            self._call(worker, ("stats",)) for worker in self._workers
+        ]
+        totals = {
+            "frames_ingested": 0, "frames_processed": 0, "dropped_late": 0,
+            "duplicates": 0, "reordered": 0, "processing_seconds": 0.0,
+            "queue_depth": 0,
+        }
+        # Workers never detach, so their departed blocks are zero; what the
+        # oracle router would report as departed is exactly the origin's
+        # pre-pool hand-offs, snapshotted at start().
+        departed = dict(self._origin_departed)
+        shards = 0
+        per_shard_raw: Dict[str, Dict] = {}
+        for stats in worker_stats:
+            shards += stats["shards"]
+            for key in totals:
+                totals[key] += stats["totals"][key]
+            per_shard_raw.update(stats["per_shard"])
+            for key, value in stats["departed"].items():
+                departed[key] += value
+        seconds = totals["processing_seconds"]
+        totals["processing_seconds"] = round(seconds, 6)
+        totals["frames_per_sec"] = (
+            round(totals["frames_processed"] / seconds, 2) if seconds else 0.0
+        )
+        departed["processing_seconds"] = round(departed["processing_seconds"], 6)
+        per_shard: Dict[str, Dict] = {}
+        for stream_id in self._assignment:
+            for window, duration in self.router.group_keys:
+                key = f"{stream_id}/w{window}d{duration}"
+                if key in per_shard_raw:
+                    per_shard[key] = per_shard_raw[key]
+        return {
+            "streams": len(self._assignment),
+            "window_groups": len(self.router.group_keys),
+            "shards": shards,
+            "totals": totals,
+            "departed": departed,
+            "per_shard": per_shard,
+            "pool": {
+                "workers": self.num_workers,
+                "restarts": self._total_restarts,
+                "checkpoints_taken": self._checkpoints_taken,
+                "ops_dispatched": self._ops_dispatched,
+                "frames_dispatched": self._frames_dispatched,
+            },
+        }
+
+    def checkpoint_now(self) -> None:
+        """Force an immediate checkpoint of every worker (shrinks the tail)."""
+        self._require_running()
+        self._flush_buffers()
+        for worker in self._workers:
+            # Wait for a checkpoint *received after entry*: acknowledgements
+            # of replayed ops after a crash can advance max_acked past a
+            # lost request's sequence, so sequence progress alone does not
+            # prove a fresh snapshot landed.
+            baseline = worker.ckpt_count
+            while worker.ckpt_count == baseline:
+                if worker.pending_ckpt_seq is None:
+                    self._request_checkpoint(worker)
+                self._pump(block=True, focus=worker)
+
+    # ------------------------------------------------------------------
+    # Internals: dispatch, acknowledgements, recovery
+    # ------------------------------------------------------------------
+    def _require_running(self) -> None:
+        if self._broken:
+            raise PoolError("the pool is broken (a worker failed); see logs")
+        if not self._started:
+            raise PoolError(
+                "the pool is not running (start() it first; a stopped pool "
+                "cannot be reused)"
+            )
+
+    def _assign(self, stream_id: str) -> int:
+        index = self._assignment.get(stream_id)
+        if index is None:
+            index = len(self._assignment) % self.num_workers
+            self._assignment[stream_id] = index
+        return index
+
+    def _spawn(self, worker: _WorkerHandle) -> None:
+        worker.tasks = self._ctx.Queue()
+        worker.results = self._ctx.Queue()
+        worker.process = self._ctx.Process(
+            target=_worker_main,
+            args=(worker.index, worker.tasks, worker.results, self._config_blob),
+            daemon=True,
+            name=f"shard-worker-{worker.index}",
+        )
+        worker.process.start()
+
+    def _dispatch_buffer(self, worker: _WorkerHandle) -> None:
+        if worker.buffer:
+            frames = worker.buffer
+            worker.buffer = []
+            self._frames_dispatched += len(frames)
+            self._send_op(worker, ("frames", frames))
+
+    def _flush_buffers(self) -> None:
+        for worker in self._workers:
+            self._dispatch_buffer(worker)
+
+    def _send_op(self, worker: _WorkerHandle, op: Tuple) -> int:
+        seq = worker.next_seq
+        worker.next_seq += 1
+        worker.log.append((seq, op))
+        worker.inflight.add(seq)
+        worker.tasks.put(("op", seq, op))
+        self._ops_dispatched += 1
+        worker.ops_since_ckpt += 1
+        if (worker.ops_since_ckpt >= self.checkpoint_every
+                and worker.pending_ckpt_seq is None):
+            self._request_checkpoint(worker)
+        while len(worker.inflight) > self.max_inflight:
+            self._pump(block=True, focus=worker)
+        return seq
+
+    def _send_query(self, worker: _WorkerHandle, query: Tuple) -> int:
+        seq = worker.next_seq
+        worker.next_seq += 1
+        worker.inflight.add(seq)
+        worker.tasks.put(("query", seq, query))
+        return seq
+
+    def _request_checkpoint(self, worker: _WorkerHandle) -> None:
+        worker.pending_ckpt_seq = self._send_query(worker, ("ckpt",))
+        worker.ops_since_ckpt = 0
+
+    def _call(self, worker: _WorkerHandle, query: Tuple):
+        """Issue a read-only query, transparently retrying across crashes."""
+        while True:
+            seq = self._send_query(worker, query)
+            result = self._await(worker, seq)
+            if result is not _LOST:
+                return result
+
+    def _await(self, worker: _WorkerHandle, seq: int):
+        """Block until ``seq`` is acknowledged; returns its payload."""
+        while True:
+            if seq in worker.acks:
+                return worker.acks.pop(seq)
+            if worker.max_acked >= seq:
+                return None
+            self._pump(block=True, focus=worker)
+
+    def _pump(self, block: bool, focus: Optional[_WorkerHandle] = None) -> bool:
+        """Drain worker results; detect and recover crashed workers.
+
+        Returns ``True`` when at least one message was processed.  ``focus``
+        names the worker a caller is actively awaiting: the blocking wait
+        then happens on that worker's queue (instead of a plain sleep), so
+        acknowledgements are consumed the moment they arrive.
+        """
+        progressed = self._drain_results()
+        if progressed or not block:
+            return progressed
+        # Nothing queued: wait a beat, then re-drain BEFORE scanning for
+        # deaths — a gracefully exiting worker flushes its final message
+        # before terminating, so draining first keeps a finished worker
+        # from being mistaken for a crash.  (Per-worker queues keep a
+        # SIGKILL's possibly-truncated stream from poisoning other
+        # workers' results.)
+        target = focus if focus is not None else self._workers[0]
+        try:
+            message = target.results.get(timeout=self.poll_interval)
+        except (queue_module.Empty, OSError, EOFError):
+            pass
+        else:
+            self._on_message(target, message)
+            progressed = True
+        if self._drain_results():
+            return True
+        if progressed:
+            return True
+        for worker in self._workers:
+            if worker.process is not None and not worker.process.is_alive() \
+                    and worker.stopped_state is None:
+                self._recover(worker)
+                progressed = True
+        return progressed
+
+    def _drain_results(self) -> bool:
+        progressed = False
+        for worker in self._workers:
+            while True:
+                try:
+                    message = worker.results.get_nowait()
+                except (queue_module.Empty, OSError, EOFError):
+                    break
+                self._on_message(worker, message)
+                progressed = True
+        return progressed
+
+    def _on_message(self, worker: _WorkerHandle, message: Tuple) -> None:
+        kind = message[0]
+        if kind == "ack":
+            _, _, seq, payload = message
+            # Discard from inflight even for replay duplicates: _recover
+            # re-adds every logged sequence, including already-acked ones,
+            # and leaking them would wedge _send_op's backpressure loop.
+            worker.inflight.discard(seq)
+            if seq <= worker.max_acked:
+                return  # replay duplicate (or a stale ack from a dead life)
+            worker.max_acked = seq
+            if seq == worker.pending_ckpt_seq:
+                worker.last_checkpoint = payload
+                worker.pending_ckpt_seq = None
+                worker.log = [(s, op) for s, op in worker.log if s > seq]
+                worker.ckpt_count += 1
+                self._checkpoints_taken += 1
+            elif payload is not None:
+                worker.acks[seq] = payload
+        elif kind == "stopped":
+            worker.stopped_state = message[2]
+        elif kind == "error":
+            self._broken = True
+            text = message[2]
+            self.terminate()
+            raise PoolError(
+                f"worker {worker.index} raised inside an operation:\n{text}"
+            )
+        else:  # pragma: no cover - protocol violation
+            raise PoolError(f"unknown worker response {kind!r}")
+
+    def _recover(self, worker: _WorkerHandle) -> None:
+        """Respawn a dead worker from its last checkpoint and replay the tail."""
+        worker.restarts += 1
+        self._total_restarts += 1
+        if worker.restarts > self.max_restarts:
+            self._broken = True
+            self.terminate()
+            raise WorkerCrashError(
+                f"worker {worker.index} crashed more than "
+                f"{self.max_restarts} times (exitcode "
+                f"{worker.process.exitcode}); giving up"
+            )
+        worker.process.join(timeout=5)
+        # Release the dead generation's queues (feeder threads, pipe fds,
+        # buffered messages) before spawning replacements.
+        for q in (worker.tasks, worker.results):
+            if q is not None:
+                q.close()
+                q.cancel_join_thread()
+        self._spawn(worker)
+        if worker.last_checkpoint is not None:
+            worker.tasks.put(("restore", worker.last_checkpoint))
+        lost_ckpt = worker.pending_ckpt_seq
+        worker.pending_ckpt_seq = None
+        logged = {seq for seq, _ in worker.log}
+        for seq in sorted(worker.inflight):
+            if seq in logged:
+                continue
+            worker.inflight.discard(seq)
+            if seq != lost_ckpt:
+                # A read-only query died with the worker; callers re-issue.
+                # (A lost checkpoint request is handled via the cleared
+                # pending marker — nobody awaits its ack directly.)
+                worker.acks[seq] = _LOST
+        for seq, op in worker.log:
+            worker.inflight.add(seq)
+            worker.tasks.put(("op", seq, op))
+        worker.ops_since_ckpt = len(worker.log)
+        if worker.log:
+            # Re-checkpoint right after replay so the tail shrinks again.
+            self._request_checkpoint(worker)
+
+    def _close_queues(self) -> None:
+        for worker in self._workers:
+            for q in (worker.tasks, worker.results):
+                if q is not None:
+                    q.close()
+                    q.cancel_join_thread()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "running" if self._started else ("stopped" if self._stopped else "new")
+        return (
+            f"ShardWorkerPool(workers={self.num_workers}, "
+            f"streams={len(self._assignment)}, {state})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Comparison helpers (differential tests and benchmark verification)
+# ----------------------------------------------------------------------
+def deterministic_stats(stats: Dict) -> Dict:
+    """Strip wall-clock (and pool-only) fields from a stats report.
+
+    Everything that remains — counters, shard layout, report order — is a
+    pure function of the event sequence, so two architectures serving the
+    same workload must agree on it byte for byte.
+    """
+    def strip(value):
+        if isinstance(value, dict):
+            return {
+                key: strip(item) for key, item in value.items()
+                if key not in ("processing_seconds", "frames_per_sec", "pool")
+            }
+        if isinstance(value, list):
+            return [strip(item) for item in value]
+        return value
+
+    return strip(stats)
+
+
+def match_report(matches_by_stream: Dict[str, Sequence[QueryMatch]]) -> bytes:
+    """Canonical bytes of per-stream match lists (order-preserving).
+
+    Two equal reports mean: same streams, same order, and per stream the
+    same matches in the same emission order — the byte-identity oracle the
+    differential suite compares pool and router through.
+    """
+    return json.dumps(
+        {
+            "streams": [
+                [stream_id, [match.to_record() for match in matches]]
+                for stream_id, matches in matches_by_stream.items()
+            ]
+        },
+        separators=(",", ":"),
+        ensure_ascii=True,
+    ).encode("ascii")

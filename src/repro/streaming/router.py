@@ -31,6 +31,20 @@ from repro.streaming.shard import ShardKey, StreamShard
 GroupKey = Tuple[int, int]
 
 
+def _zero_ingest_totals() -> Dict:
+    """A fresh all-zero ingest counter block (shared layout of totals)."""
+    return {
+        "shards": 0,
+        "frames_ingested": 0,
+        "frames_processed": 0,
+        "dropped_late": 0,
+        "duplicates": 0,
+        "reordered": 0,
+        "batches": 0,
+        "processing_seconds": 0.0,
+    }
+
+
 def group_queries_by_window(
     queries: Iterable[CNFQuery],
 ) -> Dict[GroupKey, List[CNFQuery]]:
@@ -81,6 +95,18 @@ class StreamRouter:
         #: state; the tombstone lifts only once :meth:`adopt` has restored
         #: every detached group (a partially-adopted stream is still forked).
         self._detached: Dict[str, List[GroupKey]] = {}
+        #: Cumulative ingest counters of every shard this router detached,
+        #: frozen at detach time.  Without this, a detach made the departed
+        #: shard's late-drop/duplicate/reorder counts vanish from
+        #: :meth:`stats` entirely (the shard left ``_shards``), so exported
+        #: stats silently under-reported after every rebalance.
+        self._departed_totals: Dict = _zero_ingest_totals()
+        #: Per-slot frozen counters backing ``_departed_totals``: when a
+        #: detached shard is adopted *back* (a round-trip hand-off, e.g.
+        #: through a worker pool), its frozen contribution is reversed —
+        #: the shard's live counters are in ``totals`` again, so leaving
+        #: them in ``departed`` too would double-count.
+        self._departed_by_slot: Dict[Tuple[str, GroupKey], Dict] = {}
 
     @staticmethod
     def _assign_ids(queries: Sequence[CNFQuery]) -> List[CNFQuery]:
@@ -252,19 +278,41 @@ class StreamRouter:
         totals["frames_per_sec"] = (
             round(totals["frames_processed"] / seconds, 2) if seconds else 0.0
         )
+        departed = dict(self._departed_totals)
+        departed["processing_seconds"] = round(departed["processing_seconds"], 6)
         return {
             "streams": len(self.stream_ids()),
             "window_groups": len(self._groups),
             "shards": len(self._shards),
             "totals": totals,
+            #: Counters of shards handed off via detach, frozen at detach
+            #: time — kept separate from ``totals`` because the shard's live
+            #: counters now accrue on whoever adopted it (summing both views
+            #: across routers would double-count).
+            "departed": departed,
             "per_shard": per_shard,
         }
 
     # ------------------------------------------------------------------
     # Checkpointing and rebalancing
     # ------------------------------------------------------------------
-    def checkpoint(self) -> Dict:
-        """Snapshot the router: configuration, queries, and every shard."""
+    def _detached_payload(self) -> List:
+        """The detached-stream tombstones in checkpoint layout."""
+        return [
+            [stream_id, [list(group) for group in groups]]
+            for stream_id, groups in self._detached.items()
+        ]
+
+    def config_checkpoint(self, include_detached: bool = False) -> Dict:
+        """The workload-only part of :meth:`checkpoint`: config and queries.
+
+        This is what a :class:`~repro.streaming.pool.ShardWorkerPool` ships
+        to a fresh worker process — enough to build an empty router serving
+        the identical workload (query ids included), with no shard state.
+        ``include_detached`` additionally carries the detached-stream
+        tombstones, so workers refuse a foreign stream exactly as the
+        origin would.
+        """
         return {
             "method": self.method.value,
             "batch_size": self.batch_size,
@@ -273,12 +321,23 @@ class StreamRouter:
             "restrict_labels": self.restrict_labels,
             "retain_matches": self.retain_matches,
             "queries": [query.to_dict() for query in self.queries],
-            "detached": [
-                [stream_id, [list(group) for group in groups]]
-                for stream_id, groups in self._detached.items()
-            ],
-            "shards": [shard.checkpoint() for shard in self._shards.values()],
+            "detached": self._detached_payload() if include_detached else [],
+            "shards": [],
         }
+
+    def checkpoint(self) -> Dict:
+        """Snapshot the router: configuration, queries, and every shard."""
+        document = self.config_checkpoint(include_detached=True)
+        document["shards"] = [
+            shard.checkpoint() for shard in self._shards.values()
+        ]
+        document["departed_totals"] = dict(self._departed_totals)
+        document["departed_slots"] = [
+            [stream_id, [window, duration], dict(frozen)]
+            for (stream_id, (window, duration)), frozen
+            in self._departed_by_slot.items()
+        ]
+        return document
 
     def to_bytes(self) -> bytes:
         """The router snapshot as canonical checkpoint bytes."""
@@ -305,6 +364,19 @@ class StreamRouter:
             router._detached[str(stream_id)] = [
                 (int(window), int(duration)) for window, duration in groups
             ]
+        departed = payload.get("departed_totals")
+        if departed is not None:  # absent in version-1-era snapshots
+            totals = _zero_ingest_totals()
+            for key in totals:
+                value = departed.get(key, totals[key])
+                totals[key] = float(value) if key == "processing_seconds" else int(value)
+            router._departed_totals = totals
+        for stream_id, group, frozen in payload.get("departed_slots", []):
+            slot = (str(stream_id), (int(group[0]), int(group[1])))
+            router._departed_by_slot[slot] = {
+                key: float(value) if key == "processing_seconds" else int(value)
+                for key, value in frozen.items()
+            }
         return router
 
     @classmethod
@@ -327,6 +399,21 @@ class StreamRouter:
             shard = self._shards.pop(key)
             detached.append(shard.checkpoint())
             detached_groups.append(key[1])
+            stats = shard.stats
+            frozen = {
+                "frames_ingested": stats.frames_ingested,
+                "frames_processed": stats.frames_processed,
+                "dropped_late": stats.dropped_late,
+                "duplicates": stats.duplicates,
+                "reordered": stats.reordered,
+                "batches": stats.batches,
+                "processing_seconds": stats.processing_seconds,
+            }
+            self._departed_by_slot[(stream_id, key[1])] = frozen
+            departed = self._departed_totals
+            departed["shards"] += 1
+            for field, value in frozen.items():
+                departed[field] += value
         if not detached:
             raise KeyError(f"no shards for stream {stream_id!r}")
         self._detached[stream_id] = detached_groups
@@ -367,6 +454,18 @@ class StreamRouter:
                 pending.remove(group)
             if not pending:
                 del self._detached[shard.key.stream_id]
+        frozen = self._departed_by_slot.pop(slot, None)
+        if frozen is not None:
+            # The shard is back: its (still-running) counters count in
+            # ``totals`` again, so reverse the frozen departed contribution.
+            departed = self._departed_totals
+            departed["shards"] -= 1
+            for field, value in frozen.items():
+                departed[field] -= value
+            if departed["shards"] == 0:
+                # Reset exactly: float subtraction of several seconds values
+                # can leave a ±1e-17 residue that would round to "-0.0".
+                self._departed_totals = _zero_ingest_totals()
         return shard
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -143,6 +143,33 @@ def interleave_feeds(
     return iter(merged)
 
 
+def bench_scenario(
+    num_feeds: int,
+    frames_per_feed: int,
+    groups: Sequence[Tuple[int, int]],
+    queries_per_group: int,
+    seed: int,
+) -> Tuple[Dict[str, VideoRelation], List[CNFQuery]]:
+    """One deterministic multi-stream scenario: feeds plus id-assigned queries.
+
+    Shared by the streaming and pool benchmarks and the pool differential
+    test suite, so they all exercise literally the same workload.  Query ids
+    are assigned globally up front; matches from any serving architecture
+    (dedicated engines, router, worker pool) then carry the same
+    ``query_id`` and can be compared verbatim.
+    """
+    feeds = simulated_feeds(num_feeds, seed=seed, num_frames=frames_per_feed)
+    queries = [
+        query.with_id(index)
+        for index, query in enumerate(
+            multi_window_workload(
+                list(groups), queries_per_group=queries_per_group, seed=seed
+            )
+        )
+    ]
+    return feeds, queries
+
+
 def multi_window_workload(
     groups: Sequence[Tuple[int, int]],
     queries_per_group: int = 4,

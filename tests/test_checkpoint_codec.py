@@ -1,0 +1,228 @@
+"""Compact (version-2) checkpoint codec: round-trips, compat, size, errors.
+
+The codec must be loss-free for every payload the runtime produces (every
+generator method, engines, shards, routers), keep reading the version-1 JSON
+form forever, reject malformed or truncated bytes with
+:class:`CheckpointError`, and actually be compact — a hard size-regression
+bound against version 1 on the benchmark workload.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import pytest
+
+from repro.engine import EngineConfig, MCOSMethod, TemporalVideoQueryEngine
+from repro.streaming import CheckpointError, StreamRouter
+from repro.streaming import checkpoint as ckpt
+from repro.workloads.streams import bench_scenario, interleave_feeds
+
+from tests.conftest import (
+    ALL_GENERATORS,
+    build_queries,
+    canonical_results,
+    labelled_stream,
+)
+
+
+def encode_decode(payload, kind="generator"):
+    """Force a payload through the compact wire form and back."""
+    return ckpt.from_bytes(ckpt.to_bytes(kind, payload), expect_kind=kind)
+
+
+# ----------------------------------------------------------------------
+# Round-trips
+# ----------------------------------------------------------------------
+class TestV2RoundTrip:
+    @pytest.mark.parametrize("generator_cls", ALL_GENERATORS)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_every_generator_method_resumes_byte_identically(
+        self, generator_cls, seed
+    ):
+        """export_state → import_state through v2 bytes for every method."""
+        relation = labelled_stream(seed, num_frames=70)
+        frames = list(relation.frames())
+        split = len(frames) // 2
+        original = generator_cls(window_size=9, duration=4)
+        for frame in frames[:split]:
+            original.process_frame(frame)
+        blob = original.export_state()
+        assert blob[:len(ckpt.MAGIC_V2)] == ckpt.MAGIC_V2, "not compact form"
+        restored = generator_cls(window_size=9, duration=4)
+        restored.import_state(blob)
+        tail_original = [original.process_frame(f) for f in frames[split:]]
+        tail_restored = [restored.process_frame(f) for f in frames[split:]]
+        assert canonical_results(tail_restored) == canonical_results(
+            tail_original
+        ), f"seed={seed} method={generator_cls.name}"
+        # The snapshot itself survives the codec exactly.
+        payload = original.export_checkpoint()
+        assert encode_decode(payload) == json.loads(json.dumps(payload)), (
+            f"seed={seed} method={generator_cls.name}"
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_engine_state_bytes_resume_byte_identically(self, seed):
+        relation = labelled_stream(seed * 31 + 5, num_frames=60)
+        frames = list(relation.frames())
+        queries = build_queries(
+            ["person >= 1", "car >= 1 AND person >= 1"], window=8, duration=4
+        )
+        config = EngineConfig(method=MCOSMethod.SSG, window_size=8, duration=4)
+        original = TemporalVideoQueryEngine(queries, config)
+        for frame in frames[:30]:
+            original.process_frame(frame)
+        blob = original.export_state()
+        restored = TemporalVideoQueryEngine.from_state(blob)
+        assert restored.export_state() == blob, f"seed={seed}"
+        for frame in frames[30:]:
+            assert restored.process_frame(frame) == original.process_frame(
+                frame
+            ), f"seed={seed}"
+        # import_state into an identically configured engine also works.
+        sibling = TemporalVideoQueryEngine(queries, config)
+        sibling.import_state(original.export_state())
+        assert sibling.export_state() == original.export_state(), f"seed={seed}"
+
+    def test_value_types_survive_exactly(self):
+        payload = {
+            "none": None,
+            "bools": [True, False],
+            "ints": [0, -1, 7, -128, 2 ** 300, -(2 ** 300)],
+            "floats": [0.0, -2.5, 1e-9, 123456.789],
+            "text": ["", "ascii", "uniçødé ☃"],
+            "nested": {"list": [{"deep": [1, "two", None]}], "empty": {}},
+            "int_list_delta": [1000000, 1000001, 1000002, 999990],
+            "empty_list": [],
+            "holey": [1, None, 3],
+        }
+        assert encode_decode(payload, "shard") == payload
+
+    def test_tuples_canonicalise_to_lists(self):
+        assert encode_decode({"t": (1, 2, 3)}, "shard") == {"t": [1, 2, 3]}
+
+
+# ----------------------------------------------------------------------
+# Version compatibility
+# ----------------------------------------------------------------------
+class TestVersionCompat:
+    def test_version1_payloads_still_load(self):
+        payload = {"state": [1, 2, 3], "label": "x"}
+        v1 = ckpt.to_bytes("router", payload, version=1)
+        assert v1[:1] == b"{", "version 1 must remain plain JSON"
+        assert json.loads(v1)["version"] == 1
+        assert ckpt.from_bytes(v1, expect_kind="router") == payload
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_router_resumes_from_version1_bytes(self, seed):
+        feeds, queries = bench_scenario(2, 50, [(8, 4)], 2, seed)
+        router = StreamRouter(queries, batch_size=4)
+        events = list(interleave_feeds(feeds))
+        router.route_many(events[:60])
+        v1 = ckpt.to_bytes("router", router.checkpoint(), version=1)
+        v2 = router.to_bytes()
+        assert ckpt.from_bytes(v1) == ckpt.from_bytes(v2), f"seed={seed}"
+        restored = StreamRouter.from_bytes(v1)
+        restored.route_many(events[60:])
+        router.route_many(events[60:])
+        restored.flush()
+        router.flush()
+        for stream_id in feeds:
+            assert restored.matches_for(stream_id) == router.matches_for(
+                stream_id
+            ), f"seed={seed} stream={stream_id}"
+
+    def test_unknown_write_version_rejected(self):
+        with pytest.raises(CheckpointError):
+            ckpt.to_bytes("shard", {}, version=3)
+        with pytest.raises(CheckpointError):
+            ckpt.wrap("shard", {}, version=0)
+
+
+# ----------------------------------------------------------------------
+# Malformed and truncated input
+# ----------------------------------------------------------------------
+class TestMalformedInput:
+    def test_every_truncation_raises_checkpoint_error(self):
+        blob = ckpt.to_bytes("shard", {"a": [1, 2, 3], "b": "text", "c": None})
+        for cut in range(len(blob)):
+            with pytest.raises(CheckpointError):
+                ckpt.from_bytes(blob[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        blob = ckpt.to_bytes("shard", {"a": 1})
+        with pytest.raises(CheckpointError):
+            ckpt.from_bytes(blob + b"x")
+
+    def test_corrupt_compressed_body_rejected(self):
+        with pytest.raises(CheckpointError):
+            ckpt.from_bytes(ckpt.MAGIC_V2 + b"this is not zlib data")
+
+    def test_unknown_tag_rejected(self):
+        # Hand-roll a body: empty string table, then an invalid tag byte.
+        body = bytes([0]) + bytes([250])
+        with pytest.raises(CheckpointError):
+            ckpt.from_bytes(ckpt.MAGIC_V2 + zlib.compress(body))
+
+    def test_string_reference_out_of_range_rejected(self):
+        # Empty string table, then a string value referencing index 5.
+        body = bytes([0]) + bytes([5, 5])
+        with pytest.raises(CheckpointError):
+            ckpt.from_bytes(ckpt.MAGIC_V2 + zlib.compress(body))
+
+    def test_binary_body_must_be_an_envelope(self):
+        # A valid tree that is not an envelope dict must be rejected.
+        body = bytes([0, 3, 0])  # no strings, int 0
+        with pytest.raises(CheckpointError):
+            ckpt.from_bytes(ckpt.MAGIC_V2 + zlib.compress(body))
+
+    def test_non_string_dict_keys_rejected_on_write(self):
+        with pytest.raises(CheckpointError):
+            ckpt.to_bytes("shard", {"outer": {1: "int key"}})
+
+    def test_unserialisable_values_rejected_on_write(self):
+        with pytest.raises(CheckpointError):
+            ckpt.to_bytes("shard", {"x": {"nested": set([1, 2])}})
+
+
+# ----------------------------------------------------------------------
+# Size regression
+# ----------------------------------------------------------------------
+class TestCompactness:
+    def test_v2_is_at_most_40_percent_of_v1_on_bench_workload(self):
+        """The compaction the codec exists for, pinned as a regression bound.
+
+        Uses the pool/streaming benchmark scenario (scaled down only in
+        frame count to keep the suite fast — the state shape per frame is
+        identical), snapshotting a router mid-stream with live reorder
+        buffers and retained matches.
+        """
+        feeds, queries = bench_scenario(4, 150, [(24, 16), (36, 24)], 4, 7)
+        router = StreamRouter(queries, batch_size=16, restrict_labels=False)
+        router.route_many(interleave_feeds(feeds))
+        payload = router.checkpoint()
+        v1 = len(ckpt.to_bytes("router", payload, version=1))
+        v2 = len(ckpt.to_bytes("router", payload))
+        assert v2 <= 0.4 * v1, (
+            f"compact checkpoint regressed: v2={v2} bytes vs v1={v1} bytes "
+            f"({v2 / v1:.1%})"
+        )
+
+    def test_to_bytes_is_canonical(self):
+        feeds, queries = bench_scenario(2, 40, [(8, 4)], 2, 3)
+        router = StreamRouter(queries, batch_size=4)
+        router.route_many(interleave_feeds(feeds))
+        assert router.to_bytes() == router.to_bytes()
+        assert StreamRouter.from_bytes(router.to_bytes()).to_bytes() == \
+            router.to_bytes()
+
+    def test_decompression_bomb_rejected(self, monkeypatch):
+        """A tiny file expanding past the body ceiling must raise, not OOM."""
+        import zlib as zlib_module
+        monkeypatch.setattr(ckpt, "MAX_DECOMPRESSED_BYTES", 4096)
+        bomb = ckpt.MAGIC_V2 + zlib_module.compress(b"\x00" * 1_000_000)
+        assert len(bomb) < 2000  # the point: small wire size, huge body
+        with pytest.raises(CheckpointError, match="size limit"):
+            ckpt.from_bytes(bomb)

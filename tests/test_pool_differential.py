@@ -1,0 +1,242 @@
+"""Differential suite: ShardWorkerPool vs the in-process StreamRouter.
+
+The pool's contract is byte-identity, not mere equivalence: for any worker
+count, matches, deterministic statistics and report order must equal what
+the single-process router produces over the same event sequence.  Workloads
+are randomized (seeds in every failure message) and cover multi-group
+queries, jittered arrival, mid-stream draining, and the adopt-back hand-off
+of a graceful stop.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.streaming import (
+    ShardWorkerPool,
+    StreamRouter,
+    deterministic_stats,
+    match_report,
+)
+from repro.workloads.streams import bench_scenario, interleave_feeds
+
+#: Worker counts the differential property is pinned at.
+WORKER_COUNTS = (1, 2, 4)
+
+#: Window groups of the randomized scenarios (small enough to stay fast).
+GROUPS = ((8, 4), (12, 7))
+
+
+def scenario(seed, num_feeds=3, frames=60, jitter=0):
+    """Feeds, queries and the interleaved event list for one random case."""
+    feeds, queries = bench_scenario(num_feeds, frames, GROUPS, 2, seed)
+    events = list(interleave_feeds(feeds, jitter=jitter, seed=seed))
+    return feeds, queries, events
+
+
+def run_oracle(queries, events, **router_kwargs):
+    """The single-process reference run."""
+    router = StreamRouter(queries, **router_kwargs)
+    router.route_many(events)
+    router.flush()
+    return router
+
+
+def make_pool(queries, workers, **router_kwargs):
+    return ShardWorkerPool(
+        StreamRouter(queries, **router_kwargs),
+        num_workers=workers,
+        dispatch_batch=16,
+        checkpoint_every=4,
+    )
+
+
+def stats_bytes(stats):
+    """Canonical bytes of a deterministic stats report (order included)."""
+    return json.dumps(
+        deterministic_stats(stats), separators=(",", ":"), sort_keys=False
+    ).encode()
+
+
+class TestPoolDifferential:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("seed", range(2))
+    def test_matches_stats_and_report_order_are_byte_identical(
+        self, workers, seed
+    ):
+        feeds, queries, events = scenario(seed)
+        oracle = run_oracle(queries, events, batch_size=5)
+        pool = make_pool(queries, workers, batch_size=5)
+        pool.start()
+        try:
+            pool.route_many(events)
+            pool.flush()
+            assert pool.stream_ids() == oracle.stream_ids(), (
+                f"seed={seed} workers={workers}: stream order diverged"
+            )
+            pool_report = match_report(
+                {sid: pool.matches_for(sid) for sid in pool.stream_ids()}
+            )
+            oracle_report = match_report(
+                {sid: oracle.matches_for(sid) for sid in oracle.stream_ids()}
+            )
+            assert pool_report == oracle_report, (
+                f"seed={seed} workers={workers}: match report diverged"
+            )
+            assert stats_bytes(pool.stats()) == stats_bytes(oracle.stats()), (
+                f"seed={seed} workers={workers}: deterministic stats diverged"
+            )
+        finally:
+            pool.terminate()
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_jittered_arrival_reorder_counters_match(self, workers):
+        seed = 5
+        feeds, queries, events = scenario(seed, jitter=3)
+        oracle = run_oracle(queries, events, batch_size=4, watermark=3)
+        oracle_stats = oracle.stats()
+        assert oracle_stats["totals"]["reordered"] > 0, (
+            f"seed={seed}: vacuous scenario, no reordering produced"
+        )
+        pool = make_pool(queries, workers, batch_size=4, watermark=3)
+        pool.start()
+        try:
+            pool.route_many(events)
+            pool.flush()
+            assert stats_bytes(pool.stats()) == stats_bytes(oracle_stats), (
+                f"seed={seed} workers={workers}: reorder/late counters diverged"
+            )
+            assert pool.stream_ids() == oracle.stream_ids(), (
+                f"seed={seed} workers={workers}: stream order diverged"
+            )
+            report = match_report(
+                {sid: pool.matches_for(sid) for sid in pool.stream_ids()}
+            )
+            assert report == match_report(
+                {sid: oracle.matches_for(sid) for sid in oracle.stream_ids()}
+            ), f"seed={seed} workers={workers}"
+        finally:
+            pool.terminate()
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_mid_stream_drain_matches_router_drain(self, workers):
+        seed = 9
+        feeds, queries, events = scenario(seed)
+        half = len(events) // 2
+        oracle = StreamRouter(queries, batch_size=5)
+        oracle.route_many(events[:half])
+        oracle_first = oracle.drain_matches()
+        oracle.route_many(events[half:])
+        oracle.flush()
+        oracle_second = oracle.drain_matches()
+
+        pool = make_pool(queries, workers, batch_size=5)
+        pool.start()
+        try:
+            pool.route_many(events[:half])
+            pool_first = pool.drain_matches()
+            pool.route_many(events[half:])
+            pool.flush()
+            pool_second = pool.drain_matches()
+            assert match_report(pool_first) == match_report(oracle_first), (
+                f"seed={seed} workers={workers}: first drain diverged"
+            )
+            assert match_report(pool_second) == match_report(oracle_second), (
+                f"seed={seed} workers={workers}: second drain diverged"
+            )
+            # Drained matches must not reappear anywhere.
+            assert pool.drain_matches() == {}, f"seed={seed} workers={workers}"
+        finally:
+            pool.terminate()
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_stop_adopts_state_back_byte_identically(self, workers):
+        """After stop(), the origin router equals an uninterrupted run."""
+        seed = 13
+        feeds, queries, events = scenario(seed)
+        oracle = run_oracle(queries, events, batch_size=5)
+        pool = make_pool(queries, workers, batch_size=5)
+        pool.start()
+        pool.route_many(events)
+        pool.flush()
+        router = pool.stop()
+        assert router.stream_ids() == oracle.stream_ids(), (
+            f"seed={seed} workers={workers}: stream order diverged"
+        )
+        assert match_report(
+            {sid: router.matches_for(sid) for sid in router.stream_ids()}
+        ) == match_report(
+            {sid: oracle.matches_for(sid) for sid in oracle.stream_ids()}
+        ), f"seed={seed} workers={workers}"
+        # Round-tripped shards count in totals again, not in departed:
+        # the post-stop stats equal an uninterrupted run's byte for byte.
+        assert stats_bytes(router.stats()) == stats_bytes(oracle.stats()), (
+            f"seed={seed} workers={workers}: post-stop stats diverged"
+        )
+        # The adopted-back router keeps serving: route a fresh stream.
+        extra_feeds, _ = bench_scenario(1, 20, GROUPS, 2, seed + 100)
+        relation = next(iter(extra_feeds.values()))
+        for frame in relation.frames():
+            router.route("late-stream", frame)
+            oracle.route("late-stream", frame)
+        router.flush()
+        oracle.flush()
+        assert router.matches_for("late-stream") == oracle.matches_for(
+            "late-stream"
+        ), f"seed={seed} workers={workers}"
+
+    def test_pool_takes_over_a_router_with_live_state(self):
+        """start() mid-stream: detached shards resume inside the workers."""
+        seed = 17
+        feeds, queries, events = scenario(seed)
+        half = len(events) // 2
+        oracle = run_oracle(queries, events, batch_size=5)
+        router = StreamRouter(queries, batch_size=5)
+        router.route_many(events[:half])
+        pool = ShardWorkerPool(
+            router, num_workers=2, dispatch_batch=16, checkpoint_every=4
+        )
+        pool.start()
+        try:
+            # The origin refuses frames for streams the pool now owns.
+            stream_id, frame = events[half]
+            with pytest.raises(ValueError):
+                router.route(stream_id, frame)
+            pool.route_many(events[half:])
+            pool.flush()
+            assert match_report(
+                {sid: pool.matches_for(sid) for sid in pool.stream_ids()}
+            ) == match_report(
+                {sid: oracle.matches_for(sid) for sid in oracle.stream_ids()}
+            ), f"seed={seed}"
+        finally:
+            pool.terminate()
+
+
+class TestPoolWithPriorHandOffs:
+    def test_pool_stats_keep_pre_existing_departed_counters(self):
+        """A stream detached to a third party before the pool starts must
+        stay visible in pool.stats()['departed'], exactly as the oracle
+        router reports it."""
+        seed = 21
+        feeds, queries, events = scenario(seed)
+        gone = sorted(feeds)[0]
+
+        def served_router():
+            router = StreamRouter(queries, batch_size=5)
+            router.route_many(events)
+            router.flush()
+            router.detach(gone)  # handed to some other process
+            return router
+
+        oracle = served_router()
+        pool = ShardWorkerPool(served_router(), num_workers=2, dispatch_batch=16)
+        pool.start()
+        try:
+            assert stats_bytes(pool.stats()) == stats_bytes(oracle.stats()), (
+                f"seed={seed}: pre-existing departed counters were dropped"
+            )
+        finally:
+            pool.terminate()

@@ -1,0 +1,283 @@
+"""Fault injection for the shard worker pool: crashes, restarts, misuse.
+
+Workers are SIGKILLed mid-stream (between and inside batches); the pool
+must restore the dead worker's shards from its last periodic checkpoint,
+replay the unacked operation tail, and still end byte-identical to the
+single-process oracle.  Misuse of the detach/adopt hand-off — double
+detach, adopting a stale checkpoint behind a running pool's back, routing
+a detached stream — must fail loudly rather than fork stream state.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.streaming import (
+    CheckpointError,
+    PoolError,
+    ShardWorkerPool,
+    StreamRouter,
+    WorkerCrashError,
+    match_report,
+)
+from repro.workloads.streams import bench_scenario, interleave_feeds
+
+GROUPS = ((8, 4), (12, 7))
+
+
+def scenario(seed, num_feeds=4, frames=80):
+    feeds, queries = bench_scenario(num_feeds, frames, GROUPS, 2, seed)
+    return feeds, queries, list(interleave_feeds(feeds))
+
+
+def oracle_report(queries, events, batch_size=5):
+    router = StreamRouter(queries, batch_size=batch_size)
+    router.route_many(events)
+    router.flush()
+    return match_report(
+        {sid: router.matches_for(sid) for sid in router.stream_ids()}
+    )
+
+
+def make_pool(queries, workers=2, **kwargs):
+    kwargs.setdefault("dispatch_batch", 8)
+    kwargs.setdefault("checkpoint_every", 4)
+    return ShardWorkerPool(
+        StreamRouter(queries, batch_size=5), num_workers=workers, **kwargs
+    )
+
+
+def kill_worker(pool, index):
+    os.kill(pool.worker_pids()[index], signal.SIGKILL)
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("seed", range(2))
+    def test_sigkill_mid_stream_recovers_to_oracle_results(self, seed):
+        feeds, queries, events = scenario(seed)
+        expected = oracle_report(queries, events)
+        pool = make_pool(queries, workers=2)
+        pool.start()
+        try:
+            third = len(events) // 3
+            pool.route_many(events[:third])
+            pool.checkpoint_now()
+            pool.route_many(events[third:2 * third])
+            kill_worker(pool, seed % 2)
+            pool.route_many(events[2 * third:])
+            pool.flush()
+            assert pool.restarts >= 1, f"seed={seed}: crash went unnoticed"
+            actual = match_report(
+                {sid: pool.matches_for(sid) for sid in pool.stream_ids()}
+            )
+            assert actual == expected, (
+                f"seed={seed}: results diverged after crash recovery"
+            )
+        finally:
+            pool.terminate()
+
+    def test_sigkill_before_any_checkpoint_replays_from_scratch(self):
+        """With no checkpoint yet, recovery replays the whole op log."""
+        seed = 23
+        feeds, queries, events = scenario(seed, num_feeds=2, frames=50)
+        expected = oracle_report(queries, events)
+        # checkpoint_every high enough that no periodic snapshot happens
+        # before the kill: last_checkpoint is None at recovery time.
+        pool = make_pool(queries, workers=1, checkpoint_every=10_000)
+        pool.start()
+        try:
+            pool.route_many(events[:len(events) // 2])
+            pool.flush()
+            kill_worker(pool, 0)
+            pool.route_many(events[len(events) // 2:])
+            pool.flush()
+            assert pool.restarts == 1
+            actual = match_report(
+                {sid: pool.matches_for(sid) for sid in pool.stream_ids()}
+            )
+            assert actual == expected, f"seed={seed}"
+        finally:
+            pool.terminate()
+
+    def test_sigkill_during_stop_still_hands_state_back(self):
+        seed = 29
+        feeds, queries, events = scenario(seed, num_feeds=3, frames=60)
+        expected = oracle_report(queries, events)
+        pool = make_pool(queries, workers=2)
+        pool.start()
+        pool.route_many(events)
+        pool.flush()
+        kill_worker(pool, 1)
+        router = pool.stop()
+        assert pool.restarts >= 1
+        assert match_report(
+            {sid: router.matches_for(sid) for sid in router.stream_ids()}
+        ) == expected, f"seed={seed}"
+
+    def test_restart_budget_exhaustion_raises(self):
+        seed = 31
+        feeds, queries, events = scenario(seed, num_feeds=2, frames=40)
+        pool = make_pool(queries, workers=1, max_restarts=0)
+        pool.start()
+        try:
+            pool.route_many(events[:20])
+            kill_worker(pool, 0)
+            with pytest.raises(WorkerCrashError):
+                pool.route_many(events[20:])
+                pool.flush()
+        finally:
+            pool.terminate()
+
+    def test_replayed_acks_release_backpressure_slots(self):
+        """Regression: replay-duplicate acks must still clear ``inflight``.
+
+        With a long unackpointed tail (checkpoint_every huge) and a small
+        ``max_inflight``, recovery re-adds every logged sequence to the
+        inflight set; if the replayed (duplicate) acks do not discard them,
+        the next route() livelocks in the backpressure loop forever.
+        """
+        seed = 61
+        feeds, queries, events = scenario(seed, num_feeds=2, frames=60)
+        expected = oracle_report(queries, events)
+        pool = make_pool(
+            queries, workers=1, dispatch_batch=4,
+            checkpoint_every=10_000, max_inflight=8,
+        )
+        pool.start()
+        alarm = signal.signal(signal.SIGALRM, signal.default_int_handler)
+        signal.alarm(60)  # a regression here hangs; fail loudly instead
+        try:
+            pool.route_many(events[:len(events) // 2])
+            pool.flush()
+            kill_worker(pool, 0)
+            pool.route_many(events[len(events) // 2:])
+            pool.flush()
+            assert pool.restarts == 1
+            assert match_report(
+                {sid: pool.matches_for(sid) for sid in pool.stream_ids()}
+            ) == expected, f"seed={seed}"
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, alarm)
+            pool.terminate()
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(2))
+    def test_repeated_kills_across_both_workers(self, seed):
+        """Several crashes, different workers, drains in between."""
+        feeds, queries, events = scenario(seed + 50, num_feeds=4, frames=90)
+        oracle = StreamRouter(queries, batch_size=5)
+        oracle.route_many(events)
+        oracle.flush()
+        expected_drain = oracle.drain_matches()
+        pool = make_pool(queries, workers=2, checkpoint_every=3)
+        pool.start()
+        try:
+            quarter = len(events) // 4
+            drained = {}
+            pool.route_many(events[:quarter])
+            kill_worker(pool, 0)
+            pool.route_many(events[quarter:2 * quarter])
+            for sid, matches in pool.drain_matches().items():
+                drained.setdefault(sid, []).extend(matches)
+            kill_worker(pool, 1)
+            pool.route_many(events[2 * quarter:3 * quarter])
+            kill_worker(pool, 0)
+            pool.route_many(events[3 * quarter:])
+            pool.flush()
+            for sid, matches in pool.drain_matches().items():
+                drained.setdefault(sid, []).extend(matches)
+            assert pool.restarts >= 3, f"seed={seed}"
+            # Interleaving drains with crashes must never lose or duplicate
+            # a match: the union of drains equals one oracle drain.
+            assert match_report(
+                {sid: drained[sid] for sid in oracle.stream_ids() if sid in drained}
+            ) == match_report(expected_drain), f"seed={seed}"
+        finally:
+            pool.terminate()
+
+
+class TestHandOffErrorPaths:
+    def test_double_detach_raises(self):
+        feeds, queries, events = scenario(37, num_feeds=2, frames=30)
+        router = StreamRouter(queries, batch_size=5)
+        router.route_many(events)
+        stream_id = router.stream_ids()[0]
+        router.detach(stream_id)
+        with pytest.raises(KeyError):
+            router.detach(stream_id)
+
+    def test_routing_a_pooled_stream_on_the_origin_raises(self):
+        feeds, queries, events = scenario(41, num_feeds=2, frames=30)
+        router = StreamRouter(queries, batch_size=5)
+        router.route_many(events[:20])
+        pool = ShardWorkerPool(router, num_workers=1)
+        pool.start()
+        try:
+            stream_id, frame = events[20]
+            with pytest.raises(ValueError):
+                router.route(stream_id, frame)
+        finally:
+            pool.terminate()
+
+    def test_adopting_stale_checkpoint_behind_a_running_pool_fails_at_stop(self):
+        """Resurrecting a pooled stream from a stale snapshot forks state;
+        the fork is caught at hand-back time (slot already occupied)."""
+        feeds, queries, events = scenario(43, num_feeds=2, frames=30)
+        router = StreamRouter(queries, batch_size=5)
+        router.route_many(events[:20])
+        stale = [
+            dict(payload)
+            for key, shard in router.shards().items()
+            for payload in [shard.checkpoint()]
+        ]
+        pool = ShardWorkerPool(router, num_workers=1)
+        pool.start()
+        pool.route_many(events[20:])
+        pool.flush()
+        for payload in stale:  # sneak the stale state back in
+            router.adopt(payload)
+        with pytest.raises(CheckpointError):
+            pool.stop()
+
+    def test_pool_propagates_detached_tombstones_to_workers(self):
+        """Routing a stream the origin had already handed elsewhere fails
+        inside the worker and surfaces as a PoolError."""
+        feeds, queries, events = scenario(47, num_feeds=2, frames=30)
+        router = StreamRouter(queries, batch_size=5)
+        router.route_many(events)
+        gone = router.stream_ids()[0]
+        router.detach(gone)  # owned by some other process now
+        pool = ShardWorkerPool(router, num_workers=1, dispatch_batch=1)
+        pool.start()
+        try:
+            with pytest.raises(PoolError):
+                pool.route(gone, events[0][1])
+                pool.flush()
+        finally:
+            pool.terminate()
+
+    def test_lifecycle_misuse_raises(self):
+        feeds, queries, events = scenario(53, num_feeds=2, frames=20)
+        pool = make_pool(queries, workers=1)
+        with pytest.raises(PoolError):
+            pool.route(*events[0])  # not started
+        pool.start()
+        try:
+            with pytest.raises(PoolError):
+                pool.start()  # double start
+        finally:
+            pool.stop()
+        with pytest.raises(PoolError):
+            pool.route(*events[0])  # stopped
+        with pytest.raises(PoolError):
+            pool.start()  # no reuse after stop
+
+    def test_router_must_retain_matches(self):
+        feeds, queries, events = scenario(59, num_feeds=2, frames=20)
+        router = StreamRouter(queries, retain_matches=False)
+        with pytest.raises(PoolError):
+            ShardWorkerPool(router)

@@ -435,3 +435,117 @@ class TestRouterTopology:
         assert stats["totals"]["frames_ingested"] == 2 * 30 * 2
         assert stats["totals"]["queue_depth"] == 0
         assert len(stats["per_shard"]) == 4
+
+
+class TestDepartedStats:
+    """Detached shards must not vanish from exported statistics.
+
+    Regression: ``detach`` removed the shard from ``_shards``, so its
+    late-drop/duplicate/reorder counters disappeared from ``stats()`` and
+    from the router checkpoint entirely — exported stats silently
+    under-reported after every rebalance.
+    """
+
+    def _jittered_router(self):
+        feeds = make_feeds(3, num_feeds=2, num_frames=40)
+        router = StreamRouter(multi_group_queries(), batch_size=4, watermark=1)
+        events = interleaved(feeds, 3, jitter=2)
+        # Replay some events verbatim to force duplicate/late drops.
+        router.route_many(events)
+        router.route_many(events[:10])
+        router.flush()
+        return router
+
+    def test_shard_counters_survive_detach_and_adopt(self):
+        """Shard-level pin: every ingest counter rides the checkpoint."""
+        router = self._jittered_router()
+        stream_id = router.stream_ids()[0]
+        before = {
+            str(shard.key): shard.stats.as_dict()
+            for shard in router.shards().values()
+            if shard.key.stream_id == stream_id
+        }
+        assert any(
+            entry["dropped_late"] + entry["duplicates"] > 0
+            for entry in before.values()
+        ), "vacuous scenario: no late/duplicate drops produced"
+        payloads = router.detach(stream_id)
+        twin = StreamRouter.from_checkpoint(router.config_checkpoint())
+        for payload in payloads:
+            twin.adopt(payload)
+        after = {
+            str(shard.key): shard.stats.as_dict()
+            for shard in twin.shards().values()
+        }
+        assert after == before
+
+    def test_router_stats_report_departed_counters(self):
+        router = self._jittered_router()
+        totals_before = router.stats()["totals"]
+        assert router.stats()["departed"]["shards"] == 0
+        for stream_id in list(router.stream_ids()):
+            router.detach(stream_id)
+        stats = router.stats()
+        assert stats["totals"]["frames_ingested"] == 0  # live view is empty
+        departed = stats["departed"]
+        assert departed["shards"] == 4  # 2 streams x 2 window groups
+        assert departed["batches"] > 0
+        for key in ("frames_ingested", "frames_processed", "dropped_late",
+                    "duplicates", "reordered"):
+            assert departed[key] == totals_before[key], key
+        assert departed["dropped_late"] + departed["duplicates"] > 0
+
+    def test_departed_counters_survive_the_router_checkpoint(self):
+        router = self._jittered_router()
+        for stream_id in list(router.stream_ids()):
+            router.detach(stream_id)
+        departed = router.stats()["departed"]
+        restored = StreamRouter.from_bytes(router.to_bytes())
+        assert restored.stats()["departed"] == departed
+        assert restored.to_bytes() == router.to_bytes()
+
+    def test_adopting_back_reverses_departed_accounting(self):
+        """Regression: a detach→adopt round trip (a pool hand-off) must not
+        leave the shard's pre-detach counters double-counted in departed."""
+        router = self._jittered_router()
+        baseline = router.stats()
+        for stream_id in list(router.stream_ids()):
+            payloads = router.detach(stream_id)
+            for payload in payloads:
+                router.adopt(payload)
+        after = router.stats()
+        assert after["departed"] == baseline["departed"]
+        assert after["departed"]["shards"] == 0
+
+        def counters(totals):
+            # Checkpointed stats round seconds to 6 digits by design, so a
+            # round-trip may shift wall-clock fields by a microsecond.
+            return {k: v for k, v in totals.items()
+                    if k not in ("processing_seconds", "frames_per_sec")}
+
+        assert counters(after["totals"]) == counters(baseline["totals"])
+
+    def test_partial_adopt_back_reverses_only_that_shard(self):
+        router = self._jittered_router()
+        stream_id = router.stream_ids()[0]
+        payloads = router.detach(stream_id)
+        full = dict(router.stats()["departed"])
+        router.adopt(payloads[0])
+        partial = router.stats()["departed"]
+        assert partial["shards"] == full["shards"] - 1
+        assert partial["frames_ingested"] < full["frames_ingested"]
+        router.adopt(payloads[1])
+        assert router.stats()["departed"]["shards"] == 0
+
+    def test_departed_slots_survive_the_checkpoint(self):
+        """The per-slot frozen counters must round-trip so a restored router
+        still reverses departed accounting on a later adopt-back."""
+        router = self._jittered_router()
+        stream_id = router.stream_ids()[0]
+        payloads = router.detach(stream_id)
+        restored = StreamRouter.from_bytes(router.to_bytes())
+        assert restored.to_bytes() == router.to_bytes()
+        for payload in payloads:
+            restored.adopt(payload)
+        assert restored.stats()["departed"]["shards"] == 0
+        assert restored.stats()["departed"]["frames_ingested"] == 0
