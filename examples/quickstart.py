@@ -2,16 +2,18 @@
 """Quickstart: evaluate a temporal CNF query over a simulated video feed.
 
 The example mirrors the paper's running scenario: find video segments in
-which at least two cars and one person appear jointly for a minimum duration
-inside a sliding window.  It uses a scaled-down version of the D1 dataset
-(a Detrac-style static traffic camera); the whole example runs in a few seconds.
+which at least two cars appear jointly for a minimum duration inside a
+sliding window.  It uses the D1 dataset (a Detrac-style static traffic
+camera) and the **Session API** — the package's service-shaped entry point:
+queries are registered against a session, frames are ingested as they
+arrive, and matches are read off the query's handle.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import EngineConfig, TemporalVideoQueryEngine, parse_query
+from repro import Q, Session
 from repro.datasets import dataset_statistics, load_dataset
 
 
@@ -30,43 +32,48 @@ def main() -> None:
     )
 
     # ------------------------------------------------------------------
-    # 2. Declare a temporal CNF query: counts over co-occurring objects.
-    #    Window and duration are expressed in frames (30 fps video).
+    # 2. Open a session and register the standing query with the fluent
+    #    builder.  Window and duration are in frames (30 fps video).
     # ------------------------------------------------------------------
     window, duration = 90, 45
-    query = parse_query(
-        "car >= 2", window=window, duration=duration,
-        name="two-cars-jointly",
-    )
-    print(f"\nQuery: {query}  (window={window} frames, duration={duration} frames)")
-
-    # ------------------------------------------------------------------
-    # 3. Evaluate with the Strict State Graph (SSG) MCOS generator.
-    # ------------------------------------------------------------------
-    engine = TemporalVideoQueryEngine(
-        [query],
-        EngineConfig(method="SSG", window_size=window, duration=duration),
-    )
-    run = engine.run(relation)
-
-    print(
-        f"\nProcessed {run.frames_processed} frames in "
-        f"{run.total_seconds:.2f}s "
-        f"({run.mcos_seconds:.2f}s MCOS generation, "
-        f"{run.evaluation_seconds:.2f}s query evaluation)."
-    )
-    print(f"Result states examined: {run.result_states}")
-    print(f"Query matches: {len(run.matches)}")
-
-    for match in run.matches[:5]:
-        frames = match.frame_ids
-        print(
-            f"  window ending at frame {match.frame_id}: objects "
-            f"{sorted(match.object_ids)} co-occur in {len(frames)} frames "
-            f"({frames[0]}..{frames[-1]}), counts={match.counts()}"
+    with Session(backend="inline", method="SSG") as session:
+        handle = session.register(
+            Q("car") >= 2, window=window, duration=duration,
+            name="two-cars-jointly",
         )
-    if len(run.matches) > 5:
-        print(f"  ... and {len(run.matches) - 5} more matches")
+        print(f"\nQuery: {handle.query}  "
+              f"(window={window} frames, duration={duration} frames)")
+
+        # --------------------------------------------------------------
+        # 3. Stream the feed through the session and read the matches.
+        # --------------------------------------------------------------
+        for frame in relation.frames():
+            session.ingest("d1-camera", frame)
+        matches = handle.matches()
+
+        report = session.stats()
+        frames_seen = report["streams"][0][1]["frames"]
+        engine = report["backend_stats"]["per_engine"][
+            f"d1-camera/w{window}d{duration}"
+        ]
+        print(
+            f"\nProcessed {frames_seen} frames in "
+            f"{engine['mcos_seconds'] + engine['evaluation_seconds']:.2f}s "
+            f"({engine['mcos_seconds']:.2f}s MCOS generation, "
+            f"{engine['evaluation_seconds']:.2f}s query evaluation)."
+        )
+        print(f"Result states examined: {engine['result_states']}")
+        print(f"Query matches: {len(matches)}")
+
+        for match in matches[:5]:
+            frames = match.frame_ids
+            print(
+                f"  window ending at frame {match.frame_id}: objects "
+                f"{sorted(match.object_ids)} co-occur in {len(frames)} frames "
+                f"({frames[0]}..{frames[-1]}), counts={match.counts()}"
+            )
+        if len(matches) > 5:
+            print(f"  ... and {len(matches) - 5} more matches")
 
 
 if __name__ == "__main__":

@@ -8,16 +8,16 @@ appear jointly for a sustained period.
 
 This example builds a small surveillance scene with the simulated world
 (a parked car, pedestrians passing by, a group lingering near the car),
-runs detection and tracking, and then evaluates several incident queries
-with different MCOS generation strategies, comparing their costs.
+runs detection and tracking, and then poses several incident queries
+through one :class:`~repro.Session` per MCOS generation strategy,
+comparing their costs.
 
 Run with::
 
     python examples/surveillance_incident.py
 """
 
-from repro import EngineConfig, TemporalVideoQueryEngine
-from repro.query import parse_query
+from repro import Q, Session
 from repro.vision import Camera, ScriptedObject, World
 from repro.vision.detector import DetectorConfig, SimulatedDetector
 from repro.vision.pipeline import DetectionTrackingPipeline
@@ -80,31 +80,35 @@ def main() -> None:
 
     # 10-second window (300 frames), joint presence for at least 5 seconds.
     window, duration = 300, 150
-    queries = [
-        parse_query("car >= 1 AND person >= 2", window=window, duration=duration,
-                    name="car-with-two-people"),
-        parse_query("car >= 2", window=window, duration=duration,
-                    name="two-cars"),
-        parse_query("truck >= 1 AND person >= 1", window=window, duration=duration,
-                    name="truck-with-person"),
+    incident_queries = [
+        ((Q("car") >= 1) & (Q("person") >= 2), "car-with-two-people"),
+        (Q("car") >= 2, "two-cars"),
+        ((Q("truck") >= 1) & (Q("person") >= 1), "truck-with-person"),
     ]
 
     for method in ("NAIVE", "MFS", "SSG"):
-        engine = TemporalVideoQueryEngine(
-            queries, EngineConfig(method=method, window_size=window, duration=duration)
-        )
-        run = engine.run(relation)
-        by_query = run.matches_by_query()
-        print(f"\n[{method}] total {run.total_seconds:.2f}s, "
-              f"{run.generator_stats.state_visits} state visits")
-        for query in engine.queries:
-            matches = by_query.get(query.query_id, [])
-            windows = {m.frame_id for m in matches}
-            print(f"  {query.name:22s} -> satisfied in {len(windows)} windows")
-            if matches:
-                first = min(windows)
-                last = max(windows)
-                print(f"    first match at frame {first}, last at frame {last}")
+        with Session(backend="inline", method=method) as session:
+            handles = [
+                session.register(expr, window=window, duration=duration, name=name)
+                for expr, name in incident_queries
+            ]
+            for frame in relation.frames():
+                session.ingest("forensic-clip", frame)
+
+            stats = session.stats()
+            engine = stats["backend_stats"]["per_engine"][
+                f"forensic-clip/w{window}d{duration}"
+            ]
+            seconds = engine["mcos_seconds"] + engine["evaluation_seconds"]
+            print(f"\n[{method}] total {seconds:.2f}s, "
+                  f"{engine['generator']['state_visits']} state visits")
+            for handle in handles:
+                matches = handle.matches()
+                windows = {m.frame_id for m in matches}
+                print(f"  {handle.name:22s} -> satisfied in {len(windows)} windows")
+                if matches:
+                    print(f"    first match at frame {min(windows)}, "
+                          f"last at frame {max(windows)}")
 
 
 if __name__ == "__main__":

@@ -8,25 +8,36 @@ The package implements the full three-layer architecture of the paper
 * ``repro.datamodel`` -- the structured relation ``VR(fid, id, class)``;
 * ``repro.core`` -- MCOS generation with the NAIVE baseline, the Marked Frame
   Set (MFS) approach and the Strict State Graph (SSG) approach;
-* ``repro.query`` -- CNF count queries and their inverted-index evaluation
-  (CNFEval / CNFEvalE) plus the Proposition-1 pruning strategy;
-* ``repro.engine`` -- the end-to-end query engine;
+* ``repro.query`` -- CNF count queries (fluent builder + text parser, one
+  canonical form) and their inverted-index evaluation (CNFEval / CNFEvalE)
+  plus the Proposition-1 pruning strategy;
+* ``repro.engine`` -- the single-relation query engine;
+* ``repro.streaming`` -- the sharded multi-stream runtime and the
+  multiprocess shard worker pool;
+* ``repro.session`` -- **the recommended entry point**: one
+  :class:`~repro.session.session.Session` facade over all three serving
+  architectures, with live query registration/cancellation and
+  checkpoint/restore;
 * ``repro.datasets`` / ``repro.workloads`` / ``repro.experiments`` -- the
   datasets, query workloads and harness reproducing the paper's evaluation.
 
 Quickstart
 ----------
->>> from repro import TemporalVideoQueryEngine, EngineConfig, parse_query
+>>> from repro import Session, Q
 >>> from repro.datasets import load_relation
 >>> relation = load_relation("D1", scale=0.2)
->>> query = parse_query("car >= 2 AND person >= 1",
-...                     window=60, duration=45)
->>> engine = TemporalVideoQueryEngine(
-...     [query], EngineConfig(method="SSG", window_size=60, duration=45))
->>> result = engine.run(relation)
->>> len(result.matches) >= 0
+>>> with Session(backend="inline", method="SSG") as session:
+...     handle = session.register((Q("car") >= 2) & (Q("person") >= 1),
+...                               window=60, duration=45)
+...     for frame in relation.frames():
+...         session.ingest("cam-01", frame)
+...     matches = handle.matches()
+>>> len(matches) >= 0
 True
 """
+
+import importlib
+import warnings
 
 from repro.core import (
     MarkedFrameSetGenerator,
@@ -39,10 +50,50 @@ from repro.core import (
     StrictStateGraphGenerator,
 )
 from repro.datamodel import FrameObservation, ObjectObservation, VideoRelation
-from repro.engine import EngineConfig, EngineRunResult, MCOSMethod, TemporalVideoQueryEngine
-from repro.query import CNFQuery, QueryEvaluator, parse_query
+from repro.query import CNFQuery, Q, QueryEvaluator, QueryExpr, parse_query
+from repro.session import QueryHandle, Session
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Pre-session entry points, kept importable for compatibility.  Accessing
+#: them from the top-level package emits a :class:`DeprecationWarning`
+#: pointing at the Session equivalent; the defining submodules
+#: (``repro.engine``, ``repro.streaming``) stay warning-free — they are the
+#: implementation the session facade itself is built on.
+_DEPRECATED_ENTRY_POINTS = {
+    "TemporalVideoQueryEngine": (
+        "repro.engine",
+        "use repro.Session(backend='inline') and register() instead",
+    ),
+    "EngineConfig": (
+        "repro.engine",
+        "pass method=/enable_pruning=/restrict_labels= to repro.Session "
+        "(window and duration now live on each query)",
+    ),
+    "EngineRunResult": (
+        "repro.engine",
+        "consume QueryHandle.matches() and Session.stats() instead",
+    ),
+    "MCOSMethod": (
+        "repro.engine",
+        "pass the method name string to repro.Session(method=...) "
+        "(import from repro.engine for programmatic use)",
+    ),
+}
+
+
+def __getattr__(name):
+    entry = _DEPRECATED_ENTRY_POINTS.get(name)
+    if entry is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module, hint = entry
+    warnings.warn(
+        f"repro.{name} is deprecated; {hint}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(module), name)
+
 
 __all__ = [
     "__version__",
@@ -58,10 +109,14 @@ __all__ = [
     "StrictStateGraphGenerator",
     "ReferenceGenerator",
     "CNFQuery",
+    "Q",
+    "QueryExpr",
     "parse_query",
     "QueryEvaluator",
-    "MCOSMethod",
-    "EngineConfig",
-    "TemporalVideoQueryEngine",
-    "EngineRunResult",
+    "Session",
+    "QueryHandle",
+    # The deprecated entry points (TemporalVideoQueryEngine, EngineConfig,
+    # EngineRunResult, MCOSMethod) resolve through the module __getattr__
+    # shims above and are deliberately NOT in __all__: a plain
+    # ``from repro import *`` must not trip their DeprecationWarnings.
 ]

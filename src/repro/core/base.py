@@ -190,6 +190,19 @@ class MCOSGenerator(abc.ABC):
         self._reset_impl()
         self.compact_interner()
 
+    def set_labels_of_interest(self, labels: Optional[Iterable[str]]) -> None:
+        """Re-target the label projection mid-stream (live query lifecycle).
+
+        Label projection is applied per frame at ingest, so changing the set
+        only affects frames processed *after* this call: states already in
+        the window were built from the old projection and converge to the
+        new one as the window slides past the change point (one full window,
+        the warm-up watermark documented by the session layer).
+        """
+        self.config.labels_of_interest = (
+            set(labels) if labels is not None else None
+        )
+
     def compact_interner(self) -> int:
         """Recycle interner bit positions not referenced by any live state.
 

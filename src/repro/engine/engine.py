@@ -21,7 +21,7 @@ from repro.datamodel.relation import VideoRelation
 from repro.engine.config import EngineConfig, MCOSMethod
 from repro.query.evaluator import QueryEvaluator, QueryMatch
 from repro.query.model import CNFQuery
-from repro.query.pruning import StatePruner, queries_support_pruning
+from repro.query.pruning import StatePruner, require_pruning_compatible
 
 
 @dataclass
@@ -63,10 +63,8 @@ class TemporalVideoQueryEngine:
 
         self._pruner: Optional[StatePruner] = None
         if self.config.enable_pruning:
-            if not queries_support_pruning(self._queries):
-                raise ValueError(
-                    "pruning (the *_O variants) requires all query conditions to use '>='"
-                )
+            for query in self._queries:
+                require_pruning_compatible(query)
             self._pruner = StatePruner(self.evaluator)
 
         self._labels: Dict[int, str] = {}
@@ -105,10 +103,89 @@ class TemporalVideoQueryEngine:
         """The registered queries (with assigned identifiers)."""
         return list(self._queries)
 
+    # ------------------------------------------------------------------
+    # Live query lifecycle
+    # ------------------------------------------------------------------
+    def register_query(self, query: CNFQuery) -> CNFQuery:
+        """Add a query to a (possibly mid-stream) engine.
+
+        The query joins the evaluator index immediately and the label
+        projection widens to cover its classes, so it is evaluated from the
+        next processed frame on.  States already in the window were built
+        without the query's classes; results for the new query are
+        guaranteed to equal a present-from-frame-0 run only from one full
+        window after registration (the warm-up watermark the session layer
+        reports).  Returns the registered copy carrying its assigned id.
+        """
+        if (query.window, query.duration) != (
+            self.config.window_size,
+            self.config.duration,
+        ):
+            raise ValueError(
+                f"query window group ({query.window}, {query.duration}) does "
+                f"not match the engine's ({self.config.window_size}, "
+                f"{self.config.duration})"
+            )
+        if self._pruner is not None:
+            require_pruning_compatible(query)
+        registered = self.evaluator.add_query(query)
+        self._queries.append(registered)
+        self._sync_label_projection()
+        return registered
+
+    def cancel_query(self, query_id: int) -> CNFQuery:
+        """Remove a registered query mid-stream.
+
+        The query's evaluator postings are dropped (the index is rebuilt
+        from the survivors), its id is tombstoned inside the evaluator so it
+        is never reassigned, pruning immediately stops keeping states alive
+        on its behalf, and the label projection narrows to the remaining
+        queries' classes.  Cancelling the last query is refused — retire the
+        engine (or its shard) instead, which also releases the window state.
+        """
+        if not any(q.query_id == query_id for q in self._queries):
+            raise KeyError(f"no registered query with id {query_id}")
+        if len(self._queries) == 1:
+            raise ValueError(
+                "cancelling the last query would leave the engine without a "
+                "workload; retire the engine (or its shard) instead"
+            )
+        removed = self.evaluator.remove_query(query_id)
+        self._queries = [q for q in self._queries if q.query_id != query_id]
+        self._sync_label_projection()
+        return removed
+
+    def _sync_label_projection(self) -> None:
+        """Re-point the generator's label projection at the current queries."""
+        if self.config.restrict_labels:
+            self.generator.set_labels_of_interest(
+                self.evaluator.labels_of_interest()
+            )
+
     @property
     def method_label(self) -> str:
         """Method name including the ``_O`` suffix when pruning is enabled."""
         return self.config.method_label
+
+    @property
+    def frames_processed(self) -> int:
+        """Frames the engine has consumed so far."""
+        return self._frames_processed
+
+    @property
+    def result_states(self) -> int:
+        """Result states examined across all processed frames."""
+        return self._result_states
+
+    @property
+    def mcos_seconds(self) -> float:
+        """Cumulative wall-clock seconds spent in MCOS generation."""
+        return self._mcos_seconds
+
+    @property
+    def evaluation_seconds(self) -> float:
+        """Cumulative wall-clock seconds spent in query evaluation."""
+        return self._evaluation_seconds
 
     # ------------------------------------------------------------------
     # Streaming API
@@ -196,6 +273,10 @@ class TemporalVideoQueryEngine:
         return {
             "config": self._config_dict(),
             "queries": [query.to_dict() for query in self._queries],
+            #: Evaluator id floor: keeps cancelled-query ids tombstoned
+            #: across a restore (ids must never be reused — a drained match
+            #: would otherwise be ambiguous between old and new query).
+            "next_query_id": self.evaluator.index.next_query_id,
             "labels": [[oid, label] for oid, label in self._labels.items()],
             "counters": {
                 "mcos_seconds": self._mcos_seconds,
@@ -230,6 +311,9 @@ class TemporalVideoQueryEngine:
                 "checkpoint queries do not match the engine's registered "
                 "queries; resuming would evaluate the wrong workload"
             )
+        next_qid = payload.get("next_query_id")  # absent in older snapshots
+        if next_qid is not None:
+            self.evaluator.index.reserve_ids(int(next_qid))
         self._labels = {int(oid): label for oid, label in payload["labels"]}
         counters = payload["counters"]
         self._mcos_seconds = float(counters["mcos_seconds"])

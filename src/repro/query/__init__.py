@@ -17,6 +17,7 @@ The evaluation machinery follows Section 5:
   by the optimised ``MFS_O`` / ``SSG_O`` variants.
 """
 
+from repro.query.builder import Q, QueryExpr
 from repro.query.cnf_eval import CNFEvalIndex
 from repro.query.evaluator import QueryEvaluator, QueryMatch
 from repro.query.inequality import CNFEvalEIndex
@@ -27,7 +28,7 @@ from repro.query.model import (
     Disjunction,
     MembershipCondition,
 )
-from repro.query.parser import parse_query
+from repro.query.parser import parse_expression, parse_query
 from repro.query.pruning import StatePruner, queries_support_pruning
 
 __all__ = [
@@ -36,6 +37,9 @@ __all__ = [
     "MembershipCondition",
     "Disjunction",
     "CNFQuery",
+    "Q",
+    "QueryExpr",
+    "parse_expression",
     "parse_query",
     "CNFEvalIndex",
     "CNFEvalEIndex",

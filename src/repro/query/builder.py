@@ -1,0 +1,155 @@
+"""Fluent builder for CNF count queries.
+
+The builder is the programmatic twin of the text grammar: ``Q("car") >= 2``
+creates an atomic condition expression, and expressions combine with ``&``
+(AND) and ``|`` (OR)::
+
+    expr = (Q("car") >= 2) & ((Q("person") <= 3) | (Q("truck") >= 1))
+    query = expr.to_query(window=90, duration=45, name="incident")
+
+Expressions are kept in conjunctive normal form as they are combined (``|``
+distributes over the conjuncts), and :meth:`QueryExpr.to_query` emits the
+*canonical* :class:`~repro.query.model.CNFQuery` — sorted, deduplicated
+clauses — so builder- and parser-produced queries compare, hash and
+checkpoint identically.  :func:`repro.query.parser.parse_query` is a thin
+wrapper over this module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.query.model import DEFAULT_DURATION, DEFAULT_WINDOW, CNFQuery, Comparison, Condition
+
+#: One CNF clause: a disjunction of atomic conditions.
+Clause = Tuple[Condition, ...]
+
+
+class QueryExpr:
+    """A CNF expression fragment: combine with ``&`` / ``|``, finish with
+    :meth:`to_query`.
+
+    Instances are immutable and always hold a valid CNF clause list; the
+    operators never mutate their operands, so sub-expressions can be shared
+    and recombined freely.
+    """
+
+    __slots__ = ("_clauses",)
+
+    def __init__(self, clauses: Iterable[Iterable[Condition]]):
+        normalized = tuple(tuple(clause) for clause in clauses)
+        if not normalized or any(not clause for clause in normalized):
+            raise ValueError("a query expression needs at least one condition")
+        self._clauses = normalized
+
+    @classmethod
+    def atom(cls, condition: Condition) -> "QueryExpr":
+        """Wrap a single atomic condition."""
+        return cls(((condition,),))
+
+    @property
+    def clauses(self) -> Tuple[Clause, ...]:
+        """The CNF clauses (conjunction of disjunctions) of the expression."""
+        return self._clauses
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    def __and__(self, other: "QueryExpr") -> "QueryExpr":
+        if not isinstance(other, QueryExpr):
+            return NotImplemented
+        return QueryExpr(self._clauses + other._clauses)
+
+    def __or__(self, other: "QueryExpr") -> "QueryExpr":
+        if not isinstance(other, QueryExpr):
+            return NotImplemented
+        # OR distributes over both operands' conjuncts, keeping the result
+        # in CNF: (a AND b) OR (c AND d) = (a OR c)(a OR d)(b OR c)(b OR d).
+        return QueryExpr(
+            tuple(left + right for left in self._clauses for right in other._clauses)
+        )
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "query expressions do not have a truth value; combine them with "
+            "'&' and '|' (not the 'and'/'or' keywords)"
+        )
+
+    # ------------------------------------------------------------------
+    # Finishers
+    # ------------------------------------------------------------------
+    def to_query(
+        self,
+        window: int = DEFAULT_WINDOW,
+        duration: int = DEFAULT_DURATION,
+        name: str = "",
+    ) -> CNFQuery:
+        """Normalise the expression into a canonical :class:`CNFQuery`."""
+        return CNFQuery.from_condition_lists(
+            [
+                [(c.label, c.comparison.value, c.threshold) for c in clause]
+                for clause in self._clauses
+            ],
+            window=window,
+            duration=duration,
+            name=name,
+        ).canonical()
+
+    def __str__(self) -> str:
+        return " AND ".join(
+            "(" + " OR ".join(str(c) for c in clause) + ")"
+            for clause in self._clauses
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"QueryExpr({self})"
+
+
+class Q:
+    """Atom factory of the fluent builder: ``Q("car") >= 2``.
+
+    The comparison operators (``>=``, ``<=``, ``==``) and their named
+    aliases (:meth:`at_least`, :meth:`at_most`, :meth:`exactly`) return a
+    :class:`QueryExpr` ready for combination with ``&`` / ``|``.
+    """
+
+    __slots__ = ("_label",)
+
+    def __init__(self, label: str):
+        self._label = label
+
+    @property
+    def label(self) -> str:
+        """The class label the atom will constrain."""
+        return self._label
+
+    def _condition(self, comparison: Comparison, threshold: int) -> QueryExpr:
+        return QueryExpr.atom(Condition(self._label, comparison, int(threshold)))
+
+    def __ge__(self, threshold: int) -> QueryExpr:
+        return self._condition(Comparison.GE, threshold)
+
+    def __le__(self, threshold: int) -> QueryExpr:
+        return self._condition(Comparison.LE, threshold)
+
+    def __eq__(self, threshold) -> QueryExpr:  # type: ignore[override]
+        return self._condition(Comparison.EQ, threshold)
+
+    # ``__eq__`` no longer implements identity, so opt out of hashing (the
+    # factory is ephemeral; expressions, not atoms, are the durable values).
+    __hash__ = None  # type: ignore[assignment]
+
+    def at_least(self, threshold: int) -> QueryExpr:
+        """Named alias of ``Q(label) >= threshold``."""
+        return self.__ge__(threshold)
+
+    def at_most(self, threshold: int) -> QueryExpr:
+        """Named alias of ``Q(label) <= threshold``."""
+        return self.__le__(threshold)
+
+    def exactly(self, threshold: int) -> QueryExpr:
+        """Named alias of ``Q(label) == threshold``."""
+        return self._condition(Comparison.EQ, threshold)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Q({self._label!r})"

@@ -91,6 +91,18 @@ class QueryEvaluator:
         self._queries.append(registered)
         return registered
 
+    def remove_query(self, query_id: int) -> CNFQuery:
+        """Unregister a query by id (live cancellation path).
+
+        The inverted index is rebuilt from the remaining queries and the
+        cancelled id is tombstoned inside the index's id counter, so a later
+        registration can never reuse it (matches drained after the
+        cancellation stay unambiguous).
+        """
+        removed = self._index.remove_query(query_id)
+        self._queries = [q for q in self._queries if q.query_id != query_id]
+        return removed
+
     @property
     def queries(self) -> List[CNFQuery]:
         """All registered queries."""

@@ -112,6 +112,44 @@ class CNFEvalEIndex:
                     self._eq_labels.add(condition.label)
         return query
 
+    def remove_query(self, query_id: int) -> CNFQuery:
+        """Unregister a query and rebuild the posting lists without it.
+
+        Posting lists are append-only structures (threshold-ordered prefix
+        scans), so removal rebuilds the three indexes from the remaining
+        queries — an O(total conditions) operation that only runs on the
+        explicit cancellation path, never per frame.  The id counter is
+        preserved: a cancelled id is never handed out again.
+        """
+        removed = self._queries.pop(query_id, None)
+        if removed is None:
+            raise KeyError(f"no registered query with id {query_id}")
+        remaining = list(self._queries.values())
+        # ``_next_id`` is deliberately left untouched: it never shrinks, so
+        # the cancelled id stays tombstoned and is never handed out again.
+        self._ge_index = _OrderedIndex(ascending=True)
+        self._le_index = _OrderedIndex(ascending=False)
+        self._eq_index = {}
+        self._eq_labels = set()
+        self._queries = {}
+        self._disjunction_counts = {}
+        for query in remaining:
+            self.add_query(query)
+        return removed
+
+    @property
+    def next_query_id(self) -> int:
+        """The id floor: the smallest id a future auto-assignment may use.
+
+        Never decreases — cancelled ids below it stay tombstoned.  Stored
+        in engine checkpoints so the no-reuse guarantee survives restores.
+        """
+        return self._next_id
+
+    def reserve_ids(self, next_query_id: int) -> None:
+        """Raise the id floor (checkpoint restore path; never lowers it)."""
+        self._next_id = max(self._next_id, int(next_query_id))
+
     def __len__(self) -> int:
         return len(self._queries)
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import re
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -39,6 +40,26 @@ class Comparison(enum.Enum):
         return self.value
 
 
+#: Rank used by the canonical condition ordering (stable and independent of
+#: the operators' surface spelling).
+_COMPARISON_RANK = {Comparison.LE: 0, Comparison.EQ: 1, Comparison.GE: 2}
+
+#: Labels must be parseable back out of ``str(query)`` — the printer/parser
+#: round-trip contract — so they are restricted to the parser's token shape
+#: (ASCII-only, exactly as documented: ``[A-Za-z_][A-Za-z0-9_-]*``).
+_LABEL_RE = re.compile(r"^[A-Za-z_][\w\-]*\Z", re.ASCII)
+
+#: Keywords of the query grammar; a label spelled like one could never be
+#: re-parsed from the printed form.
+_RESERVED_LABELS = frozenset({"and", "or"})
+
+#: Package-wide default temporal parameters (frames).  Single source of
+#: truth for ``CNFQuery``, the text parser, the fluent builder and the
+#: session facade.
+DEFAULT_WINDOW = 300
+DEFAULT_DURATION = 240
+
+
 @dataclass(frozen=True)
 class Condition:
     """An atomic count condition ``label theta threshold``.
@@ -53,10 +74,42 @@ class Condition:
     def __post_init__(self) -> None:
         if self.threshold < 0:
             raise ValueError("condition thresholds must be non-negative")
+        if not _LABEL_RE.match(self.label):
+            raise ValueError(
+                f"invalid class label {self.label!r}: labels must match "
+                "[A-Za-z_][A-Za-z0-9_-]* so conditions can be printed and "
+                "re-parsed"
+            )
+        if self.label.lower() in _RESERVED_LABELS:
+            raise ValueError(
+                f"class label {self.label!r} collides with a query keyword"
+            )
+
+    @classmethod
+    def trusted(cls, label: str, comparison: Comparison, threshold: int) -> "Condition":
+        """Construct a condition without the label-grammar check.
+
+        Checkpoint-restore compatibility: snapshots written before label
+        validation existed may carry labels the grammar now rejects (spaces,
+        non-ASCII).  Restoring them must keep working — evaluation only ever
+        compares label strings — even though such a query can no longer be
+        pretty-printed and re-parsed.  Thresholds are still validated.
+        """
+        if threshold < 0:
+            raise ValueError("condition thresholds must be non-negative")
+        condition = object.__new__(cls)
+        object.__setattr__(condition, "label", label)
+        object.__setattr__(condition, "comparison", comparison)
+        object.__setattr__(condition, "threshold", threshold)
+        return condition
 
     def evaluate(self, counts: Mapping[str, int]) -> bool:
         """Evaluate the condition against per-class counts (missing = 0)."""
         return self.comparison.evaluate(counts.get(self.label, 0), self.threshold)
+
+    def sort_key(self) -> Tuple[str, int, int]:
+        """Total order used by the canonical CNF form."""
+        return (self.label, _COMPARISON_RANK[self.comparison], self.threshold)
 
     def __str__(self) -> str:
         return f"{self.label} {self.comparison.value} {self.threshold}"
@@ -105,11 +158,20 @@ class Disjunction:
         """Class labels referenced by the disjunction."""
         return frozenset(condition.label for condition in self.conditions)
 
+    def canonical(self) -> "Disjunction":
+        """The disjunction with duplicate conditions dropped, in sorted order."""
+        ordered = tuple(sorted(set(self.conditions), key=Condition.sort_key))
+        return self if ordered == self.conditions else Disjunction(ordered)
+
+    def sort_key(self) -> Tuple[Tuple[str, int, int], ...]:
+        """Total order of canonical disjunctions (assumes sorted conditions)."""
+        return tuple(condition.sort_key() for condition in self.conditions)
+
     def __str__(self) -> str:
         return " OR ".join(str(c) for c in self.conditions)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class CNFQuery:
     """A CNF query: a conjunction of disjunctions of count conditions.
 
@@ -125,11 +187,18 @@ class CNFQuery:
         Optional identifier; assigned by the evaluator when registered.
     name:
         Optional human-readable name.
+
+    Two queries are equal (and hash equally) when their *canonical forms*
+    agree: same window, same duration, and the same set of deduplicated,
+    sorted disjunction clauses.  ``query_id`` and ``name`` are bookkeeping,
+    not semantics, and do not participate — so a builder-produced query, its
+    parsed pretty-printed form and its registered copy all compare equal,
+    which is how duplicate registrations are detected.
     """
 
     disjunctions: Tuple[Disjunction, ...]
-    window: int = 300
-    duration: int = 240
+    window: int = DEFAULT_WINDOW
+    duration: int = DEFAULT_DURATION
     query_id: Optional[int] = None
     name: str = ""
 
@@ -148,8 +217,8 @@ class CNFQuery:
     def from_condition_lists(
         cls,
         groups: Sequence[Sequence[Tuple[str, str, int]]],
-        window: int = 300,
-        duration: int = 240,
+        window: int = DEFAULT_WINDOW,
+        duration: int = DEFAULT_DURATION,
         name: str = "",
     ) -> "CNFQuery":
         """Build a query from nested ``(label, operator, threshold)`` tuples.
@@ -189,9 +258,23 @@ class CNFQuery:
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "CNFQuery":
-        """Rebuild a query from a :meth:`to_dict` payload."""
-        query = cls.from_condition_lists(
-            payload["groups"],
+        """Rebuild a query from a :meth:`to_dict` payload.
+
+        Labels are restored through :meth:`Condition.trusted`: snapshots
+        written before the label grammar existed stay restorable even when
+        their labels would be rejected by today's constructors.
+        """
+        disjunctions = tuple(
+            Disjunction(
+                tuple(
+                    Condition.trusted(str(label), Comparison(op), int(threshold))
+                    for label, op, threshold in group
+                )
+            )
+            for group in payload["groups"]
+        )
+        query = cls(
+            disjunctions,
             window=int(payload["window"]),
             duration=int(payload["duration"]),
             name=payload.get("name", ""),
@@ -208,6 +291,67 @@ class CNFQuery:
             query_id=query_id,
             name=self.name,
         )
+
+    # ------------------------------------------------------------------
+    # Canonical form and structural identity
+    # ------------------------------------------------------------------
+    def canonical(self) -> "CNFQuery":
+        """The query in canonical form: sorted, deduplicated clauses.
+
+        Conditions are deduplicated and sorted inside each disjunction, and
+        the disjunctions themselves are deduplicated and sorted, so any two
+        ways of writing the same CNF expression — builder combinators,
+        parser text, hand-built tuples — produce literally the same
+        structure (and therefore the same checkpoint bytes).  ``window``,
+        ``duration``, ``query_id`` and ``name`` are preserved.  Returns
+        ``self`` when already canonical.
+        """
+        clauses: List[Disjunction] = []
+        seen = set()
+        for disjunction in self.disjunctions:
+            ordered = disjunction.canonical()
+            key = ordered.sort_key()
+            if key not in seen:
+                seen.add(key)
+                clauses.append(ordered)
+        clauses.sort(key=Disjunction.sort_key)
+        ordered_clauses = tuple(clauses)
+        if ordered_clauses == self.disjunctions:
+            return self
+        return CNFQuery(
+            ordered_clauses,
+            window=self.window,
+            duration=self.duration,
+            query_id=self.query_id,
+            name=self.name,
+        )
+
+    def structural_key(self) -> Tuple:
+        """Hashable identity of the query's semantics (canonical clauses +
+        temporal parameters); the basis of ``__eq__`` and ``__hash__``.
+
+        Memoised per instance (the dataclass is frozen, so the key can
+        never change): equality scans over standing workloads and dict/set
+        use would otherwise re-canonicalise on every comparison.
+        """
+        cached = self.__dict__.get("_structural_key")
+        if cached is None:
+            canonical = self.canonical()
+            cached = (
+                tuple(d.sort_key() for d in canonical.disjunctions),
+                self.window,
+                self.duration,
+            )
+            object.__setattr__(self, "_structural_key", cached)
+        return cached
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CNFQuery):
+            return NotImplemented
+        return self.structural_key() == other.structural_key()
+
+    def __hash__(self) -> int:
+        return hash(self.structural_key())
 
     # ------------------------------------------------------------------
     # Evaluation and inspection

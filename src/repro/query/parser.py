@@ -10,17 +10,34 @@ i.e. a conjunction (``AND``) of disjunctions (``OR``), optionally
 parenthesised, whose atoms are ``label op integer`` with ``op`` one of
 ``<=``, ``=``, ``==``, ``>=``.  Keywords are case-insensitive; labels are any
 identifier-like token.
+
+Parsing is a thin wrapper over the fluent builder
+(:mod:`repro.query.builder`): the text is folded into a
+:class:`~repro.query.builder.QueryExpr` with the same ``&`` / ``|``
+combinators a programmatic caller would use, so parser- and
+builder-produced queries normalise to the *same canonical*
+:class:`~repro.query.model.CNFQuery` — they compare equal, hash equal and
+checkpoint byte-identically.
 """
 
 from __future__ import annotations
 
+import functools
 import re
-from typing import List, Tuple
+from typing import List
 
-from repro.query.model import CNFQuery, Comparison, Condition, Disjunction
+from repro.query.builder import QueryExpr
+from repro.query.model import DEFAULT_DURATION, DEFAULT_WINDOW, CNFQuery, Comparison, Condition
 
 _CONDITION_RE = re.compile(
-    r"^\s*(?P<label>[A-Za-z_][\w\-]*)\s*(?P<op><=|>=|==|=)\s*(?P<value>\d+)\s*$"
+    r"^\s*(?P<label>[A-Za-z_][\w\-]*)\s*(?P<op><=|>=|==|=)\s*(?P<value>\d+)\s*$",
+    re.ASCII,
+)
+
+#: The ASCII label-token alphabet (continuation positions) — must agree
+#: with ``_CONDITION_RE`` and the model's label validation.
+_WORD_CHARS = frozenset(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_-"
 )
 
 
@@ -66,11 +83,21 @@ def _split_top_level(text: str, keyword: str) -> List[str]:
     return stripped
 
 
+def _is_word_char(char: str) -> bool:
+    """Characters that can appear inside a label token (``[\\w\\-]``).
+
+    Underscore and hyphen count: a keyword glued to either (``x_OR``,
+    ``A-OR``) is part of a label, not a connective — otherwise printed
+    queries with such labels could never re-parse.
+    """
+    return char in _WORD_CHARS
+
+
 def _is_word_boundary(text: str, index: int, length: int) -> bool:
     """True when text[index:index+length] is delimited by non-word characters."""
-    before_ok = index == 0 or not text[index - 1].isalnum()
+    before_ok = index == 0 or not _is_word_char(text[index - 1])
     end = index + length
-    after_ok = end >= len(text) or not text[end].isalnum()
+    after_ok = end >= len(text) or not _is_word_char(text[end])
     return before_ok and after_ok
 
 
@@ -102,13 +129,41 @@ def parse_condition(text: str) -> Condition:
     op = match.group("op")
     if op == "==":
         op = "="
-    return Condition(match.group("label"), Comparison(op), int(match.group("value")))
+    try:
+        return Condition(
+            match.group("label"), Comparison(op), int(match.group("value"))
+        )
+    except ValueError as exc:  # reserved labels (``AND >= 1``) and the like
+        raise QueryParseError(str(exc)) from exc
+
+
+def parse_expression(text: str) -> QueryExpr:
+    """Parse a CNF query string into a builder :class:`QueryExpr`.
+
+    This is the structural half of :func:`parse_query`: the text is reduced
+    with the builder's own ``&`` / ``|`` combinators and carries no temporal
+    parameters yet.
+    """
+    if not text or not text.strip():
+        raise QueryParseError("empty query string")
+    conjuncts: List[QueryExpr] = []
+    for conjunct in _split_top_level(text, "AND"):
+        body = _strip_parens(conjunct)
+        atoms = [
+            QueryExpr.atom(parse_condition(_strip_parens(atom)))
+            for atom in _split_top_level(body, "OR")
+        ]
+        conjuncts.append(functools.reduce(lambda a, b: a | b, atoms))
+    return functools.reduce(lambda a, b: a & b, conjuncts)
 
 
 def parse_query(
-    text: str, window: int = 300, duration: int = 240, name: str = ""
+    text: str,
+    window: int = DEFAULT_WINDOW,
+    duration: int = DEFAULT_DURATION,
+    name: str = "",
 ) -> CNFQuery:
-    """Parse a CNF query string into a :class:`~repro.query.model.CNFQuery`.
+    """Parse a CNF query string into a canonical :class:`CNFQuery`.
 
     Parameters
     ----------
@@ -118,17 +173,14 @@ def parse_query(
         Temporal parameters ``w`` and ``d`` attached to the query.
     name:
         Optional name recorded on the query.
+
+    The result is in canonical form (sorted, deduplicated clauses — see
+    :meth:`CNFQuery.canonical`), identical to what the fluent builder
+    produces for the same expression, so ``parse_query(str(q)) == q`` holds
+    for every query whose temporal parameters match the defaults, and
+    ``parse_query(str(q), window=q.window, duration=q.duration) == q``
+    holds universally.
     """
-    if not text or not text.strip():
-        raise QueryParseError("empty query string")
-    disjunctions: List[Disjunction] = []
-    for conjunct in _split_top_level(text, "AND"):
-        body = _strip_parens(conjunct)
-        atoms: Tuple[Condition, ...] = tuple(
-            parse_condition(_strip_parens(atom))
-            for atom in _split_top_level(body, "OR")
-        )
-        if not atoms:
-            raise QueryParseError(f"empty disjunction in query: {text!r}")
-        disjunctions.append(Disjunction(atoms))
-    return CNFQuery(tuple(disjunctions), window=window, duration=duration, name=name)
+    return parse_expression(text).to_query(
+        window=window, duration=duration, name=name
+    )

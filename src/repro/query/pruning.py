@@ -23,6 +23,19 @@ def queries_support_pruning(queries: Iterable[CNFQuery]) -> bool:
     return bool(queries) and all(query.uses_only_ge() for query in queries)
 
 
+def require_pruning_compatible(query: CNFQuery) -> None:
+    """Raise unless the query may join a pruning-enabled workload.
+
+    Single source of the check (and its error message) for every
+    registration surface — engine, router, session backends — so the rule
+    can never drift between them.
+    """
+    if not query.uses_only_ge():
+        raise ValueError(
+            "pruning (the *_O variants) requires all query conditions to use '>='"
+        )
+
+
 @dataclass
 class PruningStats:
     """Counters of the pruning strategy."""

@@ -1,0 +1,32 @@
+"""Unified session API: one facade over every serving architecture.
+
+:class:`~repro.session.session.Session` is the recommended entry point of
+the package: register queries (fluent builder, text, or ``CNFQuery``)
+against live streams, collect matches per query or per stream, cancel
+queries mid-stream, checkpoint and restore — on an inline engine, the
+sharded stream router, or the multiprocess worker pool, selected by a
+constructor argument and nothing else.
+"""
+
+from repro.query.builder import Q, QueryExpr
+from repro.session.backends import (
+    BACKENDS,
+    Backend,
+    InlineBackend,
+    PoolBackend,
+    RouterBackend,
+)
+from repro.session.session import QueryHandle, QueryLike, Session
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "InlineBackend",
+    "PoolBackend",
+    "Q",
+    "QueryExpr",
+    "QueryHandle",
+    "QueryLike",
+    "RouterBackend",
+    "Session",
+]

@@ -1,0 +1,429 @@
+"""Backend adapters of the session facade.
+
+A :class:`~repro.session.session.Session` talks to one serving architecture
+through the small :class:`Backend` protocol; the three existing runtimes
+adapt to it here:
+
+* :class:`InlineBackend` — one
+  :class:`~repro.engine.engine.TemporalVideoQueryEngine` per
+  ``(stream, window-group)``, driven synchronously in-process.  No
+  batching, no reorder buffer: the engine-semantics path, for notebooks,
+  tests and single-feed tools.
+* :class:`RouterBackend` — a :class:`~repro.streaming.router.StreamRouter`
+  with batched ingest, watermark reordering and shard checkpoints.
+* :class:`PoolBackend` — a
+  :class:`~repro.streaming.pool.ShardWorkerPool` over a router: shards run
+  in worker processes with crash recovery.
+
+All three deliver matches through the same retained-until-drained contract
+and report them in the same canonical order (stream first-seen order,
+matches keyed by frame id crossed with group registration order), so a
+workload driven through any backend produces byte-identical reports —
+pinned by the differential suite.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Tuple
+
+from repro.datamodel.observation import FrameObservation
+from repro.engine.config import EngineConfig, MCOSMethod
+from repro.engine.engine import TemporalVideoQueryEngine
+from repro.query.evaluator import QueryMatch
+from repro.query.model import CNFQuery
+from repro.query.pruning import require_pruning_compatible
+from repro.streaming.checkpoint import CheckpointError
+from repro.streaming.pool import PoolError, ShardWorkerPool
+from repro.streaming.router import StreamRouter, interleave_group_matches
+
+#: A window group key, as everywhere else in the runtime.
+GroupKey = Tuple[int, int]
+
+
+class Backend(abc.ABC):
+    """What a serving architecture must provide to sit under a Session.
+
+    Queries arrive with their session-assigned ids; matches are retained
+    inside the backend until :meth:`drain` collects them.  ``flush`` forces
+    buffered-but-unprocessed frames through (end-of-stream or barrier
+    point); inline backends process synchronously and treat it as a no-op.
+    """
+
+    #: Name the backend is selected by (``Session(backend=...)``).
+    kind: str = "abstract"
+
+    @abc.abstractmethod
+    def register(self, query: CNFQuery) -> None:
+        """Thread a (possibly mid-stream) registration down the stack."""
+
+    @abc.abstractmethod
+    def cancel(self, query: CNFQuery) -> None:
+        """Thread a cancellation down the stack (id is tombstoned above)."""
+
+    @abc.abstractmethod
+    def ingest(self, stream_id: str, frame: FrameObservation) -> None:
+        """Feed one frame of one stream."""
+
+    @abc.abstractmethod
+    def flush(self) -> None:
+        """Force any buffered frames through (barrier / end of stream)."""
+
+    @abc.abstractmethod
+    def drain(self) -> Dict[str, List[QueryMatch]]:
+        """Collect and clear all retained matches, keyed by stream, in the
+        canonical report order."""
+
+    @abc.abstractmethod
+    def matches_for(self, stream_id: str) -> List[QueryMatch]:
+        """One stream's retained matches in canonical order (not cleared)."""
+
+    @abc.abstractmethod
+    def stats(self) -> Dict:
+        """Backend-specific statistics (layout varies per backend)."""
+
+    @abc.abstractmethod
+    def checkpoint_payload(self) -> Dict:
+        """JSON-friendly snapshot embedded in the session checkpoint."""
+
+    def close(self) -> None:
+        """Release resources (worker processes, window state)."""
+
+
+class InlineBackend(Backend):
+    """Dedicated engines per ``(stream, window-group)``, driven in-process.
+
+    This is the session-shaped form of using
+    :class:`TemporalVideoQueryEngine` directly: frames are evaluated
+    synchronously at ingest (out-of-order frames raise, as the bare engine
+    does), and matches accumulate per engine until drained.
+    """
+
+    kind = "inline"
+
+    def __init__(
+        self,
+        method: MCOSMethod = MCOSMethod.SSG,
+        enable_pruning: bool = False,
+        restrict_labels: bool = True,
+    ):
+        self.method = MCOSMethod(method)
+        self.enable_pruning = enable_pruning
+        self.restrict_labels = restrict_labels
+        #: Window groups in registration order (same retire/re-append
+        #: semantics as the router's), each holding its live queries.
+        self._groups: Dict[GroupKey, List[CNFQuery]] = {}
+        #: Streams in first-seen order (first frame routed to any group).
+        self._streams: Dict[str, None] = {}
+        self._engines: Dict[Tuple[str, GroupKey], TemporalVideoQueryEngine] = {}
+        self._retained: Dict[Tuple[str, GroupKey], List[QueryMatch]] = {}
+
+    # -- lifecycle ------------------------------------------------------
+    def register(self, query: CNFQuery) -> None:
+        if self.enable_pruning:
+            # Engines are created lazily per stream; validate here so the
+            # registration call fails, not some later ingest.
+            require_pruning_compatible(query)
+        group = (query.window, query.duration)
+        live_group = group in self._groups
+        self._groups.setdefault(group, []).append(query)
+        if live_group:
+            for (_, engine_group), engine in self._engines.items():
+                if engine_group == group:
+                    engine.register_query(query)
+
+    def cancel(self, query: CNFQuery) -> None:
+        group = (query.window, query.duration)
+        remaining = [
+            q for q in self._groups[group] if q.query_id != query.query_id
+        ]
+        if remaining:
+            self._groups[group] = remaining
+            for slot, engine in self._engines.items():
+                if slot[1] == group:
+                    engine.cancel_query(query.query_id)
+                    retained = self._retained[slot]
+                    if retained:
+                        self._retained[slot] = [
+                            m for m in retained if m.query_id != query.query_id
+                        ]
+        else:
+            # Last query of the group: retire its engines and their state.
+            del self._groups[group]
+            for slot in [s for s in self._engines if s[1] == group]:
+                del self._engines[slot]
+                del self._retained[slot]
+
+    # -- ingest and results ---------------------------------------------
+    def ingest(self, stream_id: str, frame: FrameObservation) -> None:
+        for group, queries in self._groups.items():
+            self._streams.setdefault(stream_id, None)
+            slot = (stream_id, group)
+            engine = self._engines.get(slot)
+            if engine is None:
+                window, duration = group
+                engine = TemporalVideoQueryEngine(
+                    queries,
+                    EngineConfig(
+                        method=self.method,
+                        window_size=window,
+                        duration=duration,
+                        enable_pruning=self.enable_pruning,
+                        restrict_labels=self.restrict_labels,
+                    ),
+                )
+                self._engines[slot] = engine
+                self._retained[slot] = []
+            matches = engine.process_frame(frame)
+            if matches:
+                self._retained[slot].extend(matches)
+
+    def flush(self) -> None:
+        """Inline evaluation is synchronous; nothing is ever buffered."""
+
+    def matches_for(self, stream_id: str) -> List[QueryMatch]:
+        return interleave_group_matches(
+            self._retained.get((stream_id, group), ())
+            for group in self._groups
+        )
+
+    def drain(self) -> Dict[str, List[QueryMatch]]:
+        drained: Dict[str, List[QueryMatch]] = {}
+        for stream_id in self._streams:
+            matches = self.matches_for(stream_id)
+            if matches:
+                drained[stream_id] = matches
+        for slot in self._retained:
+            self._retained[slot] = []
+        return drained
+
+    # -- introspection and checkpointing --------------------------------
+    def stats(self) -> Dict:
+        per_engine = {}
+        for stream_id in self._streams:
+            for group in self._groups:
+                engine = self._engines.get((stream_id, group))
+                if engine is None:
+                    continue
+                window, duration = group
+                per_engine[f"{stream_id}/w{window}d{duration}"] = {
+                    "frames_processed": engine.frames_processed,
+                    "result_states": engine.result_states,
+                    "mcos_seconds": round(engine.mcos_seconds, 6),
+                    "evaluation_seconds": round(engine.evaluation_seconds, 6),
+                    "generator": engine.generator.stats.as_dict(),
+                }
+        return {
+            "method": self.method.value,
+            "engines": len(self._engines),
+            "window_groups": len(self._groups),
+            "per_engine": per_engine,
+        }
+
+    def checkpoint_payload(self) -> Dict:
+        return {
+            "groups": [
+                [window, duration, [q.to_dict() for q in queries]]
+                for (window, duration), queries in self._groups.items()
+            ],
+            "streams": list(self._streams),
+            "engines": [
+                [
+                    stream_id,
+                    [group[0], group[1]],
+                    self._engines[(stream_id, group)].checkpoint(),
+                    [
+                        m.to_record()
+                        for m in self._retained[(stream_id, group)]
+                    ],
+                ]
+                for stream_id in self._streams
+                for group in self._groups
+                if (stream_id, group) in self._engines
+            ],
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        payload: Dict,
+        method: MCOSMethod = MCOSMethod.SSG,
+        enable_pruning: bool = False,
+        restrict_labels: bool = True,
+        **_config,
+    ) -> "InlineBackend":
+        backend = cls(
+            method=method,
+            enable_pruning=enable_pruning,
+            restrict_labels=restrict_labels,
+        )
+        try:
+            for window, duration, queries in payload["groups"]:
+                backend._groups[(int(window), int(duration))] = [
+                    CNFQuery.from_dict(q) for q in queries
+                ]
+            for stream_id in payload["streams"]:
+                backend._streams[str(stream_id)] = None
+            for stream_id, group, engine_payload, retained in payload["engines"]:
+                slot = (str(stream_id), (int(group[0]), int(group[1])))
+                backend._engines[slot] = TemporalVideoQueryEngine.from_checkpoint(
+                    engine_payload
+                )
+                backend._retained[slot] = [
+                    QueryMatch.from_record(record) for record in retained
+                ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed inline-backend checkpoint: {exc!r}"
+            ) from exc
+        return backend
+
+
+class RouterBackend(Backend):
+    """The in-process sharded streaming runtime behind the session API."""
+
+    kind = "router"
+
+    def __init__(
+        self,
+        method: MCOSMethod = MCOSMethod.SSG,
+        batch_size: int = 8,
+        watermark: int = 0,
+        enable_pruning: bool = False,
+        restrict_labels: bool = True,
+        router: Optional[StreamRouter] = None,
+    ):
+        self.router = router if router is not None else StreamRouter(
+            [],
+            method=method,
+            batch_size=batch_size,
+            watermark=watermark,
+            enable_pruning=enable_pruning,
+            restrict_labels=restrict_labels,
+            retain_matches=True,
+        )
+
+    def register(self, query: CNFQuery) -> None:
+        self.router.register_query(query)
+
+    def cancel(self, query: CNFQuery) -> None:
+        self.router.cancel_query(query.query_id)
+
+    def ingest(self, stream_id: str, frame: FrameObservation) -> None:
+        self.router.route(stream_id, frame)
+
+    def flush(self) -> None:
+        self.router.flush()
+
+    def drain(self) -> Dict[str, List[QueryMatch]]:
+        return self.router.drain_matches()
+
+    def matches_for(self, stream_id: str) -> List[QueryMatch]:
+        return self.router.matches_for(stream_id)
+
+    def stats(self) -> Dict:
+        return self.router.stats()
+
+    def checkpoint_payload(self) -> Dict:
+        return self.router.checkpoint()
+
+    @classmethod
+    def restore(cls, payload: Dict, **_config) -> "RouterBackend":
+        return cls(router=StreamRouter.from_checkpoint(payload))
+
+
+class PoolBackend(Backend):
+    """The multiprocess shard worker pool behind the session API.
+
+    The pool starts eagerly (workers spawn on construction) and stops
+    gracefully on :meth:`close`, adopting all state back into its origin
+    router.  Checkpoints are taken live through
+    :meth:`ShardWorkerPool.checkpoint_router` — the pool keeps serving.
+    """
+
+    kind = "pool"
+
+    def __init__(
+        self,
+        method: MCOSMethod = MCOSMethod.SSG,
+        batch_size: int = 8,
+        watermark: int = 0,
+        enable_pruning: bool = False,
+        restrict_labels: bool = True,
+        num_workers: int = 2,
+        dispatch_batch: int = 32,
+        checkpoint_every: int = 8,
+        router: Optional[StreamRouter] = None,
+    ):
+        if router is None:
+            router = StreamRouter(
+                [],
+                method=method,
+                batch_size=batch_size,
+                watermark=watermark,
+                enable_pruning=enable_pruning,
+                restrict_labels=restrict_labels,
+                retain_matches=True,
+            )
+        self.pool = ShardWorkerPool(
+            router,
+            num_workers=num_workers,
+            dispatch_batch=dispatch_batch,
+            checkpoint_every=checkpoint_every,
+        )
+        self.pool.start()
+
+    def register(self, query: CNFQuery) -> None:
+        self.pool.register_query(query)
+
+    def cancel(self, query: CNFQuery) -> None:
+        self.pool.cancel_query(query.query_id)
+
+    def ingest(self, stream_id: str, frame: FrameObservation) -> None:
+        self.pool.route(stream_id, frame)
+
+    def flush(self) -> None:
+        self.pool.flush()
+
+    def drain(self) -> Dict[str, List[QueryMatch]]:
+        return self.pool.drain_matches()
+
+    def matches_for(self, stream_id: str) -> List[QueryMatch]:
+        return self.pool.matches_for(stream_id)
+
+    def stats(self) -> Dict:
+        return self.pool.stats()
+
+    def checkpoint_payload(self) -> Dict:
+        return self.pool.checkpoint_router()
+
+    @classmethod
+    def restore(
+        cls,
+        payload: Dict,
+        num_workers: int = 2,
+        dispatch_batch: int = 32,
+        checkpoint_every: int = 8,
+        **_config,
+    ) -> "PoolBackend":
+        return cls(
+            num_workers=num_workers,
+            dispatch_batch=dispatch_batch,
+            checkpoint_every=checkpoint_every,
+            router=StreamRouter.from_checkpoint(payload),
+        )
+
+    def close(self) -> None:
+        if self.pool.started:
+            try:
+                self.pool.stop()
+            except PoolError:  # pragma: no cover - crash-path cleanup
+                self.pool.terminate()
+
+
+#: Backend registry keyed by the ``Session(backend=...)`` selector.
+BACKENDS = {
+    InlineBackend.kind: InlineBackend,
+    RouterBackend.kind: RouterBackend,
+    PoolBackend.kind: PoolBackend,
+}

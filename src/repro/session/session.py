@@ -1,0 +1,686 @@
+"""The client-facing session facade over the serving runtimes.
+
+A :class:`Session` is the paper's service model as an API: a long-lived
+object against which analysts *register* and *cancel* co-occurrence queries
+while camera feeds keep flowing.  One facade subsumes the three serving
+architectures — dedicated in-process engines, the sharded stream router,
+and the multiprocess worker pool — behind identical semantics::
+
+    from repro import Session, Q
+
+    with Session(backend="router", method="SSG") as session:
+        congestion = session.register(Q("car") >= 3, window=90, duration=60)
+        for frame in feed.frames():
+            session.ingest("cam-01", frame)
+        session.flush()
+        for match in congestion.matches():
+            ...
+
+Queries can be a fluent-builder expression (``Q("car") >= 2``), a text
+expression (``"car >= 2 AND person >= 1"``) or a prebuilt
+:class:`~repro.query.model.CNFQuery`; all normalise to the same canonical
+form, which is also how duplicate registrations are detected.
+
+Live lifecycle semantics
+------------------------
+Registration takes effect at each stream's *ingest frontier*: frames
+ingested before the call are never evaluated against the new query.  For a
+stream that already carried frames, results are guaranteed to match a
+present-from-frame-0 run only from the **warm-up watermark** onward — one
+full window past the registration frontier
+(:meth:`QueryHandle.warmup_watermark`) — because states already inside the
+window were built without the query's classes.  Cancellation tombstones the
+query id forever, drops its evaluator postings and undelivered matches, and
+retires whole shards (releasing their window state) when it empties a
+window group.
+
+Checkpoints (:meth:`Session.checkpoint` / :meth:`Session.restore`) embed
+the full registry — active queries, cancelled ids, registration frontiers,
+undelivered per-handle matches — alongside the backend state, in the same
+versioned codec the streaming runtime uses, and can be taken on a *live*
+pool (workers keep serving).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.datamodel.observation import FrameObservation
+from repro.engine.config import MCOSMethod
+from repro.query.builder import QueryExpr
+from repro.query.evaluator import QueryMatch
+from repro.query.model import DEFAULT_DURATION, DEFAULT_WINDOW, CNFQuery
+from repro.query.parser import parse_query
+from repro.query.pruning import require_pruning_compatible
+from repro.session.backends import BACKENDS, Backend, GroupKey
+from repro.streaming.checkpoint import CheckpointError, from_bytes, to_bytes
+
+#: Everything :meth:`Session.register` accepts as a query.
+QueryLike = Union[str, QueryExpr, CNFQuery]
+
+
+class QueryHandle:
+    """A registered query's lifecycle handle.
+
+    Handles are returned by :meth:`Session.register` and stay valid for the
+    session's lifetime: :meth:`matches` accumulates the query's results
+    (across all streams, in drain order), :meth:`cancel` retires the query,
+    and :meth:`warmup_watermark` reports the frame id from which results on
+    a given stream are guaranteed to equal a present-from-frame-0 run.
+    """
+
+    __slots__ = ("_session", "query", "_registered_at", "_matches", "_active")
+
+    def __init__(
+        self,
+        session: "Session",
+        query: CNFQuery,
+        registered_at: Dict[str, int],
+    ):
+        self._session = session
+        #: The registered query, canonical form, carrying its assigned id.
+        self.query = query
+        self._registered_at = registered_at
+        self._matches: List[QueryMatch] = []
+        self._active = True
+
+    # -- identity -------------------------------------------------------
+    @property
+    def query_id(self) -> int:
+        """The session-assigned (never recycled) query id."""
+        return self.query.query_id
+
+    @property
+    def name(self) -> str:
+        """The query's optional human-readable name."""
+        return self.query.name
+
+    @property
+    def active(self) -> bool:
+        """False once the query has been cancelled."""
+        return self._active
+
+    # -- results --------------------------------------------------------
+    def matches(self) -> List[QueryMatch]:
+        """All matches delivered for this query so far.
+
+        Pulls freshly produced matches from the backend first (unless the
+        session is closed, in which case the already-delivered buffer is
+        returned).  The list accumulates in drain order and is a copy —
+        mutating it does not affect the handle.
+
+        The buffer grows with the query's total match count; a long-running
+        service that polls forever should consume via :meth:`take_matches`
+        (or the per-stream :meth:`Session.drain`) to keep memory bounded by
+        the polling interval instead.
+        """
+        if not self._session.closed:
+            self._session.drain()
+        return list(self._matches)
+
+    def take_matches(self) -> List[QueryMatch]:
+        """Like :meth:`matches`, but transfers ownership: the handle's
+        buffer is cleared, so repeated calls see each match exactly once
+        and handle memory stays bounded by the polling interval."""
+        taken = self.matches()
+        self._matches = []
+        return taken
+
+    def cancel(self) -> None:
+        """Cancel this query on the session (see :meth:`Session.cancel`)."""
+        self._session.cancel(self)
+
+    # -- warm-up --------------------------------------------------------
+    def warmup_watermark(self, stream_id: str) -> Optional[int]:
+        """First frame id of ``stream_id`` with full-history guarantees.
+
+        ``None`` when the stream had no frames before this query was
+        registered — the query saw the stream's whole history, so every
+        match is already equivalent to a from-frame-0 run.  Otherwise the
+        registration frontier plus one window: matches at or beyond this
+        frame id are produced from windows that lie entirely after the
+        registration point.
+        """
+        frontier = self._registered_at.get(stream_id)
+        if frontier is None:
+            return None
+        return frontier + self.query.window
+
+    def warmup_watermarks(self) -> Dict[str, int]:
+        """Per-stream warm-up watermarks for streams live at registration."""
+        return {
+            stream_id: frontier + self.query.window
+            for stream_id, frontier in self._registered_at.items()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "active" if self._active else "cancelled"
+        return (
+            f"QueryHandle(id={self.query_id}, {state}, "
+            f"query={str(self.query)!r})"
+        )
+
+
+class Session:
+    """One backend-agnostic facade over engine, router and pool serving.
+
+    Parameters
+    ----------
+    backend:
+        ``"inline"`` (dedicated per-stream engines, synchronous),
+        ``"router"`` (sharded in-process streaming runtime) or ``"pool"``
+        (multiprocess shard workers; spawned eagerly).
+    method:
+        MCOS state-maintenance strategy (name or
+        :class:`~repro.engine.config.MCOSMethod`).
+    batch_size / watermark:
+        Shard ingest batching and out-of-order tolerance (router and pool
+        backends; inline evaluation is synchronous and strictly ordered).
+    enable_pruning / restrict_labels:
+        The engine-level optimisations, applied uniformly.
+    num_workers / dispatch_batch / checkpoint_every:
+        Worker pool sizing and cadence (pool backend only).
+    queries:
+        Optional initial workload; each entry is registered as if passed to
+        :meth:`register`.
+    """
+
+    def __init__(
+        self,
+        backend: str = "inline",
+        *,
+        method: Union[str, MCOSMethod] = MCOSMethod.SSG,
+        batch_size: int = 8,
+        watermark: int = 0,
+        enable_pruning: bool = False,
+        restrict_labels: bool = True,
+        num_workers: int = 2,
+        dispatch_batch: int = 32,
+        checkpoint_every: int = 8,
+        queries: Iterable[QueryLike] = (),
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose one of "
+                f"{sorted(BACKENDS)}"
+            )
+        self._config = {
+            "backend": backend,
+            "method": MCOSMethod(method).value,
+            "batch_size": int(batch_size),
+            "watermark": int(watermark),
+            "enable_pruning": bool(enable_pruning),
+            "restrict_labels": bool(restrict_labels),
+            "num_workers": int(num_workers),
+            "dispatch_batch": int(dispatch_batch),
+            "checkpoint_every": int(checkpoint_every),
+        }
+        self._init_registry()
+        self._backend: Backend = self._build_backend()
+        try:
+            for query in queries:
+                self.register(query)
+        except BaseException:
+            # The pool backend spawns worker processes eagerly; a rejected
+            # initial query must not leak them.
+            self._closed = True
+            self._backend.close()
+            raise
+
+    def _init_registry(self) -> None:
+        self._handles: Dict[int, QueryHandle] = {}
+        self._next_qid = 0
+        self._delivered: Dict[int, int] = {}
+        #: Per-stream ingest frontier (highest frame id) and frame counts,
+        #: in first-seen order — the session-level truth that warm-up
+        #: watermarks and deterministic stats are derived from.
+        self._frontiers: Dict[str, int] = {}
+        self._frames: Dict[str, int] = {}
+        #: Active window groups, registration order, with the router's
+        #: retire/re-append semantics — mirrored here so deterministic
+        #: stats need no backend introspection.
+        self._group_order: List[GroupKey] = []
+        #: True when the backend may hold undrained matches (frames were
+        #: ingested or flushed since the last drain).  Lets ``drain`` — and
+        #: therefore every ``handle.matches()`` poll — skip the backend
+        #: round trip (a cross-process barrier on the pool backend) when
+        #: nothing can be pending.
+        self._dirty = False
+        self._closed = False
+
+    def _build_backend(self) -> Backend:
+        config = self._config
+        kind = config["backend"]
+        kwargs = {
+            "method": MCOSMethod(config["method"]),
+            "enable_pruning": config["enable_pruning"],
+            "restrict_labels": config["restrict_labels"],
+        }
+        if kind in ("router", "pool"):
+            kwargs.update(
+                batch_size=config["batch_size"],
+                watermark=config["watermark"],
+            )
+        if kind == "pool":
+            kwargs.update(
+                num_workers=config["num_workers"],
+                dispatch_batch=config["dispatch_batch"],
+                checkpoint_every=config["checkpoint_every"],
+            )
+        return BACKENDS[kind](**kwargs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def backend_kind(self) -> str:
+        """Which serving architecture the session runs on."""
+        return self._config["backend"]
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    @property
+    def handles(self) -> List[QueryHandle]:
+        """Every handle ever registered, in registration order."""
+        return list(self._handles.values())
+
+    @property
+    def queries(self) -> List[CNFQuery]:
+        """The active queries, in registration order."""
+        return [h.query for h in self._handles.values() if h.active]
+
+    def handle(self, query_id: int) -> QueryHandle:
+        """Look up a handle by its query id."""
+        return self._handles[query_id]
+
+    def stream_ids(self) -> List[str]:
+        """Streams that have ingested at least one frame, first-seen order."""
+        return list(self._frontiers)
+
+    # ------------------------------------------------------------------
+    # Query lifecycle
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        query: QueryLike,
+        *,
+        window: Optional[int] = None,
+        duration: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> QueryHandle:
+        """Register a query (text, builder expression or ``CNFQuery``).
+
+        ``window`` / ``duration`` / ``name`` override or supply the temporal
+        parameters and label; a prebuilt ``CNFQuery`` keeps its own unless
+        overridden.  The query is normalised to canonical form, checked
+        against the active workload for duplicates (structural equality —
+        same clauses, window and duration), assigned a fresh id, and
+        threaded down to the backend: on streams already flowing it joins
+        mid-stream with the warm-up guarantee documented on
+        :meth:`QueryHandle.warmup_watermark`.
+
+        Registration is a **barrier**: frames still buffered inside the
+        backend (batch and reorder buffers of the router/pool shards) are
+        forced through first, under the pre-registration workload — so
+        "frames ingested before the call are never evaluated against the
+        new query" holds on every backend, byte-identically.  On a
+        ``watermark > 0`` backend the barrier also advances each shard's
+        emission frontier to its highest buffered frame id: jittered
+        frames still in flight *across* the barrier arrive behind that
+        frontier and are dropped as late — schedule lifecycle changes at
+        quiet points on heavily reordered feeds.
+        """
+        self._require_open()
+        normalized = self._coerce_query(query, window, duration, name)
+        for handle in self._handles.values():
+            if handle.active and handle.query == normalized:
+                raise ValueError(
+                    f"duplicate registration: query {str(normalized)!r} "
+                    f"(window={normalized.window}, "
+                    f"duration={normalized.duration}) is already active as "
+                    f"id {handle.query_id}"
+                )
+        if self._config["enable_pruning"]:
+            # Validated here, before the flush barrier below runs: a
+            # rejected registration must not mutate stream processing
+            # state (the flush advances shard emission frontiers).
+            require_pruning_compatible(normalized)
+        registered = normalized.with_id(self._next_qid)
+        # The barrier: evaluate everything already ingested under the old
+        # workload before the new query can see any state.
+        self._backend.flush()
+        self._dirty = True
+        self._backend.register(registered)
+        # Committed only after the backend accepted it (e.g. a non-'>='
+        # query under pruning is rejected before any id is consumed).
+        self._next_qid += 1
+        group = (registered.window, registered.duration)
+        if group not in self._group_order:
+            self._group_order.append(group)
+        handle = QueryHandle(self, registered, dict(self._frontiers))
+        self._handles[registered.query_id] = handle
+        self._delivered[registered.query_id] = 0
+        return handle
+
+    def cancel(self, handle_or_id: Union[QueryHandle, int]) -> None:
+        """Cancel a registered query.
+
+        Cancellation is a **barrier**, mirroring :meth:`register` (the
+        same watermark caveat applies): frames already ingested but still
+        buffered are forced through first (the query was live when they
+        arrived, so their matches are produced) and drained into the
+        handles — they remain readable through
+        :meth:`QueryHandle.matches`.  Everything after the cancellation
+        point is dropped, the id is tombstoned forever, and window state
+        held purely on the query's behalf is released.
+        """
+        self._require_open()
+        handle = (
+            handle_or_id
+            if isinstance(handle_or_id, QueryHandle)
+            else self._handles[handle_or_id]
+        )
+        if handle._session is not self:
+            raise ValueError("the handle belongs to a different session")
+        if not handle.active:
+            raise ValueError(
+                f"query {handle.query_id} has already been cancelled"
+            )
+        self._backend.flush()
+        self._dirty = True
+        self.drain()
+        self._backend.cancel(handle.query)
+        handle._active = False
+        group = (handle.query.window, handle.query.duration)
+        if not any(
+            h.active
+            and (h.query.window, h.query.duration) == group
+            for h in self._handles.values()
+        ):
+            self._group_order.remove(group)
+
+    # ------------------------------------------------------------------
+    # Ingest and results
+    # ------------------------------------------------------------------
+    def ingest(self, stream_id: str, frame: FrameObservation) -> None:
+        """Feed one frame of one stream to every active window group."""
+        self._require_open()
+        self._backend.ingest(stream_id, frame)
+        self._dirty = True
+        frontier = self._frontiers.get(stream_id)
+        if frontier is None or frame.frame_id > frontier:
+            self._frontiers[stream_id] = frame.frame_id
+        self._frames[stream_id] = self._frames.get(stream_id, 0) + 1
+
+    def ingest_many(
+        self, events: Iterable[Tuple[str, FrameObservation]]
+    ) -> None:
+        """Feed a ``(stream_id, frame)`` event sequence."""
+        for stream_id, frame in events:
+            self.ingest(stream_id, frame)
+
+    def flush(self) -> None:
+        """Force buffered frames through every backend shard (barrier)."""
+        self._require_open()
+        self._backend.flush()
+        self._dirty = True
+
+    def drain(self) -> Dict[str, List[QueryMatch]]:
+        """Collect all newly produced matches, keyed by stream.
+
+        Matches are simultaneously delivered into their queries' handles
+        (:meth:`QueryHandle.matches`), so both access patterns — by stream
+        and by query — see every result exactly once in the same canonical
+        order.
+        """
+        self._require_open()
+        if not self._dirty:
+            return {}
+        drained = self._backend.drain()
+        self._dirty = False
+        for matches in drained.values():
+            for match in matches:
+                handle = self._handles.get(match.query_id)
+                if handle is not None:
+                    handle._matches.append(match)
+                    self._delivered[match.query_id] += 1
+        return drained
+
+    def matches_for(self, stream_id: str) -> List[QueryMatch]:
+        """One stream's retained (not yet drained) matches, canonical order."""
+        self._require_open()
+        return self._backend.matches_for(stream_id)
+
+    def stats(self) -> Dict:
+        """Session statistics: a deterministic, backend-independent core
+        plus the raw backend report under ``"backend_stats"``.
+
+        The core — queries, groups, per-stream frame counts and frontiers,
+        per-query delivery counts — is a pure function of the API call
+        sequence, so a workload driven through any backend must agree on it
+        byte for byte (pinned by the differential suite).
+        """
+        self._require_open()
+        return {
+            "backend": self.backend_kind,
+            "queries": [
+                [
+                    qid,
+                    {
+                        "name": handle.query.name,
+                        "window": handle.query.window,
+                        "duration": handle.query.duration,
+                        "active": handle.active,
+                        "delivered": self._delivered.get(qid, 0),
+                    },
+                ]
+                for qid, handle in self._handles.items()
+            ],
+            "window_groups": [list(group) for group in self._group_order],
+            "streams": [
+                [
+                    stream_id,
+                    {
+                        "frames": self._frames[stream_id],
+                        "frontier": self._frontiers[stream_id],
+                    },
+                ]
+                for stream_id in self._frontiers
+            ],
+            "backend_stats": self._backend.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> bytes:
+        """Snapshot the whole session as versioned checkpoint bytes.
+
+        Self-contained: configuration, the full query registry (active and
+        cancelled, with registration frontiers and undelivered per-handle
+        matches) and the backend state.  Pool-backed sessions snapshot
+        *live* — workers keep serving.  Restoring yields a session that
+        re-checkpoints byte-identically until new frames arrive.
+        """
+        self._require_open()
+        payload = {
+            "config": dict(self._config),
+            "registry": {
+                "next_query_id": self._next_qid,
+                "handles": [
+                    {
+                        "query": handle.query.to_dict(),
+                        "active": handle.active,
+                        "registered_at": [
+                            [stream_id, frontier]
+                            for stream_id, frontier
+                            in handle._registered_at.items()
+                        ],
+                        "matches": [
+                            m.to_record() for m in handle._matches
+                        ],
+                        "delivered": self._delivered.get(
+                            handle.query_id, 0
+                        ),
+                    }
+                    for handle in self._handles.values()
+                ],
+            },
+            "streams": [
+                [stream_id, self._frontiers[stream_id], self._frames[stream_id]]
+                for stream_id in self._frontiers
+            ],
+            "group_order": [list(group) for group in self._group_order],
+            "state": self._backend.checkpoint_payload(),
+        }
+        return to_bytes("session", payload)
+
+    @classmethod
+    def restore(cls, data: bytes) -> "Session":
+        """Rebuild a session (same backend kind) from checkpoint bytes."""
+        payload = from_bytes(data, expect_kind="session")
+        try:
+            config = dict(payload["config"])
+            kind = config["backend"]
+            backend_class = BACKENDS[kind]
+            session = cls.__new__(cls)
+            session._config = config
+            session._init_registry()
+            session._backend = backend_class.restore(
+                payload["state"],
+                method=MCOSMethod(config["method"]),
+                enable_pruning=bool(config["enable_pruning"]),
+                restrict_labels=bool(config["restrict_labels"]),
+                num_workers=int(config["num_workers"]),
+                dispatch_batch=int(config["dispatch_batch"]),
+                checkpoint_every=int(config["checkpoint_every"]),
+            )
+            registry = payload["registry"]
+            session._next_qid = int(registry["next_query_id"])
+            for entry in registry["handles"]:
+                query = CNFQuery.from_dict(entry["query"])
+                handle = QueryHandle(
+                    session,
+                    query,
+                    {
+                        str(stream_id): int(frontier)
+                        for stream_id, frontier in entry["registered_at"]
+                    },
+                )
+                handle._active = bool(entry["active"])
+                handle._matches = [
+                    QueryMatch.from_record(record)
+                    for record in entry["matches"]
+                ]
+                session._handles[query.query_id] = handle
+                session._delivered[query.query_id] = int(entry["delivered"])
+            # The restored backend may carry retained matches from the
+            # snapshot; the first drain must reach it.
+            session._dirty = True
+            for stream_id, frontier, frames in payload["streams"]:
+                session._frontiers[str(stream_id)] = int(frontier)
+                session._frames[str(stream_id)] = int(frames)
+            session._group_order = [
+                (int(window), int(duration))
+                for window, duration in payload["group_order"]
+            ]
+        except CheckpointError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed session checkpoint: {exc!r}"
+            ) from exc
+        return session
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the session down (idempotent).
+
+        The buffered tail of every stream is flushed through and the
+        produced matches are pulled into their handles, so
+        :meth:`QueryHandle.matches` keeps working on a closed session and
+        every ingested frame was evaluated — identical to the inline
+        backend's synchronous semantics.  Then the backend releases its
+        resources (a pool stops gracefully, adopting worker state back
+        before its processes exit).
+        """
+        if self._closed:
+            return
+        try:
+            self._backend.flush()
+            self._dirty = True
+            self.drain()
+        except Exception as exc:  # pragma: no cover - crash-path cleanup
+            # Closing must always release resources, but a failed final
+            # flush means the buffered tail was NOT evaluated (e.g. a pool
+            # worker exhausted its restart budget) — say so instead of
+            # silently under-delivering.
+            warnings.warn(
+                f"session close could not flush the buffered tail "
+                f"({exc!r}); matches of recently ingested frames may be "
+                "missing",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        self._closed = True
+        self._backend.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("the session is closed")
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce_query(
+        query: QueryLike,
+        window: Optional[int],
+        duration: Optional[int],
+        name: Optional[str],
+    ) -> CNFQuery:
+        """Normalise any accepted query form to a canonical ``CNFQuery``."""
+        if isinstance(query, str):
+            return parse_query(
+                query,
+                window=window if window is not None else DEFAULT_WINDOW,
+                duration=duration if duration is not None else DEFAULT_DURATION,
+                name=name or "",
+            )
+        if isinstance(query, QueryExpr):
+            return query.to_query(
+                window=window if window is not None else DEFAULT_WINDOW,
+                duration=duration if duration is not None else DEFAULT_DURATION,
+                name=name or "",
+            )
+        if isinstance(query, CNFQuery):
+            return CNFQuery(
+                query.disjunctions,
+                window=window if window is not None else query.window,
+                duration=duration if duration is not None else query.duration,
+                name=name if name is not None else query.name,
+            ).canonical()
+        raise TypeError(
+            f"cannot register a {type(query).__name__}; pass a query string, "
+            "a Q(...) builder expression or a CNFQuery"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "closed" if self._closed else "open"
+        return (
+            f"Session(backend={self.backend_kind!r}, "
+            f"queries={len(self.queries)}, streams={len(self._frontiers)}, "
+            f"{state})"
+        )

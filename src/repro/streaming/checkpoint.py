@@ -79,7 +79,7 @@ MAGIC_V2 = b"RSCK2\x00"
 MAX_DECOMPRESSED_BYTES = 1 << 28
 
 #: Component kinds a checkpoint may wrap.
-KNOWN_KINDS = ("shard", "router", "engine", "generator")
+KNOWN_KINDS = ("shard", "router", "engine", "generator", "session")
 
 #: Value tags of the version-2 tree encoding.
 _T_NONE, _T_FALSE, _T_TRUE, _T_INT, _T_FLOAT = 0, 1, 2, 3, 4

@@ -49,6 +49,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.datamodel.observation import FrameObservation
 from repro.query.evaluator import QueryMatch
+from repro.query.model import CNFQuery
 from repro.streaming.checkpoint import from_bytes, to_bytes
 from repro.streaming.router import StreamRouter
 
@@ -86,6 +87,15 @@ def _apply_op(router: StreamRouter, op: Tuple):
             stream_id: [match.to_record() for match in matches]
             for stream_id, matches in router.drain_matches().items()
         }
+    if kind == "register":
+        # The query arrives with its id pre-assigned by the origin router,
+        # so every worker (and every crash-replay of this op) lands on the
+        # identical registration.
+        router.register_query(CNFQuery.from_dict(op[1]))
+        return None
+    if kind == "cancel":
+        router.cancel_query(int(op[1]))
+        return None
     raise PoolError(f"unknown worker operation {kind!r}")
 
 
@@ -247,6 +257,16 @@ class ShardWorkerPool:
         #: pool's own workers are excluded (they are being served, not
         #: departed), so :meth:`stats` mirrors an uninterrupted router.
         self._origin_departed: Optional[Dict] = None
+        #: The origin router's ``retired`` block at start() time (shards
+        #: retired by pre-pool query-group cancellations).
+        self._origin_retired: Optional[Dict] = None
+        #: Pre-pool frozen departed slots, snapshotted at start(): hand-offs
+        #: that belong to *other* owners and therefore survive into a live
+        #: merged checkpoint (:meth:`checkpoint_router`), unlike our own
+        #: detaches.  (Detached-stream tombstones are *not* snapshotted —
+        #: the origin router's live ``_detached`` stays authoritative, e.g.
+        #: a mid-pool group cancellation lifts pending entries there.)
+        self._origin_departed_slots: Dict = {}
         self._config_blob: Optional[bytes] = None
         self._started = False
         self._stopped = False
@@ -294,14 +314,23 @@ class ShardWorkerPool:
         config = router.config_checkpoint(include_detached=True)
         self._config_blob = to_bytes("router", config)
         # Snapshot pre-existing hand-offs before our own detaches land.
-        self._origin_departed = dict(router.stats()["departed"])
+        origin_stats = router.stats()
+        self._origin_departed = dict(origin_stats["departed"])
+        self._origin_retired = dict(origin_stats["retired"])
+        self._origin_departed_slots = router.departed_slot_snapshots()
         self._workers = [_WorkerHandle(index) for index in range(self.num_workers)]
         for worker in self._workers:
             self._spawn(worker)
         self._started = True
         for stream_id in router.stream_ids():
+            index = self._assign(stream_id)
+            if not router.has_live_shards(stream_id):
+                # Every shard of this stream was retired by query-group
+                # cancellations: nothing to ship, but the stream keeps its
+                # first-seen position (new groups resume it in place).
+                continue
             payloads = router.detach(stream_id)
-            worker = self._workers[self._assign(stream_id)]
+            worker = self._workers[index]
             blobs = [to_bytes("shard", payload) for payload in payloads]
             self._send_op(worker, ("adopt", blobs))
         return self
@@ -338,6 +367,13 @@ class ShardWorkerPool:
         by_stream: Dict[str, List[Dict]] = {}
         for worker in self._workers:
             payload = from_bytes(worker.stopped_state, expect_kind="router")
+            # Shards retired inside this worker (query group cancelled
+            # mid-run) froze their counters in the worker's router; fold
+            # them into the origin so post-stop stats equal an
+            # uninterrupted single-process run's.
+            retired = payload.get("retired_totals")
+            if retired:
+                self.router.fold_retired(retired)
             for shard_payload in payload.get("shards", []):
                 stream_id = str(shard_payload["key"]["stream_id"])
                 by_stream.setdefault(stream_id, []).append(shard_payload)
@@ -347,6 +383,12 @@ class ShardWorkerPool:
         for shard_payloads in by_stream.values():  # pragma: no cover - safety
             for shard_payload in shard_payloads:
                 self.router.adopt(shard_payload)
+        # Adoption can only re-learn streams that still have shards; a
+        # stream whose every shard was retired by a mid-pool group
+        # cancellation is still the service's stream (an uninterrupted
+        # router keeps it, and so does checkpoint_router()).  Re-impose the
+        # global first-seen order from the assignment.
+        self.router.set_stream_order(self._assignment)
         self._close_queues()
         return self.router
 
@@ -405,6 +447,45 @@ class ShardWorkerPool:
         ]
         for worker, seq in seqs:
             self._await(worker, seq)
+
+    # ------------------------------------------------------------------
+    # Live query lifecycle
+    # ------------------------------------------------------------------
+    def register_query(self, query: CNFQuery) -> CNFQuery:
+        """Register a query on every worker of a live pool.
+
+        The origin router assigns the id (it is the single source of truth
+        for the workload, and :meth:`stop`'s adopt-back validation compares
+        against it), then the registration ships to every worker as a
+        *logged* operation: a crash replays it in order, and the per-worker
+        FIFO guarantees it lands after every frame ingested before the
+        registration — exactly the single-process semantics.  Frame buffers
+        are flushed first for the same reason.
+        """
+        self._require_running()
+        self._flush_buffers()
+        registered = self.router.register_query(query)
+        for worker in self._workers:
+            self._send_op(worker, ("register", registered.to_dict()))
+        return registered
+
+    def cancel_query(self, query_id: int) -> CNFQuery:
+        """Cancel a query on every worker of a live pool (id tombstoned).
+
+        Applied to the origin router first (bookkeeping + adopt-back
+        validation), then shipped to every worker as a logged operation;
+        workers drop the query's evaluator entries and undrained matches,
+        and retire whole shards when the cancellation empties its window
+        group (their frozen ingest counters surface in
+        ``stats()["retired"]`` and fold back into the origin on
+        :meth:`stop`).
+        """
+        self._require_running()
+        self._flush_buffers()
+        removed = self.router.cancel_query(query_id)
+        for worker in self._workers:
+            self._send_op(worker, ("cancel", query_id))
+        return removed
 
     # ------------------------------------------------------------------
     # Results
@@ -469,8 +550,11 @@ class ShardWorkerPool:
         }
         # Workers never detach, so their departed blocks are zero; what the
         # oracle router would report as departed is exactly the origin's
-        # pre-pool hand-offs, snapshotted at start().
+        # pre-pool hand-offs, snapshotted at start().  Retirements (a whole
+        # query group cancelled) *do* happen inside workers, so their frozen
+        # retired counters sum on top of the origin's pre-pool block.
         departed = dict(self._origin_departed)
+        retired = dict(self._origin_retired)
         shards = 0
         per_shard_raw: Dict[str, Dict] = {}
         for stats in worker_stats:
@@ -480,12 +564,15 @@ class ShardWorkerPool:
             per_shard_raw.update(stats["per_shard"])
             for key, value in stats["departed"].items():
                 departed[key] += value
+            for key, value in stats["retired"].items():
+                retired[key] += value
         seconds = totals["processing_seconds"]
         totals["processing_seconds"] = round(seconds, 6)
         totals["frames_per_sec"] = (
             round(totals["frames_processed"] / seconds, 2) if seconds else 0.0
         )
         departed["processing_seconds"] = round(departed["processing_seconds"], 6)
+        retired["processing_seconds"] = round(retired["processing_seconds"], 6)
         per_shard: Dict[str, Dict] = {}
         for stream_id in self._assignment:
             for window, duration in self.router.group_keys:
@@ -498,6 +585,7 @@ class ShardWorkerPool:
             "shards": shards,
             "totals": totals,
             "departed": departed,
+            "retired": retired,
             "per_shard": per_shard,
             "pool": {
                 "workers": self.num_workers,
@@ -522,6 +610,75 @@ class ShardWorkerPool:
                 if worker.pending_ckpt_seq is None:
                     self._request_checkpoint(worker)
                 self._pump(block=True, focus=worker)
+
+    def checkpoint_router(self) -> Dict:
+        """A merged router-layout checkpoint of the *live* pool.
+
+        Every worker snapshots its local router (a read-only query, so the
+        pool keeps serving); the shard payloads are merged under the origin
+        router's current workload configuration in canonical order —
+        stream first-seen order crossed with group registration order, the
+        layout an uninterrupted single-process router would produce.
+        Streams owned by this pool are live in the merged document (their
+        shards are embedded, their detach tombstones omitted); hand-offs
+        that predate the pool belong to other owners and survive verbatim.
+        :meth:`StreamRouter.from_checkpoint` on the result yields a router
+        that resumes the whole service — including registered-after-start
+        and cancelled query state — exactly where the workers are now.
+        """
+        self._require_running()
+        self._flush_buffers()
+        worker_payloads = [
+            from_bytes(self._call(worker, ("ckpt",)), expect_kind="router")
+            for worker in self._workers
+        ]
+        document = self.router.config_checkpoint(include_detached=False)
+        # Tombstones come from the origin router *live*, not a start-time
+        # snapshot: a mid-pool group cancellation lifts pending entries on
+        # the origin, and a stale copy would permanently block the stream
+        # after a restore.  Streams owned by this pool are live in the
+        # merged document, so their own detach tombstones are omitted.
+        document["detached"] = [
+            [stream_id, [list(group) for group in groups]]
+            for stream_id, groups in self.router.detached_streams().items()
+            if stream_id not in self._assignment
+        ]
+        by_stream: Dict[str, List[Dict]] = {}
+        retired = dict(self._origin_retired)
+        for payload in worker_payloads:
+            for key, value in payload.get("retired_totals", {}).items():
+                retired[key] = retired.get(key, 0) + value
+            for shard_payload in payload.get("shards", []):
+                stream_id = str(shard_payload["key"]["stream_id"])
+                by_stream.setdefault(stream_id, []).append(shard_payload)
+        group_order = {
+            group: index for index, group in enumerate(self.router.group_keys)
+        }
+        shards: List[Dict] = []
+        for stream_id in self._assignment:
+            entries = by_stream.pop(stream_id, [])
+            entries.sort(
+                key=lambda p: group_order.get(
+                    (int(p["key"]["window"]), int(p["key"]["duration"])),
+                    len(group_order),
+                )
+            )
+            shards.extend(entries)
+        for entries in by_stream.values():  # pragma: no cover - safety
+            shards.extend(entries)
+        document["shards"] = shards
+        document["stream_order"] = list(self._assignment)
+        document["departed_totals"] = dict(self._origin_departed)
+        retired["processing_seconds"] = round(
+            retired.get("processing_seconds", 0.0), 6
+        )
+        document["retired_totals"] = retired
+        document["departed_slots"] = [
+            [stream_id, [window, duration], dict(frozen)]
+            for (stream_id, (window, duration)), frozen
+            in self._origin_departed_slots.items()
+        ]
+        return document
 
     # ------------------------------------------------------------------
     # Internals: dispatch, acknowledgements, recovery

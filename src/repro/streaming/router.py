@@ -18,12 +18,13 @@ feeds* and *heterogeneous query workloads* on top of it:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.datamodel.observation import FrameObservation
 from repro.engine.config import MCOSMethod
 from repro.query.evaluator import QueryMatch
 from repro.query.model import CNFQuery
+from repro.query.pruning import require_pruning_compatible
 from repro.streaming.checkpoint import CheckpointError, from_bytes, to_bytes
 from repro.streaming.shard import ShardKey, StreamShard
 
@@ -43,6 +44,26 @@ def _zero_ingest_totals() -> Dict:
         "batches": 0,
         "processing_seconds": 0.0,
     }
+
+
+def interleave_group_matches(
+    per_group_matches: Iterable[Sequence[QueryMatch]],
+) -> List[QueryMatch]:
+    """Merge one stream's per-group match lists into canonical order.
+
+    Matches are keyed by ``(frame_id, group registration index, emission
+    sequence)`` — within a frame, groups interleave in registration order
+    and each group keeps its emission order.  The sort is stable and total
+    over those keys, so repeated calls agree byte for byte; every report
+    surface (router, worker pool, session backends) shares this one
+    definition of match order.
+    """
+    keyed: List[Tuple[int, int, int, QueryMatch]] = []
+    for group_index, matches in enumerate(per_group_matches):
+        for seq, match in enumerate(matches):
+            keyed.append((match.frame_id, group_index, seq, match))
+    keyed.sort(key=lambda item: item[:3])
+    return [match for _, _, _, match in keyed]
 
 
 def group_queries_by_window(
@@ -74,8 +95,6 @@ class StreamRouter:
         retain_matches: bool = True,
     ):
         queries = list(queries)
-        if not queries:
-            raise ValueError("the router needs at least one query")
         self.method = MCOSMethod(method)
         self.batch_size = batch_size
         self.watermark = watermark
@@ -89,6 +108,13 @@ class StreamRouter:
             self.queries
         )
         self._shards: Dict[Tuple[str, GroupKey], StreamShard] = {}
+        #: Stream first-seen order, persistent across group retirements: a
+        #: stream whose every shard was retired by a query-group
+        #: cancellation keeps its position (and re-grows shards in place
+        #: when a new group arrives) — deriving order from live shards
+        #: would silently reorder reports.  Detach *does* remove the
+        #: stream: it departed to another owner.
+        self._stream_order: Dict[str, None] = {}
         #: Streams handed off via :meth:`detach`, with the window groups
         #: still awaiting adoption.  Routing to one raises instead of
         #: silently resurrecting an empty shard that would fork the stream's
@@ -107,6 +133,16 @@ class StreamRouter:
         #: the shard's live counters are in ``totals`` again, so leaving
         #: them in ``departed`` too would double-count.
         self._departed_by_slot: Dict[Tuple[str, GroupKey], Dict] = {}
+        #: Ids of cancelled queries.  Tombstoned forever: an id is never
+        #: reassigned, so a match drained after the cancellation point can
+        #: never be attributed to the wrong query.
+        self._cancelled: set = set()
+        #: Cumulative ingest counters of shards retired because their whole
+        #: window group was cancelled, frozen at retirement.  The same
+        #: accounting rule as ``_departed_totals``: removing a shard must
+        #: not make its late-drop/duplicate/reorder history vanish from
+        #: :meth:`stats`.
+        self._retired_totals: Dict = _zero_ingest_totals()
 
     @staticmethod
     def _assign_ids(queries: Sequence[CNFQuery]) -> List[CNFQuery]:
@@ -138,11 +174,14 @@ class StreamRouter:
         return list(self._groups[group])
 
     def stream_ids(self) -> List[str]:
-        """Streams that have routed at least one frame, first-seen order."""
-        seen: Dict[str, None] = {}
-        for stream_id, _ in self._shards:
-            seen.setdefault(stream_id, None)
-        return list(seen)
+        """Streams this router serves, in first-seen order.
+
+        Includes streams whose shards were all retired by query-group
+        cancellations (they are still this router's streams and resume in
+        place when a matching group returns); excludes streams detached to
+        another owner.
+        """
+        return list(self._stream_order)
 
     def shards(self) -> Dict[Tuple[str, GroupKey], StreamShard]:
         """Live shards keyed by ``(stream_id, (window, duration))``."""
@@ -182,7 +221,152 @@ class StreamRouter:
                 retain_matches=self.retain_matches,
             )
             self._shards[(stream_id, group)] = shard
+        self._stream_order.setdefault(stream_id, None)
         return shard
+
+    # ------------------------------------------------------------------
+    # Live query lifecycle
+    # ------------------------------------------------------------------
+    def register_query(self, query: CNFQuery) -> CNFQuery:
+        """Register a query on a (possibly live) router.
+
+        A query whose ``(window, duration)`` pair starts a new window group
+        gets fresh shards lazily, per stream, on the next frame each stream
+        routes — its evaluation starts from the registration point.  A query
+        joining an existing group is threaded into every live shard of that
+        group (the shard engines rebuild their evaluator index and widen
+        their label projection mid-stream); see the session layer for the
+        warm-up watermark this implies.  Ids are never recycled: a query
+        arriving without one is assigned the smallest id no live *or
+        cancelled* query has used.
+        """
+        if self.enable_pruning:
+            # Checked eagerly (not at lazy shard creation): the registration
+            # call is the only sensible place for the caller to handle it.
+            require_pruning_compatible(query)
+        used = {q.query_id for q in self.queries} | self._cancelled
+        if query.query_id is None:
+            next_id = 0
+            while next_id in used:
+                next_id += 1
+            query = query.with_id(next_id)
+        elif query.query_id in used:
+            raise ValueError(
+                f"query id {query.query_id} is already registered or "
+                "tombstoned on this router"
+            )
+        group = (query.window, query.duration)
+        live_group = group in self._groups
+        self.queries.append(query)
+        self._groups.setdefault(group, []).append(query)
+        if live_group:
+            for (_, shard_group), shard in self._shards.items():
+                if shard_group == group:
+                    shard.register_query(query)
+        return query
+
+    def cancel_query(self, query_id: int) -> CNFQuery:
+        """Cancel a registered query by id (tombstoning the id forever).
+
+        The query leaves every live shard of its group — evaluator postings
+        dropped, pruning and label projection re-derived from the survivors,
+        undrained matches of the query discarded.  When the cancellation
+        empties its window group, the group's shards are retired wholesale
+        (their window state is released; their ingest counters are frozen
+        into ``stats()["retired"]``) and any pending detached-stream
+        tombstones for the group are lifted — there is nothing left to
+        adopt.
+        """
+        query = next(
+            (q for q in self.queries if q.query_id == query_id), None
+        )
+        if query is None:
+            raise KeyError(f"no registered query with id {query_id}")
+        group = (query.window, query.duration)
+        self.queries = [q for q in self.queries if q.query_id != query_id]
+        remaining = [q for q in self._groups[group] if q.query_id != query_id]
+        self._cancelled.add(query_id)
+        if remaining:
+            self._groups[group] = remaining
+            for (_, shard_group), shard in self._shards.items():
+                if shard_group == group:
+                    shard.cancel_query(query_id)
+        else:
+            del self._groups[group]
+            for key in [k for k in self._shards if k[1] == group]:
+                shard = self._shards.pop(key)
+                retired = self._retired_totals
+                retired["shards"] += 1
+                for field, value in self._freeze_ingest_stats(shard).items():
+                    retired[field] += value
+            for stream_id in list(self._detached):
+                pending = self._detached[stream_id]
+                if group in pending:
+                    pending.remove(group)
+                    if not pending:
+                        del self._detached[stream_id]
+        return query
+
+    @property
+    def cancelled_ids(self) -> List[int]:
+        """Tombstoned (cancelled) query ids, ascending."""
+        return sorted(self._cancelled)
+
+    # ------------------------------------------------------------------
+    # Hand-off introspection (the worker pool's supported surface)
+    # ------------------------------------------------------------------
+    def has_live_shards(self, stream_id: str) -> bool:
+        """Whether any shard of the stream is currently live here."""
+        return any(key[0] == stream_id for key in self._shards)
+
+    def detached_streams(self) -> Dict[str, List[GroupKey]]:
+        """Detached-stream tombstones: stream id → groups awaiting adoption
+        (a copy; reflects lifts performed by cancellations)."""
+        return {
+            stream_id: list(groups)
+            for stream_id, groups in self._detached.items()
+        }
+
+    def departed_slot_snapshots(self) -> Dict[Tuple[str, GroupKey], Dict]:
+        """Frozen per-slot counters of shards detached from this router."""
+        return {
+            slot: dict(frozen)
+            for slot, frozen in self._departed_by_slot.items()
+        }
+
+    def fold_retired(self, totals: Mapping) -> None:
+        """Fold an external retired-counters block into this router's.
+
+        Used on pool shutdown: shards retired *inside* workers froze their
+        counters in the worker's router; the origin absorbs them so its
+        ``stats()["retired"]`` equals an uninterrupted run's.
+        """
+        retired = self._retired_totals
+        for key, value in totals.items():
+            retired[key] = retired.get(key, 0) + value
+
+    def set_stream_order(self, order: Iterable[str]) -> None:
+        """Impose a stream first-seen order (streams this router already
+        knows but ``order`` omits keep their positions after it)."""
+        ordered: Dict[str, None] = {stream_id: None for stream_id in order}
+        for stream_id in self._stream_order:
+            ordered.setdefault(stream_id, None)
+        self._stream_order = ordered
+
+    @staticmethod
+    def _freeze_ingest_stats(shard: StreamShard) -> Dict:
+        """A shard's cumulative ingest counters, frozen for the departed/
+        retired accounting blocks."""
+        stats = shard.stats
+        return {
+            "frames_ingested": stats.frames_ingested,
+            "frames_processed": stats.frames_processed,
+            "dropped_late": stats.dropped_late,
+            "duplicates": stats.duplicates,
+            "reordered": stats.reordered,
+            "batches": stats.batches,
+            "processing_seconds": stats.processing_seconds,
+        }
 
     # ------------------------------------------------------------------
     # Routing
@@ -215,20 +399,13 @@ class StreamRouter:
         return matches
 
     def matches_for(self, stream_id: str) -> List[QueryMatch]:
-        """A stream's matches across all its group shards, in frame order.
-
-        Within a frame, matches keep each shard's emission order; groups are
-        interleaved by frame id (stable, so repeated calls agree).
-        """
-        keyed: List[Tuple[int, int, int, QueryMatch]] = []
-        for group_index, group in enumerate(self._groups):
+        """A stream's matches across all its group shards, in the canonical
+        order of :func:`interleave_group_matches`."""
+        per_group: List[List[QueryMatch]] = []
+        for group in self._groups:
             shard = self._shards.get((stream_id, group))
-            if shard is None:
-                continue
-            for seq, match in enumerate(shard.matches):
-                keyed.append((match.frame_id, group_index, seq, match))
-        keyed.sort(key=lambda item: item[:3])
-        return [match for _, _, _, match in keyed]
+            per_group.append(shard.matches if shard is not None else [])
+        return interleave_group_matches(per_group)
 
     def drain_matches(self) -> Dict[str, List[QueryMatch]]:
         """Drain every shard's retained matches, grouped by stream.
@@ -262,17 +439,27 @@ class StreamRouter:
             "processing_seconds": 0.0,
             "queue_depth": 0,
         }
-        for (stream_id, group), shard in self._shards.items():
-            entry = shard.stats.as_dict()
-            entry["queue_depth"] = shard.queue_depth
-            per_shard[str(shard.key)] = entry
-            totals["frames_ingested"] += shard.stats.frames_ingested
-            totals["frames_processed"] += shard.stats.frames_processed
-            totals["dropped_late"] += shard.stats.dropped_late
-            totals["duplicates"] += shard.stats.duplicates
-            totals["reordered"] += shard.stats.reordered
-            totals["processing_seconds"] += shard.stats.processing_seconds
-            totals["queue_depth"] += shard.queue_depth
+        # Canonical report order: stream first-seen order crossed with group
+        # registration order.  Shard *creation* order used to coincide with
+        # this, but live query registration can spin up a new group's shards
+        # mid-stream (creation epochs interleave); pinning the report to the
+        # canonical order keeps stats byte-comparable across architectures
+        # regardless of when each group joined.
+        for stream_id in self.stream_ids():
+            for group in self._groups:
+                shard = self._shards.get((stream_id, group))
+                if shard is None:
+                    continue
+                entry = shard.stats.as_dict()
+                entry["queue_depth"] = shard.queue_depth
+                per_shard[str(shard.key)] = entry
+                totals["frames_ingested"] += shard.stats.frames_ingested
+                totals["frames_processed"] += shard.stats.frames_processed
+                totals["dropped_late"] += shard.stats.dropped_late
+                totals["duplicates"] += shard.stats.duplicates
+                totals["reordered"] += shard.stats.reordered
+                totals["processing_seconds"] += shard.stats.processing_seconds
+                totals["queue_depth"] += shard.queue_depth
         seconds = totals["processing_seconds"]
         totals["processing_seconds"] = round(seconds, 6)
         totals["frames_per_sec"] = (
@@ -280,6 +467,8 @@ class StreamRouter:
         )
         departed = dict(self._departed_totals)
         departed["processing_seconds"] = round(departed["processing_seconds"], 6)
+        retired = dict(self._retired_totals)
+        retired["processing_seconds"] = round(retired["processing_seconds"], 6)
         return {
             "streams": len(self.stream_ids()),
             "window_groups": len(self._groups),
@@ -290,6 +479,9 @@ class StreamRouter:
             #: counters now accrue on whoever adopted it (summing both views
             #: across routers would double-count).
             "departed": departed,
+            #: Counters of shards retired because their whole window group
+            #: was cancelled — frozen at retirement so history survives.
+            "retired": retired,
             "per_shard": per_shard,
         }
 
@@ -321,6 +513,13 @@ class StreamRouter:
             "restrict_labels": self.restrict_labels,
             "retain_matches": self.retain_matches,
             "queries": [query.to_dict() for query in self.queries],
+            "cancelled": sorted(self._cancelled),
+            #: Live group order.  Usually reconstructible from the query
+            #: list, but a partial cancellation can leave a group anchored
+            #: at a position its first *remaining* query no longer implies —
+            #: and group order decides shard creation and match
+            #: interleaving, so it must survive restores exactly.
+            "group_order": [list(group) for group in self._groups],
             "detached": self._detached_payload() if include_detached else [],
             "shards": [],
         }
@@ -332,6 +531,10 @@ class StreamRouter:
             shard.checkpoint() for shard in self._shards.values()
         ]
         document["departed_totals"] = dict(self._departed_totals)
+        document["retired_totals"] = dict(self._retired_totals)
+        #: Persistent first-seen order (may include currently shardless
+        #: streams whose groups were retired — see ``stream_ids``).
+        document["stream_order"] = list(self._stream_order)
         document["departed_slots"] = [
             [stream_id, [window, duration], dict(frozen)]
             for (stream_id, (window, duration)), frozen
@@ -358,8 +561,28 @@ class StreamRouter:
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(f"malformed router checkpoint: {exc}") from exc
+        router._cancelled = {int(qid) for qid in payload.get("cancelled", [])}
+        order = payload.get("group_order")
+        if order is not None:
+            ordered: Dict[GroupKey, List[CNFQuery]] = {}
+            for window, duration in order:
+                group = (int(window), int(duration))
+                if group in router._groups:
+                    ordered[group] = router._groups[group]
+            for group, group_queries in router._groups.items():
+                if group not in ordered:  # pragma: no cover - safety
+                    ordered[group] = group_queries
+            router._groups = ordered
         for shard_payload in payload.get("shards", []):
             router.adopt(shard_payload)
+        stream_order = payload.get("stream_order")
+        if stream_order is not None:
+            ordered_streams: Dict[str, None] = {
+                str(stream_id): None for stream_id in stream_order
+            }
+            for stream_id in router._stream_order:  # pragma: no cover - safety
+                ordered_streams.setdefault(stream_id, None)
+            router._stream_order = ordered_streams
         for stream_id, groups in payload.get("detached", []):
             router._detached[str(stream_id)] = [
                 (int(window), int(duration)) for window, duration in groups
@@ -371,6 +594,13 @@ class StreamRouter:
                 value = departed.get(key, totals[key])
                 totals[key] = float(value) if key == "processing_seconds" else int(value)
             router._departed_totals = totals
+        retired = payload.get("retired_totals")
+        if retired is not None:  # absent in pre-lifecycle snapshots
+            totals = _zero_ingest_totals()
+            for key in totals:
+                value = retired.get(key, totals[key])
+                totals[key] = float(value) if key == "processing_seconds" else int(value)
+            router._retired_totals = totals
         for stream_id, group, frozen in payload.get("departed_slots", []):
             slot = (str(stream_id), (int(group[0]), int(group[1])))
             router._departed_by_slot[slot] = {
@@ -399,16 +629,7 @@ class StreamRouter:
             shard = self._shards.pop(key)
             detached.append(shard.checkpoint())
             detached_groups.append(key[1])
-            stats = shard.stats
-            frozen = {
-                "frames_ingested": stats.frames_ingested,
-                "frames_processed": stats.frames_processed,
-                "dropped_late": stats.dropped_late,
-                "duplicates": stats.duplicates,
-                "reordered": stats.reordered,
-                "batches": stats.batches,
-                "processing_seconds": stats.processing_seconds,
-            }
+            frozen = self._freeze_ingest_stats(shard)
             self._departed_by_slot[(stream_id, key[1])] = frozen
             departed = self._departed_totals
             departed["shards"] += 1
@@ -417,6 +638,7 @@ class StreamRouter:
         if not detached:
             raise KeyError(f"no shards for stream {stream_id!r}")
         self._detached[stream_id] = detached_groups
+        self._stream_order.pop(stream_id, None)
         return detached
 
     def adopt(self, shard_payload: Dict) -> StreamShard:
@@ -448,6 +670,7 @@ class StreamRouter:
                 f"cannot adopt shard {shard.key}: slot already occupied"
             )
         self._shards[slot] = shard
+        self._stream_order.setdefault(shard.key.stream_id, None)
         pending = self._detached.get(shard.key.stream_id)
         if pending is not None:
             if group in pending:

@@ -246,6 +246,37 @@ class StreamShard:
         return produced
 
     # ------------------------------------------------------------------
+    # Live query lifecycle
+    # ------------------------------------------------------------------
+    def register_query(self, query: CNFQuery) -> CNFQuery:
+        """Add a query to the shard's engine mid-stream.
+
+        The query must belong to this shard's window group.  Frames still
+        held in the reorder buffer at this point will be evaluated against
+        the new query when they are processed; callers that need
+        registration to take effect exactly at the ingest frontier (the
+        session facade's contract) must :meth:`flush` first — the session
+        layer does, treating registration as a barrier.
+        """
+        return self.engine.register_query(query)
+
+    def cancel_query(self, query_id: int) -> CNFQuery:
+        """Remove a query from the shard's engine mid-stream.
+
+        Produced-but-undrained matches of the cancelled query are discarded
+        from the retention buffer — a cancelled query must not deliver
+        results after the cancellation point; matches already drained are
+        the consumer's.  Cancelling the shard's last query is refused (the
+        router retires the whole shard instead).
+        """
+        removed = self.engine.cancel_query(query_id)
+        if self._matches:
+            self._matches = [
+                match for match in self._matches if match.query_id != query_id
+            ]
+        return removed
+
+    # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
     def checkpoint(self) -> Dict:

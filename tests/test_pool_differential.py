@@ -14,6 +14,7 @@ import json
 
 import pytest
 
+from repro import FrameObservation, Q, Session
 from repro.streaming import (
     ShardWorkerPool,
     StreamRouter,
@@ -215,6 +216,72 @@ class TestPoolDifferential:
             pool.terminate()
 
 
+class TestSessionDifferential:
+    """One mixed workload through ``Session`` on all three backends.
+
+    The session facade's contract: matches (per stream, order included) and
+    the deterministic session-stats core are byte-identical whether the
+    workload runs on dedicated inline engines, the sharded router, or the
+    multiprocess worker pool — across live registrations, cancellations,
+    mid-stream drains and a final flush.
+    """
+
+    BACKENDS = ("inline", "router", "pool")
+
+    @staticmethod
+    def _session_stats_bytes(stats):
+        core = {
+            key: value
+            for key, value in stats.items()
+            if key not in ("backend", "backend_stats")
+        }
+        return json.dumps(core, separators=(",", ":"), sort_keys=False).encode()
+
+    def _drive(self, backend, events, queries, seed):
+        """The mixed lifecycle workload; returns its observable artefacts."""
+        third = len(events) // 3
+        session = Session(backend=backend, batch_size=5)
+        handles = [session.register(query) for query in queries]
+        session.ingest_many(events[:third])
+        mid_drain = match_report(session.drain())
+        late = session.register(
+            (Q("car") >= 1) & (Q("person") >= 1),
+            window=GROUPS[0][0],
+            duration=GROUPS[0][1],
+            name=f"late-{seed}",
+        )
+        session.cancel(handles[1])
+        session.ingest_many(events[third:])
+        session.flush()
+        final_drain = match_report(session.drain())
+        stats = self._session_stats_bytes(session.stats())
+        per_query = [
+            (handle.query_id, [m.to_record() for m in handle.matches()])
+            for handle in session.handles
+        ]
+        session.close()
+        return {
+            "late_id": late.query_id,
+            "watermarks": late.warmup_watermarks(),
+            "mid": mid_drain,
+            "final": final_drain,
+            "stats": stats,
+            "per_query": per_query,
+        }
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_mixed_workload_is_byte_identical_across_backends(self, seed):
+        feeds, queries, events = scenario(seed)
+        reference = self._drive(self.BACKENDS[0], events, queries, seed)
+        for backend in self.BACKENDS[1:]:
+            result = self._drive(backend, events, queries, seed)
+            for key in reference:
+                assert result[key] == reference[key], (
+                    f"seed={seed} backend={backend}: session {key} diverged "
+                    f"from {self.BACKENDS[0]}"
+                )
+
+
 class TestPoolWithPriorHandOffs:
     def test_pool_stats_keep_pre_existing_departed_counters(self):
         """A stream detached to a third party before the pool starts must
@@ -238,5 +305,73 @@ class TestPoolWithPriorHandOffs:
             assert stats_bytes(pool.stats()) == stats_bytes(oracle.stats()), (
                 f"seed={seed}: pre-existing departed counters were dropped"
             )
+        finally:
+            pool.terminate()
+
+    def test_stop_preserves_streams_emptied_by_mid_pool_cancellation(self):
+        """A stream whose every shard was retired by a mid-pool group
+        cancellation must survive stop(): the adopted-back router keeps it
+        in first-seen order, exactly like an uninterrupted run."""
+        seed = 27
+        feeds, queries, events = scenario(seed)
+        group = GROUPS[0]
+        doomed = [q for q in queries if (q.window, q.duration) == group]
+
+        oracle = StreamRouter(queries, batch_size=5)
+        oracle.route_many(events)
+        oracle.flush()
+        pool = make_pool(queries, 2, batch_size=5)
+        pool.start()
+        pool.route_many(events)
+        pool.flush()
+        # Cancel both groups' queries, one group at a time: after the first
+        # loop every stream still has the other group's shards; after the
+        # second, every stream is fully retired inside the workers.
+        other = [q for q in queries if (q.window, q.duration) != group]
+        for query in doomed + other:
+            oracle.cancel_query(query.query_id)
+            pool.cancel_query(query.query_id)
+        router = pool.stop()
+        assert router.stream_ids() == oracle.stream_ids(), (
+            f"seed={seed}: fully-retired streams were dropped by stop()"
+        )
+        assert stats_bytes(router.stats()) == stats_bytes(oracle.stats()), (
+            f"seed={seed}: post-stop stats diverged after full retirement"
+        )
+
+    def test_live_checkpoint_reflects_tombstones_lifted_by_cancellation(self):
+        """checkpoint_router() must emit the origin's *live* detached
+        tombstones: a mid-pool group cancellation lifts the cancelled group
+        from a pre-pool tombstone's pending list, and a stale start-time
+        snapshot would leave the restored router refusing the stream
+        forever once its remaining shard is adopted back."""
+        seed = 25
+        feeds, queries, events = scenario(seed)
+        gone = sorted(feeds)[0]
+        router = StreamRouter(queries, batch_size=5)
+        router.route_many(events)
+        router.flush()
+        handed_off = router.detach(gone)  # third party now owns both groups
+        pool = ShardWorkerPool(router, num_workers=2, dispatch_batch=16)
+        pool.start()
+        try:
+            # Cancel every query of the first window group while the pool
+            # is live; the origin lifts that group from `gone`'s tombstone.
+            doomed_group = GROUPS[0]
+            for query in [q for q in queries
+                          if (q.window, q.duration) == doomed_group]:
+                pool.cancel_query(query.query_id)
+            restored = StreamRouter.from_checkpoint(pool.checkpoint_router())
+            # The third party returns the stream's surviving shard; the
+            # tombstone must lift completely and the stream must route.
+            for payload in handed_off:
+                group = (int(payload["key"]["window"]),
+                         int(payload["key"]["duration"]))
+                if group != doomed_group:
+                    restored.adopt(payload)
+            frame = next(iter(feeds[gone].frames()))
+            restored.route(gone, FrameObservation(10_000, dict(
+                (oid, frame.label_of(oid)) for oid in frame.object_ids
+            )))  # must not raise "stream was detached"
         finally:
             pool.terminate()

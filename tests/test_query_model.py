@@ -68,7 +68,10 @@ class TestParser:
         text = "(car >= 2 OR person <= 3) AND (car >= 3 OR person >= 2) AND car <= 5"
         query = parse_query(text)
         assert len(query.disjunctions) == 3
-        assert [len(d.conditions) for d in query.disjunctions] == [2, 2, 1]
+        # Clauses come back in canonical (sorted) order: the single-condition
+        # ``car <= 5`` clause sorts before the two-condition ``car >= …`` ones.
+        assert [len(d.conditions) for d in query.disjunctions] == [1, 2, 2]
+        assert query == parse_query(str(query))
 
     def test_case_insensitive_keywords_and_double_equals(self):
         query = parse_query("Car == 2 and (bus >= 1 or truck >= 1)")

@@ -282,9 +282,67 @@ class TestRouterTopology:
         with pytest.raises(KeyError):
             multi.shard_for("cam-a", (99, 1))
 
-    def test_empty_workload_rejected(self):
-        with pytest.raises(ValueError):
-            StreamRouter([])
+    def test_empty_workload_starts_cold(self):
+        """A router may start with no queries (live registration fills it):
+        frames route nowhere until a query arrives."""
+        router = StreamRouter([])
+        assert router.group_keys == []
+        frame = FrameObservation(0, {1: "car"})
+        assert router.route("cam-a", frame) == []
+        assert router.stream_ids() == []
+        registered = router.register_query(parse_query("car >= 1", window=6, duration=2))
+        assert registered.query_id == 0
+        assert router.group_keys == [(6, 2)]
+
+    def test_stream_order_survives_group_retirement(self):
+        """First-seen stream order is persistent: retiring a whole window
+        group (cancelling its last query) must not reorder — or drop —
+        streams in stream_ids()/drain/stats, even when the interleaving of
+        shard creation would suggest otherwise."""
+        router = StreamRouter(
+            [parse_query("person >= 1", window=6, duration=2)], batch_size=1
+        )
+        g1 = router.queries[0]
+        frame = lambda fid: FrameObservation(fid, {1: "person", 2: "person"})
+        router.route("cam-A", frame(0))                      # (A, G1)
+        g2 = router.register_query(
+            parse_query("person >= 2", window=8, duration=2)
+        )
+        router.route("cam-B", frame(1))                      # (B, G1) + (B, G2)
+        router.route("cam-A", frame(1))                      # (A, G2)
+        assert router.stream_ids() == ["cam-A", "cam-B"]
+        router.cancel_query(g1.query_id)                     # retires all G1 shards
+        assert router.stream_ids() == ["cam-A", "cam-B"], (
+            "group retirement reordered the streams"
+        )
+        # ... and the order survives a checkpoint round trip, including a
+        # stream that currently has no shards at all.
+        router.cancel_query(g2.query_id)
+        third = router.register_query(
+            parse_query("person >= 1", window=9, duration=3)
+        )
+        assert router.stream_ids() == ["cam-A", "cam-B"]
+        restored = StreamRouter.from_checkpoint(router.checkpoint())
+        assert restored.stream_ids() == ["cam-A", "cam-B"]
+        assert restored.queries == [third]
+
+    def test_engine_checkpoint_preserves_cancelled_id_tombstones(self):
+        """An engine restored from a checkpoint must never hand a cancelled
+        query's id to a new registration — a drained match would otherwise
+        be ambiguous between the old and new query."""
+        engine = TemporalVideoQueryEngine(
+            [
+                parse_query("person >= 1", window=6, duration=2),
+                parse_query("car >= 1", window=6, duration=2),
+            ],
+            EngineConfig(method="SSG", window_size=6, duration=2),
+        )
+        engine.cancel_query(1)
+        restored = TemporalVideoQueryEngine.from_checkpoint(engine.checkpoint())
+        fresh = restored.register_query(
+            parse_query("bus >= 1", window=6, duration=2)
+        )
+        assert fresh.query_id == 2, "cancelled id 1 was reused after restore"
 
     def test_detach_and_adopt_moves_a_stream(self):
         feeds = make_feeds(5, num_feeds=2)
