@@ -58,7 +58,17 @@ def main(argv=None) -> int:
                         help="frames per simulated feed for --bench "
                              "streaming/pool (default 400)")
     parser.add_argument("--workers", type=int, default=None,
-                        help="worker processes for --bench pool (default 4)")
+                        help="worker processes for --bench pool (default 4; "
+                             "the skew scenario defaults to 2)")
+    parser.add_argument("--scenario", choices=["throughput", "skew"],
+                        default="throughput",
+                        help="--bench pool scenario: 'throughput' (default) "
+                             "compares pool/router/sequential serving; "
+                             "'skew' drives one hot stream at 4x its "
+                             "siblings' rate and compares round-robin vs "
+                             "least-loaded placement plus a live rebalance "
+                             "(imbalance ratios land in BENCH_pool.json "
+                             "under 'skew')")
     parser.add_argument("--smoke", action="store_true",
                         help="shrink --bench pool to a CI-sized workload")
     args = parser.parse_args(argv)
@@ -84,6 +94,21 @@ def main(argv=None) -> int:
             frames_per_feed=args.frames if args.frames is not None else DEFAULT_FRAMES,
         )
         print(render_report(report))
+        return 0
+
+    if args.bench == "pool" and args.scenario == "skew":
+        from repro.experiments.streaming_bench import (
+            render_skew_report, run_skew_benchmark,
+        )
+        kwargs = {"smoke": args.smoke}
+        if args.feeds is not None:
+            kwargs["num_feeds"] = args.feeds
+        if args.frames is not None:
+            kwargs["frames_per_feed"] = args.frames
+        if args.workers is not None:
+            kwargs["workers"] = args.workers
+        report = run_skew_benchmark(**kwargs)
+        print(render_skew_report(report))
         return 0
 
     if args.bench == "pool":

@@ -38,13 +38,19 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.config import EngineConfig, MCOSMethod
 from repro.engine.engine import TemporalVideoQueryEngine
 from repro.streaming.pool import ShardWorkerPool, deterministic_stats, match_report
 from repro.streaming.router import StreamRouter, group_queries_by_window
-from repro.workloads.streams import bench_scenario, interleave_feeds
+from repro.workloads.streams import (
+    bench_scenario,
+    interleave_feeds,
+    interleave_skewed,
+    skewed_scenario,
+)
 
 #: Window groups of the default workload (scaled paper-style parameters).
 DEFAULT_GROUPS: Sequence[Tuple[int, int]] = ((24, 16), (36, 24), (48, 32))
@@ -410,10 +416,296 @@ def run_pool_benchmark(
         )
 
     if output_path:
-        with open(output_path, "w") as handle:
-            json.dump(report, handle, indent=2)
-        report["__written_to__"] = os.path.abspath(output_path)
+        report["__written_to__"] = _write_pool_bench_json(output_path, report)
     return report
+
+
+#: Named-scenario blocks that live inside ``BENCH_pool.json`` alongside the
+#: throughput report.  Every scenario writer and the carry-over logic in
+#: :func:`_write_pool_bench_json` share this one list, so adding a scenario
+#: cannot silently lose another's recording.
+POOL_SCENARIO_KEYS: Sequence[str] = ("skew",)
+
+
+def _write_pool_bench_json(
+    output_path: str, report: Dict, scenario_key: Optional[str] = None
+) -> str:
+    """Write one scenario's report into the shared ``BENCH_pool.json``.
+
+    The throughput and named scenarios share the file: the throughput run
+    owns the top-level keys (``scenario_key=None``) and carries over every
+    recorded block named in :data:`POOL_SCENARIO_KEYS`; a named scenario
+    replaces only its own block and leaves the rest of the document
+    untouched.  One merge implementation for every writer, so a rerun of
+    either scenario never discards the other's recording.
+    """
+    if scenario_key is not None and scenario_key not in POOL_SCENARIO_KEYS:
+        raise ValueError(
+            f"unregistered pool bench scenario {scenario_key!r}; add it to "
+            "POOL_SCENARIO_KEYS so throughput reruns preserve its block"
+        )
+    existing: Optional[Dict] = None
+    if os.path.exists(output_path):
+        try:
+            with open(output_path) as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict):
+                existing = loaded
+        except (OSError, ValueError) as exc:
+            # Carrying nothing over from an unreadable file is the only
+            # option, but it must not be silent — the other scenario's
+            # recording is about to be lost.
+            warnings.warn(
+                f"existing {output_path} could not be read ({exc!r}); "
+                "rewriting it without carried-over scenario blocks",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    if scenario_key is None:
+        # Shallow copy: carried-over blocks belong to the file, not to the
+        # caller's freshly produced report object.
+        document = dict(report)
+        if existing is not None:
+            for key in POOL_SCENARIO_KEYS:
+                if key in existing:
+                    document.setdefault(key, existing[key])
+    else:
+        document = existing if existing is not None else {"benchmark": "pool"}
+        document[scenario_key] = report
+    with open(output_path, "w") as handle:
+        json.dump(document, handle, indent=2)
+    return os.path.abspath(output_path)
+
+
+#: Window groups of the skew scenario (two groups keep it light — the
+#: interesting axis is placement, not workload width).
+SKEW_GROUPS: Sequence[Tuple[int, int]] = ((24, 16), (36, 24))
+
+
+def _load_imbalance(
+    frames_per_worker: Sequence[int], ndigits: Optional[int] = 4
+) -> float:
+    """Max/mean ratio of per-worker offered load (1.0 = perfectly even).
+
+    ``ndigits=None`` returns the exact ratio — the improvement assertions
+    compare unrounded values so a genuine sub-rounding-step improvement is
+    never misread as a tie; reports carry the rounded form.
+    """
+    if not frames_per_worker:
+        return 0.0
+    mean = sum(frames_per_worker) / len(frames_per_worker)
+    if not mean:
+        return 0.0
+    ratio = max(frames_per_worker) / mean
+    return ratio if ndigits is None else round(ratio, ndigits)
+
+
+def run_skew_benchmark(
+    num_feeds: int = 6,
+    frames_per_feed: int = 150,
+    hot_factor: int = 4,
+    groups: Sequence[Tuple[int, int]] = SKEW_GROUPS,
+    queries_per_group: int = 2,
+    method: MCOSMethod = MCOSMethod.SSG,
+    batch_size: int = 16,
+    workers: int = 2,
+    dispatch_batch: int = 32,
+    checkpoint_every: int = 16,
+    seed: int = 7,
+    smoke: bool = False,
+    output_path: Optional[str] = "BENCH_pool.json",
+) -> Dict:
+    """The skewed-load placement scenario (``--bench pool --scenario skew``).
+
+    One hot camera feed runs ``hot_factor``× the frame rate of its
+    siblings, and siblings come online staggered — the regime round-robin
+    stream→worker placement handles worst, because every second newcomer
+    lands next to the hot stream.  Three pool configurations serve the
+    identical event sequence:
+
+    * **round-robin** — the deterministic default placement;
+    * **least-loaded** — newcomers land on the least-loaded worker;
+    * **round-robin + rebalance** — round-robin placement for the first
+      half of the stream, then a live :meth:`ShardWorkerPool.rebalance`
+      (migrating streams between workers mid-flight), then the second half.
+
+    The reported ``imbalance`` is max/mean of per-worker *offered load*
+    (frames routed to each worker — the time-integral of the queue pressure
+    a worker is put under; instantaneous queue depths are scheduling noise
+    on a shared machine, offered load is a pure function of placement).
+    For the rebalance run it is reported separately for the halves before
+    and after the migration point.  Every configuration's matches are
+    verified byte-identical to the single-process router oracle, and the
+    oracle itself is verified against dedicated sequential per-query
+    engines — placement never buys a single changed byte.
+    """
+    if smoke:
+        num_feeds = min(num_feeds, 4)
+        frames_per_feed = min(frames_per_feed, 60)
+        workers = min(workers, 2)
+    if workers < 2:
+        raise ValueError(
+            f"the skew scenario needs at least 2 workers, got {workers}"
+        )
+    if workers >= num_feeds:
+        # With a worker per stream there is no placement contention: every
+        # policy produces the same (trivial) layout and the improvement
+        # assertions below could not hold.  Fail with a clear message
+        # instead of a mid-run AssertionError.
+        raise ValueError(
+            f"the skew scenario needs more feeds than workers to create "
+            f"placement contention, got {num_feeds} feeds for {workers} "
+            "workers"
+        )
+    feeds, queries, hot_stream = skewed_scenario(
+        num_feeds, frames_per_feed, groups, queries_per_group, seed,
+        hot_factor=hot_factor,
+    )
+    events = interleave_skewed(feeds, hot_stream, hot_factor)
+    total_frames = sum(relation.num_frames for relation in feeds.values())
+
+    # --- oracle: single-process router + sequential-engine verification ---
+    router = StreamRouter(
+        queries, method=method, batch_size=batch_size, restrict_labels=False
+    )
+    router.route_many(events)
+    router.flush()
+    per_query_baseline, _ = _timed_per_query_baseline(feeds, queries, method)
+    grouped = group_queries_by_window(queries)
+    grouped_matches, _ = _timed_grouped_baseline(feeds, grouped, method)
+    _verify_equivalence(router, feeds, per_query_baseline, grouped_matches)
+    oracle_report = match_report(
+        {sid: router.matches_for(sid) for sid in router.stream_ids()}
+    )
+
+    def run_pool(placement: str, rebalance_at: Optional[int] = None) -> Dict:
+        pool = ShardWorkerPool(
+            StreamRouter(
+                queries, method=method, batch_size=batch_size,
+                restrict_labels=False,
+            ),
+            num_workers=workers,
+            dispatch_batch=dispatch_batch,
+            checkpoint_every=checkpoint_every,
+            placement=placement,
+        )
+        pool.start()
+        try:
+            start = time.perf_counter()
+            if rebalance_at is None:
+                pool.route_many(events)
+                pool.flush()
+                seconds = time.perf_counter() - start
+                entry: Dict = {
+                    "placement": placement,
+                    "frames_per_worker": [
+                        load["frames"] for load in pool.worker_loads()
+                    ],
+                }
+                entry["imbalance"] = _load_imbalance(entry["frames_per_worker"])
+            else:
+                pool.route_many(events[:rebalance_at])
+                before = [load["frames"] for load in pool.worker_loads()]
+                plan = pool.rebalance(policy="least-loaded")
+                # Migration moves a stream's load history to its new owner;
+                # re-baseline after the re-pack so the "after" phase
+                # measures only frames offered under the new placement.
+                rebased = [load["frames"] for load in pool.worker_loads()]
+                pool.route_many(events[rebalance_at:])
+                pool.flush()
+                seconds = time.perf_counter() - start
+                total = [load["frames"] for load in pool.worker_loads()]
+                after = [t - b for t, b in zip(total, rebased)]
+                entry = {
+                    "placement": f"{placement} + live rebalance",
+                    "migrations": len(plan),
+                    "frames_per_worker_before": before,
+                    "frames_per_worker_after": after,
+                    "imbalance_before": _load_imbalance(before),
+                    "imbalance_after": _load_imbalance(after),
+                }
+            entry["seconds"] = round(seconds, 5)
+            actual = match_report(
+                {sid: pool.matches_for(sid) for sid in pool.stream_ids()}
+            )
+            if actual != oracle_report:
+                raise AssertionError(
+                    f"pool matches under {entry['placement']} placement "
+                    "diverged from the single-process router"
+                )
+        except BaseException:
+            pool.terminate()
+            raise
+        pool.stop()
+        return entry
+
+    round_robin = run_pool("round-robin")
+    least_loaded = run_pool("least-loaded")
+    rebalanced = run_pool("round-robin", rebalance_at=len(events) // 2)
+
+    # Assert on the exact (unrounded) ratios, recomputed from the recorded
+    # per-worker loads — rounding must never turn a real improvement into
+    # an apparent tie.
+    if _load_imbalance(least_loaded["frames_per_worker"], ndigits=None) >= \
+            _load_imbalance(round_robin["frames_per_worker"], ndigits=None):
+        raise AssertionError(
+            "least-loaded placement did not reduce the load imbalance "
+            f"({least_loaded['imbalance']} vs round-robin "
+            f"{round_robin['imbalance']})"
+        )
+    if _load_imbalance(
+        rebalanced["frames_per_worker_after"], ndigits=None
+    ) >= _load_imbalance(
+        rebalanced["frames_per_worker_before"], ndigits=None
+    ):
+        raise AssertionError(
+            "live rebalancing did not reduce the load imbalance "
+            f"({rebalanced['imbalance_before']} -> "
+            f"{rebalanced['imbalance_after']})"
+        )
+
+    skew_report: Dict = {
+        "scenario": "skew",
+        "method": method.value,
+        "feeds": num_feeds,
+        "frames_per_feed": frames_per_feed,
+        "hot_stream": hot_stream,
+        "hot_factor": hot_factor,
+        "total_source_frames": total_frames,
+        "queries": len(queries),
+        "workers": workers,
+        "seed": seed,
+        "smoke": smoke,
+        "cpus": _available_parallelism(),
+        "round_robin": round_robin,
+        "least_loaded": least_loaded,
+        "rebalanced": rebalanced,
+        "results_verified_identical": True,
+    }
+
+    if output_path:
+        skew_report["__written_to__"] = _write_pool_bench_json(
+            output_path, skew_report, scenario_key="skew"
+        )
+    return skew_report
+
+
+def render_skew_report(report: Dict) -> str:
+    """Plain-text table of the skewed-load placement report."""
+    lines = [
+        f"pool skew benchmark  method={report['method']}  "
+        f"feeds={report['feeds']} (hot x{report['hot_factor']})  "
+        f"workers={report['workers']}  cpus={report['cpus']}",
+        f"{'placement':34s} {'imbalance (max/mean load)':>26s}",
+        f"{'round-robin':34s} {report['round_robin']['imbalance']:26.4f}",
+        f"{'least-loaded':34s} {report['least_loaded']['imbalance']:26.4f}",
+        f"{'round-robin + live rebalance':34s} "
+        f"{report['rebalanced']['imbalance_before']:13.4f} -> "
+        f"{report['rebalanced']['imbalance_after']:.4f} "
+        f"({report['rebalanced']['migrations']} migrations)",
+        "matches byte-identical to the sequential baseline on every run",
+    ]
+    return "\n".join(lines)
 
 
 def render_pool_report(report: Dict) -> str:

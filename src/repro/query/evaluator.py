@@ -8,7 +8,7 @@ satisfying a query become that query's answer for the current window.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.result import ResultState, ResultStateSet
@@ -18,17 +18,33 @@ from repro.query.model import CNFQuery
 
 @dataclass(frozen=True)
 class QueryMatch:
-    """One query answer: a query satisfied by an MCOS over a frame set."""
+    """One query answer: a query satisfied by an MCOS over a frame set.
+
+    ``stream_id`` attributes the match to the feed it was produced on.  The
+    bare engine evaluates one relation and knows no stream — it leaves the
+    field empty; every streaming surface (shards, the router, the worker
+    pool, all session backends) stamps it.  The field is excluded from
+    equality and hashing so that engine-level results remain comparable to
+    stream-level ones: the *identity* of a match is what matched, not where
+    the frames came from.
+    """
 
     query_id: int
     frame_id: int
     object_ids: FrozenSet[int]
     frame_ids: Tuple[int, ...]
     class_counts: Tuple[Tuple[str, int], ...]
+    stream_id: str = field(default="", compare=False)
 
     def counts(self) -> Dict[str, int]:
         """Per-class counts of the matching MCOS as a dictionary."""
         return dict(self.class_counts)
+
+    def for_stream(self, stream_id: str) -> "QueryMatch":
+        """A copy of this match attributed to ``stream_id``."""
+        if self.stream_id == stream_id:
+            return self
+        return replace(self, stream_id=stream_id)
 
     def to_record(self) -> list:
         """Serialise the match as a deterministic JSON-friendly list.
@@ -43,13 +59,23 @@ class QueryMatch:
             sorted(self.object_ids),
             list(self.frame_ids),
             [[label, count] for label, count in self.class_counts],
+            self.stream_id,
         ]
 
     @classmethod
     def from_record(cls, record: list) -> "QueryMatch":
-        """Rebuild a match from a :meth:`to_record` payload."""
+        """Rebuild a match from a :meth:`to_record` payload.
+
+        Records written before matches carried stream attribution are five
+        elements long; they load with an empty ``stream_id``.
+        """
         try:
-            query_id, frame_id, object_ids, frame_ids, class_counts = record
+            if len(record) == 5:  # pre-stream-attribution record
+                query_id, frame_id, object_ids, frame_ids, class_counts = record
+                stream_id = ""
+            else:
+                (query_id, frame_id, object_ids, frame_ids, class_counts,
+                 stream_id) = record
             return cls(
                 query_id=int(query_id),
                 frame_id=int(frame_id),
@@ -58,6 +84,7 @@ class QueryMatch:
                 class_counts=tuple(
                     (str(label), int(count)) for label, count in class_counts
                 ),
+                stream_id=str(stream_id),
             )
         except (TypeError, ValueError) as exc:
             raise ValueError(f"malformed match record: {record!r}") from exc

@@ -34,8 +34,17 @@ from repro.query.evaluator import QueryMatch
 from repro.query.model import CNFQuery
 from repro.query.pruning import require_pruning_compatible
 from repro.streaming.checkpoint import CheckpointError
-from repro.streaming.pool import PoolError, ShardWorkerPool
-from repro.streaming.router import StreamRouter, interleave_group_matches
+from repro.streaming.pool import (
+    PoolError,
+    ShardWorkerPool,
+    WorkerCrashError,
+    parse_placement_block,
+)
+from repro.streaming.router import (
+    StreamRouter,
+    interleave_group_matches,
+    zero_ingest_totals,
+)
 
 #: A window group key, as everywhere else in the runtime.
 GroupKey = Tuple[int, int]
@@ -176,7 +185,9 @@ class InlineBackend(Backend):
                 self._retained[slot] = []
             matches = engine.process_frame(frame)
             if matches:
-                self._retained[slot].extend(matches)
+                self._retained[slot].extend(
+                    match.for_stream(stream_id) for match in matches
+                )
 
     def flush(self) -> None:
         """Inline evaluation is synchronous; nothing is ever buffered."""
@@ -353,6 +364,9 @@ class PoolBackend(Backend):
         num_workers: int = 2,
         dispatch_batch: int = 32,
         checkpoint_every: int = 8,
+        placement: str = "round-robin",
+        assignment: Optional[Dict[str, int]] = None,
+        stream_frames: Optional[Dict[str, int]] = None,
         router: Optional[StreamRouter] = None,
     ):
         if router is None:
@@ -370,6 +384,9 @@ class PoolBackend(Backend):
             num_workers=num_workers,
             dispatch_batch=dispatch_batch,
             checkpoint_every=checkpoint_every,
+            placement=placement,
+            assignment=assignment,
+            stream_frames=stream_frames,
         )
         self.pool.start()
 
@@ -404,14 +421,42 @@ class PoolBackend(Backend):
         num_workers: int = 2,
         dispatch_batch: int = 32,
         checkpoint_every: int = 8,
+        placement: str = "round-robin",
         **_config,
     ) -> "PoolBackend":
-        return cls(
-            num_workers=num_workers,
-            dispatch_batch=dispatch_batch,
-            checkpoint_every=checkpoint_every,
-            router=StreamRouter.from_checkpoint(payload),
-        )
+        # A checkpoint taken on a pool carries its placement block; honour
+        # the persisted assignment and load history so the restored pool
+        # reproduces the exact worker layout with its signals intact
+        # (remapped deterministically when num_workers shrank, rejected
+        # loudly for impossible layouts).  Checkpoints taken on other
+        # backends have no block — streams are placed afresh by the
+        # configured policy.
+        block = parse_placement_block(payload)
+        router = StreamRouter.from_checkpoint(payload)
+        try:
+            return cls(
+                num_workers=num_workers,
+                dispatch_batch=dispatch_batch,
+                checkpoint_every=checkpoint_every,
+                placement=placement,
+                assignment=block.get("assignment"),
+                stream_frames=block.get("stream_frames"),
+                router=router,
+            )
+        except WorkerCrashError:
+            # A worker dying during start() is a *runtime* failure (OOM,
+            # signals), not a judgement on the checkpoint — let it surface
+            # as itself so diagnosis is not misdirected at the data.
+            raise
+        except PoolError as exc:
+            # One validation implementation — the pool's own constructor
+            # and start() (impossible layouts, uncovered load history).
+            # In the restore path those judgements are about checkpoint
+            # *data*, so they surface under the checkpoint contract rather
+            # than as the PoolError direct streaming-layer users see.
+            raise CheckpointError(
+                f"invalid placement in pool checkpoint: {exc}"
+            ) from exc
 
     def close(self) -> None:
         if self.pool.started:
@@ -427,3 +472,202 @@ BACKENDS = {
     RouterBackend.kind: RouterBackend,
     PoolBackend.kind: PoolBackend,
 }
+
+
+# ----------------------------------------------------------------------
+# Cross-backend state conversion
+# ----------------------------------------------------------------------
+#: Backends whose checkpoint state is a router-layout document.  Router and
+#: pool checkpoints are mutually transparent: a pool's merged checkpoint IS
+#: a router document (plus a ``placement`` block the router ignores), so a
+#: restore across this pair needs no conversion at all.
+_ROUTER_SHAPED = frozenset({RouterBackend.kind, PoolBackend.kind})
+
+
+def convert_backend_state(
+    source_kind: str,
+    target_kind: str,
+    state: Dict,
+    config: Dict,
+    active_queries: List[Dict],
+    cancelled_ids: List[int],
+    stream_frontiers: Dict[str, int],
+    group_order: List[GroupKey],
+) -> Dict:
+    """Translate one backend's checkpoint state into another's.
+
+    All three backends serialise down to the same primitives — engine
+    checkpoints, retained-match records, window-group workloads — so a
+    snapshot taken on any backend can resume on any other:
+
+    * **router ⇄ pool** — byte-transparent (both are router-layout
+      documents; the pool's extra ``placement`` block is ignored by the
+      router and rebuilt by a fresh pool).
+    * **inline → router/pool** — every per-(stream, group) engine becomes a
+      shard with an empty reorder buffer whose emission frontier is the
+      stream's ingest frontier; shard ingest counters are synthesised from
+      the engine's frame count (inline evaluation is synchronous: one
+      frame, one batch, nothing dropped or reordered).
+    * **router/pool → inline** — every shard is restored and **flushed**
+      (inline evaluation has no reorder buffer, so buffered frames are
+      evaluated now, at the conversion barrier — matches land in the
+      retained buffer) and its engine + retained matches become the inline
+      slot.  Runtime-layer bookkeeping with no inline counterpart
+      (departed/retired ingest counters, detached-stream tombstones) is
+      dropped; converting back fills those blocks with zeros.
+
+    ``active_queries`` / ``cancelled_ids`` come from the session registry —
+    the inline backend does not track cancellations itself, but the router
+    document must tombstone them so ids are never reused after a restore.
+    """
+    if source_kind == target_kind or (
+        source_kind in _ROUTER_SHAPED and target_kind in _ROUTER_SHAPED
+    ):
+        return state
+    if source_kind == InlineBackend.kind:
+        return _router_state_from_inline(
+            state, config, active_queries, cancelled_ids,
+            stream_frontiers, group_order,
+        )
+    if target_kind == InlineBackend.kind:
+        return _inline_state_from_router(state)
+    raise CheckpointError(  # pragma: no cover - registry and kinds agree
+        f"no conversion from {source_kind!r} to {target_kind!r}"
+    )
+
+
+def _router_state_from_inline(
+    state: Dict,
+    config: Dict,
+    active_queries: List[Dict],
+    cancelled_ids: List[int],
+    stream_frontiers: Dict[str, int],
+    group_order: List[GroupKey],
+) -> Dict:
+    """An inline-backend snapshot as a router-layout checkpoint document."""
+    try:
+        streams = [str(stream_id) for stream_id in state["streams"]]
+        engines = {
+            (str(stream_id), (int(group[0]), int(group[1]))):
+                (engine_payload, retained)
+            for stream_id, group, engine_payload, retained in state["engines"]
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"malformed inline-backend checkpoint: {exc!r}"
+        ) from exc
+    shards: List[Dict] = []
+    for stream_id in streams:
+        frontier = stream_frontiers.get(stream_id)
+        for group in group_order:
+            entry = engines.get((stream_id, group))
+            if entry is None:
+                continue
+            engine_payload, retained = entry
+            counters = engine_payload.get("counters", {})
+            frames = int(counters.get("frames_processed", 0))
+            seconds = round(
+                float(counters.get("mcos_seconds", 0.0))
+                + float(counters.get("evaluation_seconds", 0.0)),
+                6,
+            )
+            shards.append({
+                "key": {
+                    "stream_id": stream_id,
+                    "window": group[0],
+                    "duration": group[1],
+                },
+                "batch_size": int(config["batch_size"]),
+                "watermark": int(config["watermark"]),
+                "retain_matches": True,
+                # Inline evaluation is synchronous: everything ingested has
+                # been evaluated, so the reorder buffer is empty and the
+                # emission frontier is the stream's ingest frontier.
+                "max_seen": frontier,
+                "last_emitted": frontier,
+                "pending": [],
+                "retained": list(retained),
+                "stats": {
+                    "frames_ingested": frames,
+                    "frames_processed": frames,
+                    "dropped_late": 0,
+                    "duplicates": 0,
+                    "reordered": 0,
+                    "batches": frames,
+                    "max_queue_depth": 0,
+                    "processing_seconds": seconds,
+                    "frames_per_sec": round(frames / seconds, 2)
+                    if seconds else 0.0,
+                },
+                "engine": engine_payload,
+            })
+    return {
+        "method": str(config["method"]),
+        "batch_size": int(config["batch_size"]),
+        "watermark": int(config["watermark"]),
+        "enable_pruning": bool(config["enable_pruning"]),
+        "restrict_labels": bool(config["restrict_labels"]),
+        "retain_matches": True,
+        "queries": list(active_queries),
+        "cancelled": sorted(cancelled_ids),
+        "group_order": [list(group) for group in group_order],
+        "detached": [],
+        "shards": shards,
+        # The single ingest-counter schema the router owns: a key added
+        # there flows into converted documents automatically.
+        "departed_totals": zero_ingest_totals(),
+        "retired_totals": zero_ingest_totals(),
+        "stream_order": streams,
+        "departed_slots": [],
+    }
+
+
+def _inline_state_from_router(state: Dict) -> Dict:
+    """A router-layout checkpoint as an inline-backend snapshot.
+
+    Shards are restored and flushed — the inline backend evaluates
+    synchronously and holds no reorder buffer, so frames still buffered in
+    the snapshot are evaluated here, at the conversion barrier, and their
+    matches join the retained buffer exactly as a pre-restore ``flush()``
+    would have produced them.
+    """
+    from repro.streaming.shard import StreamShard
+
+    try:
+        queries = [CNFQuery.from_dict(q) for q in state["queries"]]
+        group_order = [
+            (int(window), int(duration))
+            for window, duration in state["group_order"]
+        ]
+        stream_order = [str(stream_id) for stream_id in state["stream_order"]]
+        shard_payloads = list(state["shards"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"malformed router checkpoint: {exc!r}"
+        ) from exc
+    by_group: Dict[GroupKey, List[CNFQuery]] = {}
+    for query in queries:
+        by_group.setdefault((query.window, query.duration), []).append(query)
+    engines: Dict[Tuple[str, GroupKey], StreamShard] = {}
+    for payload in shard_payloads:
+        shard = StreamShard.from_checkpoint(payload)
+        shard.flush()
+        engines[(shard.key.stream_id, shard.key.group)] = shard
+    return {
+        "groups": [
+            [window, duration, [q.to_dict() for q in by_group.get((window, duration), [])]]
+            for window, duration in group_order
+        ],
+        "streams": stream_order,
+        "engines": [
+            [
+                stream_id,
+                [group[0], group[1]],
+                engines[(stream_id, group)].engine.checkpoint(),
+                [m.to_record() for m in engines[(stream_id, group)].matches],
+            ]
+            for stream_id in stream_order
+            for group in group_order
+            if (stream_id, group) in engines
+        ],
+    }

@@ -53,7 +53,13 @@ from repro.query.evaluator import QueryMatch
 from repro.query.model import DEFAULT_DURATION, DEFAULT_WINDOW, CNFQuery
 from repro.query.parser import parse_query
 from repro.query.pruning import require_pruning_compatible
-from repro.session.backends import BACKENDS, Backend, GroupKey
+from repro.session.backends import (
+    BACKENDS,
+    Backend,
+    GroupKey,
+    convert_backend_state,
+)
+from repro.streaming.placement import resolve_placement
 from repro.streaming.checkpoint import CheckpointError, from_bytes, to_bytes
 
 #: Everything :meth:`Session.register` accepts as a query.
@@ -181,6 +187,10 @@ class Session:
         The engine-level optimisations, applied uniformly.
     num_workers / dispatch_batch / checkpoint_every:
         Worker pool sizing and cadence (pool backend only).
+    placement:
+        Stream→worker placement policy of the pool backend:
+        ``"round-robin"`` (deterministic default) or ``"least-loaded"``
+        (load-aware; see :mod:`repro.streaming.placement`).
     queries:
         Optional initial workload; each entry is registered as if passed to
         :meth:`register`.
@@ -198,6 +208,7 @@ class Session:
         num_workers: int = 2,
         dispatch_batch: int = 32,
         checkpoint_every: int = 8,
+        placement: str = "round-robin",
         queries: Iterable[QueryLike] = (),
     ):
         if backend not in BACKENDS:
@@ -205,6 +216,9 @@ class Session:
                 f"unknown backend {backend!r}; choose one of "
                 f"{sorted(BACKENDS)}"
             )
+        # Eager: a placement typo is an argument error at the call site,
+        # even on backends that only consult it after a later pool restore.
+        resolve_placement(str(placement))
         self._config = {
             "backend": backend,
             "method": MCOSMethod(method).value,
@@ -215,6 +229,7 @@ class Session:
             "num_workers": int(num_workers),
             "dispatch_batch": int(dispatch_batch),
             "checkpoint_every": int(checkpoint_every),
+            "placement": str(placement),
         }
         self._init_registry()
         self._backend: Backend = self._build_backend()
@@ -267,6 +282,7 @@ class Session:
                 num_workers=config["num_workers"],
                 dispatch_batch=config["dispatch_batch"],
                 checkpoint_every=config["checkpoint_every"],
+                placement=config.get("placement", "round-robin"),
             )
         return BACKENDS[kind](**kwargs)
 
@@ -540,54 +556,137 @@ class Session:
         return to_bytes("session", payload)
 
     @classmethod
-    def restore(cls, data: bytes) -> "Session":
-        """Rebuild a session (same backend kind) from checkpoint bytes."""
+    def restore(
+        cls,
+        data: bytes,
+        *,
+        backend: Optional[str] = None,
+        num_workers: Optional[int] = None,
+        placement: Optional[str] = None,
+    ) -> "Session":
+        """Rebuild a session from checkpoint bytes — on *any* backend.
+
+        By default the session resumes on the backend kind it was
+        checkpointed on.  Pass ``backend=`` to resume the same state on a
+        different serving architecture: all three backends serialise down
+        to the same engine/shard payloads, so a snapshot taken on
+        ``inline``, ``router`` or ``pool`` restores onto any of the three
+        (see :func:`~repro.session.backends.convert_backend_state` for the
+        exact translation semantics — router⇄pool is byte-transparent;
+        conversions through ``inline`` flush reorder buffers at the restore
+        barrier and drop runtime-layer ingest accounting the inline backend
+        does not track).
+
+        ``num_workers`` / ``placement`` override the pool sizing and
+        placement policy of the restored session (useful when resuming a
+        pool snapshot on differently-sized hardware; a persisted worker
+        layout is validated and deterministically remapped).
+        """
+        if backend is not None and backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose one of "
+                f"{sorted(BACKENDS)}"
+            )
+        if placement is not None:
+            # Eager, like the backend override: a typo here is an argument
+            # error, not a corrupt checkpoint (CheckpointError).
+            resolve_placement(str(placement))
+        if num_workers is not None:
+            num_workers = int(num_workers)  # same eager-argument contract
+            if num_workers <= 0:
+                raise ValueError("num_workers must be positive")
         payload = from_bytes(data, expect_kind="session")
         try:
             config = dict(payload["config"])
-            kind = config["backend"]
-            backend_class = BACKENDS[kind]
+            source_kind = config["backend"]
+            if source_kind not in BACKENDS:
+                raise ValueError(
+                    f"checkpoint names unknown backend {source_kind!r}"
+                )
+            target_kind = source_kind if backend is None else backend
+            config["backend"] = target_kind
+            if num_workers is not None:
+                config["num_workers"] = int(num_workers)
+            if placement is not None:
+                config["placement"] = str(placement)
+            backend_class = BACKENDS[target_kind]
+            registry = payload["registry"]
+            state = payload["state"]
+            if target_kind != source_kind:
+                state = convert_backend_state(
+                    source_kind,
+                    target_kind,
+                    state,
+                    config,
+                    active_queries=[
+                        dict(entry["query"])
+                        for entry in registry["handles"]
+                        if entry["active"]
+                    ],
+                    cancelled_ids=[
+                        int(entry["query"]["query_id"])
+                        for entry in registry["handles"]
+                        if not entry["active"]
+                    ],
+                    stream_frontiers={
+                        str(stream_id): int(frontier)
+                        for stream_id, frontier, _ in payload["streams"]
+                    },
+                    group_order=[
+                        (int(window), int(duration))
+                        for window, duration in payload["group_order"]
+                    ],
+                )
             session = cls.__new__(cls)
             session._config = config
             session._init_registry()
             session._backend = backend_class.restore(
-                payload["state"],
+                state,
                 method=MCOSMethod(config["method"]),
                 enable_pruning=bool(config["enable_pruning"]),
                 restrict_labels=bool(config["restrict_labels"]),
                 num_workers=int(config["num_workers"]),
                 dispatch_batch=int(config["dispatch_batch"]),
                 checkpoint_every=int(config["checkpoint_every"]),
+                placement=str(config.get("placement", "round-robin")),
             )
-            registry = payload["registry"]
-            session._next_qid = int(registry["next_query_id"])
-            for entry in registry["handles"]:
-                query = CNFQuery.from_dict(entry["query"])
-                handle = QueryHandle(
-                    session,
-                    query,
-                    {
-                        str(stream_id): int(frontier)
-                        for stream_id, frontier in entry["registered_at"]
-                    },
-                )
-                handle._active = bool(entry["active"])
-                handle._matches = [
-                    QueryMatch.from_record(record)
-                    for record in entry["matches"]
+            try:
+                session._next_qid = int(registry["next_query_id"])
+                for entry in registry["handles"]:
+                    query = CNFQuery.from_dict(entry["query"])
+                    handle = QueryHandle(
+                        session,
+                        query,
+                        {
+                            str(stream_id): int(frontier)
+                            for stream_id, frontier in entry["registered_at"]
+                        },
+                    )
+                    handle._active = bool(entry["active"])
+                    handle._matches = [
+                        QueryMatch.from_record(record)
+                        for record in entry["matches"]
+                    ]
+                    session._handles[query.query_id] = handle
+                    session._delivered[query.query_id] = int(entry["delivered"])
+                # The restored backend may carry retained matches from the
+                # snapshot; the first drain must reach it.
+                session._dirty = True
+                for stream_id, frontier, frames in payload["streams"]:
+                    session._frontiers[str(stream_id)] = int(frontier)
+                    session._frames[str(stream_id)] = int(frames)
+                session._group_order = [
+                    (int(window), int(duration))
+                    for window, duration in payload["group_order"]
                 ]
-                session._handles[query.query_id] = handle
-                session._delivered[query.query_id] = int(entry["delivered"])
-            # The restored backend may carry retained matches from the
-            # snapshot; the first drain must reach it.
-            session._dirty = True
-            for stream_id, frontier, frames in payload["streams"]:
-                session._frontiers[str(stream_id)] = int(frontier)
-                session._frames[str(stream_id)] = int(frames)
-            session._group_order = [
-                (int(window), int(duration))
-                for window, duration in payload["group_order"]
-            ]
+            except BaseException:
+                # The pool backend spawns worker processes eagerly; a
+                # malformed registry after the backend is built must not
+                # leak them (same guard as a rejected initial query in
+                # __init__).
+                session._closed = True
+                session._backend.close()
+                raise
         except CheckpointError:
             raise
         except (KeyError, TypeError, ValueError) as exc:

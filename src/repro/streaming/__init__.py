@@ -24,12 +24,20 @@ from repro.streaming.checkpoint import (
     SUPPORTED_VERSIONS,
     CheckpointError,
 )
+from repro.streaming.placement import (
+    PLACEMENT_POLICIES,
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    WorkerLoad,
+)
 from repro.streaming.pool import (
     PoolError,
     ShardWorkerPool,
     WorkerCrashError,
     deterministic_stats,
     match_report,
+    remap_assignment,
 )
 from repro.streaming.router import StreamRouter, group_queries_by_window
 from repro.streaming.shard import ShardKey, ShardStats, StreamShard
@@ -37,16 +45,22 @@ from repro.streaming.shard import ShardKey, ShardStats, StreamShard
 __all__ = [
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_VERSION",
+    "PLACEMENT_POLICIES",
     "SUPPORTED_VERSIONS",
     "CheckpointError",
+    "LeastLoadedPlacement",
+    "PlacementPolicy",
     "PoolError",
+    "RoundRobinPlacement",
     "ShardKey",
     "ShardStats",
     "ShardWorkerPool",
     "StreamShard",
     "StreamRouter",
     "WorkerCrashError",
+    "WorkerLoad",
     "deterministic_stats",
     "group_queries_by_window",
     "match_report",
+    "remap_assignment",
 ]

@@ -5,7 +5,7 @@ A checkpoint wraps one component snapshot::
     {
       "format": "repro-streaming-checkpoint",
       "version": 1 | 2,
-      "kind": "shard" | "router" | "engine" | "generator",
+      "kind": "shard" | "router" | "engine" | "generator" | "session",
       "payload": { ... }
     }
 

@@ -1,0 +1,179 @@
+"""Stream→worker placement policies for the shard worker pool.
+
+The :class:`~repro.streaming.pool.ShardWorkerPool` owns a map from stream id
+to worker index.  *Where* a stream lands never changes results — every
+stream is processed by exactly one worker and the pool's report order is the
+global first-seen order regardless of placement — but it decides how evenly
+the fleet's frame load spreads, which is what bounds tail latency and
+scale-out on real deployments.
+
+Two policies ship:
+
+* :class:`RoundRobinPlacement` — streams are assigned to workers in global
+  first-seen order, round-robin.  Deterministic, stateless, and exactly the
+  pre-policy behaviour; the default.
+* :class:`LeastLoadedPlacement` — a new stream lands on the worker that has
+  served the fewest frames so far (ties broken by stream count, then
+  index).  One hot camera feed then stops dragging its round-robin
+  neighbours onto the same worker.  The same policy also plans
+  **rebalancing**: given the observed per-stream frame loads it greedily
+  re-packs streams (heaviest first) onto the least-loaded worker, and the
+  pool migrates every stream whose planned owner differs from its current
+  one (:meth:`~repro.streaming.pool.ShardWorkerPool.rebalance`).
+
+Both policies are pure functions of the event sequence — no wall clock, no
+randomness, and no timing-dependent signals in any ranking (the
+``queue_depth`` field of :class:`WorkerLoad` is monitoring-only: the
+in-flight component depends on when acknowledgements were drained) — so a
+replayed run places (and re-places) streams identically, and a
+checkpointed assignment can be validated against what the policy would
+have produced.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Union
+
+
+@dataclass(frozen=True)
+class WorkerLoad:
+    """One worker's load signals, as the pool's parent process sees them.
+
+    ``frames`` is the cumulative count of frames routed to the worker
+    (dispatched or still buffered); ``queue_depth`` is the instantaneous
+    backlog — frames buffered parent-side plus unacknowledged operations in
+    flight; ``streams`` is the number of streams currently assigned.
+    ``frames`` and ``streams`` are deterministic functions of the event
+    sequence; ``queue_depth`` is **not** (its in-flight component depends
+    on acknowledgement timing) and exists for monitoring — policies must
+    not rank by it.
+    """
+
+    index: int
+    streams: int
+    frames: int
+    queue_depth: int
+
+
+class PlacementPolicy(abc.ABC):
+    """Decides which worker owns a stream (and when to move one)."""
+
+    #: Name the policy is selected by (``placement="..."``) and recorded
+    #: under in pool checkpoints.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def place(self, stream_id: str, loads: Sequence[WorkerLoad]) -> int:
+        """Pick the worker index for a first-seen stream."""
+
+    def rebalance(
+        self,
+        assignment: Mapping[str, int],
+        stream_frames: Mapping[str, int],
+        num_workers: int,
+    ) -> Dict[str, int]:
+        """Plan migrations: stream id → new worker index.
+
+        ``assignment`` is the current placement in global first-seen order;
+        ``stream_frames`` the cumulative frames each stream has routed.
+        Only entries whose planned owner differs from the current one are
+        returned.  The default (static policies) plans nothing.
+        """
+        return {}
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """First-seen order, round-robin: stream ``k`` lands on ``k % workers``.
+
+    Oblivious to load but perfectly deterministic and history-free — the
+    assignment of the next stream depends only on how many streams exist.
+    """
+
+    name = "round-robin"
+
+    def place(self, stream_id: str, loads: Sequence[WorkerLoad]) -> int:
+        return sum(load.streams for load in loads) % len(loads)
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Assign new streams to — and re-pack existing streams onto — the
+    worker with the least observed frame load."""
+
+    name = "least-loaded"
+
+    def place(self, stream_id: str, loads: Sequence[WorkerLoad]) -> int:
+        return min(
+            loads,
+            key=lambda load: (load.frames, load.streams, load.index),
+        ).index
+
+    def rebalance(
+        self,
+        assignment: Mapping[str, int],
+        stream_frames: Mapping[str, int],
+        num_workers: int,
+    ) -> Dict[str, int]:
+        """Greedy longest-processing-time re-pack of streams onto workers.
+
+        Streams with observed load are sorted heaviest first (ties in
+        first-seen order) and each is placed on the currently lightest
+        worker.  The plan is deterministic, and for the canonical skew case
+        — one feed several times hotter than its siblings — it isolates the
+        hot stream instead of stacking siblings next to it.  Migration is
+        not free (a flush barrier plus a checkpoint/ship/adopt round trip
+        per stream), so the pack is ownership-aware: among equally-loaded
+        bins a stream prefers its **current owner**, and an already-balanced
+        layout plans zero migrations instead of a gratuitous swap.  Streams
+        with **no observed load** keep their current placement outright:
+        there is nothing to balance by, and migrating on ignorance would
+        herd every unknown stream onto one worker (e.g. calling rebalance
+        before any frame has been routed).
+        """
+        order = {stream_id: seen for seen, stream_id in enumerate(assignment)}
+        streams: List[str] = sorted(
+            (
+                stream_id for stream_id in assignment
+                if stream_frames.get(stream_id, 0) > 0
+            ),
+            key=lambda stream_id: (
+                -stream_frames[stream_id], order[stream_id]
+            ),
+        )
+        bins = [0] * num_workers
+        plan: Dict[str, int] = {}
+        for stream_id in streams:
+            owner = assignment[stream_id]
+            target = min(
+                range(num_workers),
+                key=lambda index: (bins[index], index != owner, index),
+            )
+            bins[target] += stream_frames[stream_id]
+            if target != owner:
+                plan[stream_id] = target
+        return plan
+
+
+#: Policy registry keyed by the ``placement="..."`` selector.
+PLACEMENT_POLICIES = {
+    RoundRobinPlacement.name: RoundRobinPlacement,
+    LeastLoadedPlacement.name: LeastLoadedPlacement,
+}
+
+
+def resolve_placement(
+    placement: Union[str, PlacementPolicy, None],
+) -> PlacementPolicy:
+    """Coerce a policy selector (name, instance or None) to a policy."""
+    if placement is None:
+        return RoundRobinPlacement()
+    if isinstance(placement, PlacementPolicy):
+        return placement
+    try:
+        return PLACEMENT_POLICIES[placement]()
+    except KeyError:
+        raise ValueError(
+            f"unknown placement policy {placement!r}; choose one of "
+            f"{sorted(PLACEMENT_POLICIES)}"
+        ) from None

@@ -11,9 +11,18 @@ spreads them over ``multiprocessing`` workers:
   :meth:`~repro.streaming.router.StreamRouter.config_checkpoint`, so worker
   behaviour is *the* single-process behaviour, stream by stream;
 * **batched dispatch over queues** — frames are buffered per worker and
-  dispatched in batches; each stream is owned by exactly one worker
-  (assigned round-robin in first-seen order), so per-stream frame order is
-  preserved and results are independent of the worker count;
+  dispatched in batches; each stream is owned by exactly one worker, so
+  per-stream frame order is preserved and results are independent of the
+  worker count *and* of where each stream lands;
+* **load-aware placement** — which worker owns a first-seen stream is
+  decided by a pluggable :class:`~repro.streaming.placement.PlacementPolicy`
+  (deterministic round-robin by default; a least-loaded policy driven by
+  the per-worker frame/queue-depth signals ships too), and a live stream
+  can be moved between workers mid-flight with :meth:`migrate_stream` /
+  :meth:`rebalance` — flush-barriered and op-logged, so differential runs
+  stay byte-identical and crash recovery replays the move.  The assignment
+  map is persisted in pool checkpoints so a restore reproduces the exact
+  worker layout;
 * **crash recovery** — the parent keeps, per worker, the last periodic
   checkpoint it received plus the log of state-changing operations sent
   after it (the *unacked tail*).  When a worker dies (e.g. SIGKILL), a fresh
@@ -45,12 +54,17 @@ import json
 import multiprocessing
 import queue as queue_module
 import traceback
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.datamodel.observation import FrameObservation
 from repro.query.evaluator import QueryMatch
 from repro.query.model import CNFQuery
-from repro.streaming.checkpoint import from_bytes, to_bytes
+from repro.streaming.checkpoint import CheckpointError, from_bytes, to_bytes
+from repro.streaming.placement import (
+    PlacementPolicy,
+    WorkerLoad,
+    resolve_placement,
+)
 from repro.streaming.router import StreamRouter
 
 #: Sentinel stored as the "ack" of a read-only query lost to a worker crash.
@@ -62,7 +76,136 @@ class PoolError(RuntimeError):
 
 
 class WorkerCrashError(PoolError):
-    """A worker kept dying after exhausting its restart budget."""
+    """A worker failed terminally and broke the pool.
+
+    Raised when a worker keeps dying past its restart budget, and recorded
+    (as the chained cause of later :class:`PoolError`\\ s on the broken
+    pool) when a worker raises inside an operation — a deterministic raise
+    would replay-crash forever, so it is not restarted.  Carries the crash
+    context so callers see what actually happened instead of a bare
+    "see logs":
+
+    * ``worker_index`` — which worker failed;
+    * ``exitcode`` — the dead process's exit code (negative = signal;
+      ``None`` when the worker raised instead of dying);
+    * ``op_seq`` — the highest operation sequence the worker had
+      acknowledged before the failure;
+    * ``pending_ops`` — logged operations that were still awaiting replay;
+    * ``traceback_summary`` — last line of the worker's traceback when it
+      died raising (``None`` for signal deaths, which leave no traceback).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        worker_index: Optional[int] = None,
+        exitcode: Optional[int] = None,
+        op_seq: Optional[int] = None,
+        pending_ops: int = 0,
+        traceback_summary: Optional[str] = None,
+    ):
+        super().__init__(message)
+        self.worker_index = worker_index
+        self.exitcode = exitcode
+        self.op_seq = op_seq
+        self.pending_ops = pending_ops
+        self.traceback_summary = traceback_summary
+
+
+def _traceback_summary(text: str) -> str:
+    """The last non-empty line of a formatted traceback (the raise site)."""
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    return lines[-1] if lines else ""
+
+
+def parse_placement_block(payload: Mapping) -> Dict:
+    """Parse the ``placement`` block of a pool checkpoint document.
+
+    Returns a dict with ``policy`` / ``num_workers`` (verbatim when
+    present) and ``assignment`` / ``stream_frames`` decoded from their
+    list-of-pairs wire form into plain dicts; an empty dict when the
+    document has no block (router checkpoints, pre-placement snapshots).
+    The single parser shared by :meth:`ShardWorkerPool.from_checkpoint`
+    and the session pool backend, so the wire format cannot drift.
+    """
+    block = payload.get("placement")
+    if block is None or block == {}:
+        return {}
+    if not isinstance(block, Mapping):
+        # Present but the wrong shape (list, string, number — including
+        # falsy values like [] that must not masquerade as "absent").
+        raise CheckpointError(
+            "malformed placement block in pool checkpoint: expected a "
+            f"mapping, got {type(block).__name__}"
+        )
+
+    def decode_pairs(name: str, cast) -> Dict:
+        entries = block.get(name, [])
+        if not isinstance(entries, list):
+            # A dict (or string) here would iterate its keys and silently
+            # mis-unpack; the wire form is strictly a list of pairs.
+            raise CheckpointError(
+                f"malformed placement block in pool checkpoint: {name!r} "
+                f"must be a list of [stream, value] pairs, got "
+                f"{type(entries).__name__}"
+            )
+        try:
+            return {str(stream_id): cast(value) for stream_id, value in entries}
+        except (TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed placement block in pool checkpoint: {exc!r}"
+            ) from exc
+
+    parsed: Dict = {
+        "assignment": decode_pairs("assignment", lambda value: value),
+        "stream_frames": decode_pairs("stream_frames", int),
+    }
+    for key in ("policy", "num_workers"):
+        if key in block:
+            parsed[key] = block[key]
+    return parsed
+
+
+def remap_assignment(
+    assignment: Mapping[str, int],
+    num_workers: int,
+    known_streams: Optional[Sequence[str]] = None,
+) -> Dict[str, int]:
+    """Validate a persisted stream→worker map against a worker count.
+
+    Entries that fit (``0 <= index < num_workers``) are kept verbatim, so a
+    restore with the checkpointed worker count reproduces the exact layout.
+    A pool restored with *fewer* workers deterministically folds
+    out-of-range indices back in (``index % num_workers``) — any layout is
+    semantically valid, placement only affects load.  Impossible layouts
+    fail loudly instead of being silently recomputed: a negative or
+    non-integral index, or (when ``known_streams`` is given) a placement
+    for a stream the checkpoint does not serve.
+    """
+    if num_workers <= 0:
+        raise PoolError("num_workers must be positive")
+    known = None if known_streams is None else set(known_streams)
+    remapped: Dict[str, int] = {}
+    for stream_id, index in assignment.items():
+        stream_id = str(stream_id)
+        if isinstance(index, bool) or not isinstance(index, int):
+            raise PoolError(
+                f"impossible placement: stream {stream_id!r} is assigned to "
+                f"{index!r}, which is not a worker index"
+            )
+        if index < 0:
+            raise PoolError(
+                f"impossible placement: stream {stream_id!r} is assigned to "
+                f"negative worker index {index}"
+            )
+        if known is not None and stream_id not in known:
+            raise PoolError(
+                f"impossible placement: stream {stream_id!r} has a persisted "
+                "assignment but the checkpoint does not serve it"
+            )
+        remapped[stream_id] = index % num_workers
+    return remapped
 
 
 # ----------------------------------------------------------------------
@@ -87,6 +230,17 @@ def _apply_op(router: StreamRouter, op: Tuple):
             stream_id: [match.to_record() for match in matches]
             for stream_id, matches in router.drain_matches().items()
         }
+    if kind == "expel":
+        # Migration hand-off: checkpoint-and-remove the stream's shards
+        # without freezing departed counters (the stream stays inside this
+        # logical service).  Membership is pre-checked — NOT caught as
+        # KeyError — so a replayed expel against a post-expel checkpoint
+        # (or a worker that never grew shards for the stream) expels
+        # nothing, while a genuine failure mid-removal stays loud instead
+        # of silently discarding already-popped shard state.
+        if op[1] not in router.stream_ids():
+            return []
+        return [to_bytes("shard", payload) for payload in router.expel(op[1])]
     if kind == "register":
         # The query arrives with its id pre-assigned by the origin router,
         # so every worker (and every crash-replay of this op) lands on the
@@ -152,7 +306,7 @@ class _WorkerHandle:
         "index", "process", "tasks", "results", "next_seq", "log",
         "last_checkpoint", "pending_ckpt_seq", "inflight", "max_acked",
         "acks", "buffer", "restarts", "ops_since_ckpt", "stopped_state",
-        "ckpt_count",
+        "ckpt_count", "frames_routed",
     )
 
     def __init__(self, index: int):
@@ -179,6 +333,10 @@ class _WorkerHandle:
         self.buffer: List[Tuple[str, list]] = []
         self.restarts = 0
         self.ops_since_ckpt = 0
+        #: Cumulative frame load of the streams this worker currently owns
+        #: (migrations move a stream's history with it) — the load signal
+        #: placement policies rank workers by.
+        self.frames_routed = 0
         #: Checkpoints received over the worker's lifetime (freshness token
         #: for :meth:`ShardWorkerPool.checkpoint_now`).
         self.ckpt_count = 0
@@ -214,6 +372,18 @@ class ShardWorkerPool:
     start_method:
         ``multiprocessing`` start method; defaults to ``fork`` where
         available (cheapest), else the platform default.
+    placement:
+        Stream→worker placement policy: a
+        :class:`~repro.streaming.placement.PlacementPolicy` instance or a
+        registered name (``"round-robin"``, the deterministic default, or
+        ``"least-loaded"``).  Placement never changes results — only how
+        evenly load spreads.
+    assignment:
+        Optional persisted stream→worker map (the ``placement.assignment``
+        block of a pool checkpoint).  Seeded — after validation and, if the
+        worker count shrank, a deterministic remap (see
+        :func:`remap_assignment`) — before any policy decision, so a
+        restored pool reproduces the checkpointed layout exactly.
     """
 
     def __init__(
@@ -226,6 +396,9 @@ class ShardWorkerPool:
         max_restarts: int = 3,
         start_method: Optional[str] = None,
         poll_interval: float = 0.02,
+        placement: Union[str, PlacementPolicy, None] = None,
+        assignment: Optional[Mapping[str, int]] = None,
+        stream_frames: Optional[Mapping[str, int]] = None,
     ):
         if num_workers <= 0:
             raise PoolError("num_workers must be positive")
@@ -248,10 +421,45 @@ class ShardWorkerPool:
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
+        if stream_frames is not None:
+            if assignment is None:
+                raise PoolError(
+                    "stream_frames requires assignment: load history is "
+                    "seeded per the persisted stream->worker layout, so "
+                    "without one it would be silently dropped"
+                )
+            assigned = {str(k) for k in assignment}
+            uncovered = [s for s in stream_frames if str(s) not in assigned]
+            if uncovered:
+                raise PoolError(
+                    "stream_frames entries have no persisted assignment "
+                    f"(their history would be silently dropped): {uncovered}"
+                )
         self._ctx = multiprocessing.get_context(start_method)
+        self._placement = resolve_placement(placement)
         self._workers: List[_WorkerHandle] = []
-        #: Stream ownership, in global first-seen order (round-robin).
+        #: Stream ownership, in global first-seen order (policy-placed).
         self._assignment: Dict[str, int] = {}
+        #: Persisted layout to honour on :meth:`start` (validated there,
+        #: once the origin router's stream set is known).
+        self._initial_assignment: Optional[Dict[str, int]] = (
+            {str(k): v for k, v in assignment.items()}
+            if assignment is not None else None
+        )
+        #: Persisted per-stream load history, seeded on :meth:`start` so a
+        #: restored pool's placement/rebalance signals carry over.
+        self._initial_stream_frames: Dict[str, int] = (
+            {str(k): int(v) for k, v in stream_frames.items()}
+            if stream_frames is not None else {}
+        )
+        #: Cumulative frames routed per stream — the observed load signal
+        #: :meth:`rebalance` re-packs streams by.
+        self._stream_frames: Dict[str, int] = {}
+        #: Live migrations performed (stats counter).
+        self._migrations = 0
+        #: The terminal failure that broke the pool, chained into every
+        #: subsequent PoolError so the cause is never discarded.
+        self._failure: Optional[PoolError] = None
         #: The origin router's ``departed`` block at start() time: streams
         #: it had already handed to *other* owners.  Shards shipped to this
         #: pool's own workers are excluded (they are being served, not
@@ -318,21 +526,44 @@ class ShardWorkerPool:
         self._origin_departed = dict(origin_stats["departed"])
         self._origin_retired = dict(origin_stats["retired"])
         self._origin_departed_slots = router.departed_slot_snapshots()
+        if self._initial_assignment is not None:
+            # Restore path: reproduce the checkpointed layout exactly (or
+            # remap deterministically when the worker count shrank) before
+            # any policy decision can run.  Validated *before* any worker
+            # process exists — an impossible layout must not leak children.
+            self._assignment = remap_assignment(
+                self._initial_assignment,
+                self.num_workers,
+                known_streams=router.stream_ids(),
+            )
         self._workers = [_WorkerHandle(index) for index in range(self.num_workers)]
         for worker in self._workers:
             self._spawn(worker)
         self._started = True
-        for stream_id in router.stream_ids():
-            index = self._assign(stream_id)
-            if not router.has_live_shards(stream_id):
-                # Every shard of this stream was retired by query-group
-                # cancellations: nothing to ship, but the stream keeps its
-                # first-seen position (new groups resume it in place).
-                continue
-            payloads = router.detach(stream_id)
-            worker = self._workers[index]
-            blobs = [to_bytes("shard", payload) for payload in payloads]
-            self._send_op(worker, ("adopt", blobs))
+        try:
+            for stream_id, frames in self._initial_stream_frames.items():
+                # Restored load history: placement decisions and rebalance
+                # plans resume from the checkpointed signals instead of
+                # re-learning (or worse, planning on) zero loads.  The
+                # constructor guarantees every entry has an assignment.
+                self._stream_frames[stream_id] = int(frames)
+                worker = self._workers[self._assignment[stream_id]]
+                worker.frames_routed += int(frames)
+            for stream_id in router.stream_ids():
+                index = self._assign(stream_id)
+                if not router.has_live_shards(stream_id):
+                    # Every shard of this stream was retired by query-group
+                    # cancellations: nothing to ship, but the stream keeps its
+                    # first-seen position (new groups resume it in place).
+                    continue
+                payloads = router.detach(stream_id)
+                worker = self._workers[index]
+                blobs = [to_bytes("shard", payload) for payload in payloads]
+                self._send_op(worker, ("adopt", blobs))
+        except BaseException:
+            # A failed hand-off must not leak the just-spawned workers.
+            self.terminate()
+            raise
         return self
 
     def stop(self) -> StreamRouter:
@@ -429,6 +660,10 @@ class ShardWorkerPool:
         self._require_running()
         worker = self._workers[self._assign(stream_id)]
         worker.buffer.append((stream_id, frame.to_record()))
+        worker.frames_routed += 1
+        self._stream_frames[stream_id] = (
+            self._stream_frames.get(stream_id, 0) + 1
+        )
         if len(worker.buffer) >= self.dispatch_batch:
             self._dispatch_buffer(worker)
 
@@ -447,6 +682,119 @@ class ShardWorkerPool:
         ]
         for worker, seq in seqs:
             self._await(worker, seq)
+
+    # ------------------------------------------------------------------
+    # Placement and rebalancing
+    # ------------------------------------------------------------------
+    @property
+    def placement(self) -> PlacementPolicy:
+        """The stream→worker placement policy in effect."""
+        return self._placement
+
+    @property
+    def migrations(self) -> int:
+        """Live stream migrations performed over the pool's lifetime."""
+        return self._migrations
+
+    def assignment(self) -> Dict[str, int]:
+        """The current stream→worker map, in global first-seen order."""
+        return dict(self._assignment)
+
+    def worker_loads(self) -> List[Dict]:
+        """Per-worker load signals (JSON-friendly; bench/monitoring surface).
+
+        ``frames`` is the cumulative offered load of the worker's *owned*
+        streams (a migrated stream's history moves with it);
+        ``queue_depth`` the instantaneous backlog — parent-side buffered
+        frames plus unacknowledged operations.
+        """
+        return [
+            {
+                "index": load.index,
+                "streams": load.streams,
+                "frames": load.frames,
+                "queue_depth": load.queue_depth,
+            }
+            for load in self._worker_loads()
+        ]
+
+    def migrate_stream(self, stream_id: str, worker: int) -> bool:
+        """Move a live stream to another worker without dropping a frame.
+
+        The move reuses the detach→checkpoint-bytes→adopt machinery: the
+        owning worker *expels* the stream (checkpointing its shards —
+        reorder buffers, retained matches and counters included — with no
+        departed accounting, since the stream stays inside this service),
+        and the target worker adopts the bytes.  Both legs are **op-logged**,
+        so a crash on either side replays the migration in order, and the
+        hand-off is **flush-barriered**: frames already routed are
+        dispatched first, so per-stream frame order — and therefore every
+        byte of the differential contract — is preserved.  Subsequent
+        frames of the stream route to the new worker.
+
+        Returns ``True`` when shards actually moved, ``False`` for a
+        no-op (the stream already lives on ``worker``).  Migrating an
+        unknown stream or to an out-of-range worker raises.
+        """
+        self._require_running()
+        if not 0 <= worker < self.num_workers:
+            raise PoolError(
+                f"cannot migrate {stream_id!r} to worker {worker}: the pool "
+                f"has workers 0..{self.num_workers - 1}"
+            )
+        source_index = self._assignment.get(stream_id)
+        if source_index is None:
+            raise PoolError(
+                f"cannot migrate unknown stream {stream_id!r} (no frames "
+                "routed and no shards shipped for it)"
+            )
+        if source_index == worker:
+            return False
+        source = self._workers[source_index]
+        target = self._workers[worker]
+        # Barrier: every frame routed so far must reach the source before
+        # the expel (per-worker FIFO then guarantees the checkpoint covers
+        # them); the target's buffer is dispatched too so the adopt cannot
+        # overtake frames of other streams buffered before the migration.
+        self._dispatch_buffer(source)
+        self._dispatch_buffer(target)
+        blobs = self._await(source, self._send_op(source, ("expel", stream_id)))
+        if blobs:
+            self._send_op(target, ("adopt", blobs))
+        self._assignment[stream_id] = worker
+        # The stream's frame history moves with it: a worker's load is the
+        # sum of its *owned* streams' loads (which is also how a restored
+        # pool re-seeds the counters), so placement decisions after a
+        # migration see the hot stream on its new owner, not its old one.
+        frames = self._stream_frames.get(stream_id, 0)
+        source.frames_routed -= frames
+        target.frames_routed += frames
+        self._migrations += 1
+        return True
+
+    def rebalance(
+        self, policy: Union[str, PlacementPolicy, None] = None
+    ) -> Dict[str, int]:
+        """Re-pack streams onto workers according to a placement policy.
+
+        Asks the policy (the pool's own by default; pass
+        ``policy="least-loaded"`` to rebalance a round-robin pool) for a
+        migration plan from the observed per-stream frame loads and applies
+        it with :meth:`migrate_stream`.  Static policies (round-robin) plan
+        nothing; the least-loaded policy re-packs heaviest-first so a hot
+        stream stops dragging its neighbours.  Returns the applied plan
+        (stream id → new worker).
+        """
+        self._require_running()
+        planner = (
+            self._placement if policy is None else resolve_placement(policy)
+        )
+        plan = planner.rebalance(
+            self._assignment, self._stream_frames, self.num_workers
+        )
+        for stream_id, worker in plan.items():
+            self.migrate_stream(stream_id, worker)
+        return plan
 
     # ------------------------------------------------------------------
     # Live query lifecycle
@@ -593,6 +941,9 @@ class ShardWorkerPool:
                 "checkpoints_taken": self._checkpoints_taken,
                 "ops_dispatched": self._ops_dispatched,
                 "frames_dispatched": self._frames_dispatched,
+                "placement": self._placement.name,
+                "migrations": self._migrations,
+                "worker_loads": self.worker_loads(),
             },
         }
 
@@ -666,26 +1017,109 @@ class ShardWorkerPool:
             shards.extend(entries)
         for entries in by_stream.values():  # pragma: no cover - safety
             shards.extend(entries)
+        # Key order mirrors StreamRouter.checkpoint() exactly: the merged
+        # document must be byte-identical to what the restored router would
+        # itself re-export (the codec is canonical, insertion order is
+        # state), so a router⇄pool restore round-trips byte-transparently.
         document["shards"] = shards
-        document["stream_order"] = list(self._assignment)
         document["departed_totals"] = dict(self._origin_departed)
         retired["processing_seconds"] = round(
             retired.get("processing_seconds", 0.0), 6
         )
         document["retired_totals"] = retired
+        document["stream_order"] = list(self._assignment)
         document["departed_slots"] = [
             [stream_id, [window, duration], dict(frozen)]
             for (stream_id, (window, duration)), frozen
             in self._origin_departed_slots.items()
         ]
+        # Placement decisions land in the checkpoint: a pool restored from
+        # this document reproduces the exact worker layout (the router
+        # ignores — and its own checkpoints omit — this block, so a
+        # router⇄pool round trip is byte-transparent).
+        document["placement"] = {
+            "policy": self._placement.name,
+            "num_workers": self.num_workers,
+            "assignment": [
+                [stream_id, index]
+                for stream_id, index in self._assignment.items()
+            ],
+            #: Per-stream load history in assignment order (canonical), so
+            #: a restored pool's placement and rebalance signals carry on
+            #: from the observed loads instead of restarting at zero.
+            "stream_frames": [
+                [stream_id, self._stream_frames.get(stream_id, 0)]
+                for stream_id in self._assignment
+            ],
+        }
         return document
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        payload: Dict,
+        num_workers: Optional[int] = None,
+        placement: Union[str, PlacementPolicy, None] = None,
+        **pool_kwargs,
+    ) -> "ShardWorkerPool":
+        """Build a (not yet started) pool from a router-layout checkpoint.
+
+        Accepts both a plain :meth:`StreamRouter.checkpoint` document and a
+        pool's own :meth:`checkpoint_router` export.  When the document
+        carries a ``placement`` block, its assignment map (and per-stream
+        load history) is persisted into the new pool and reproduced on
+        :meth:`start` — remapped deterministically if ``num_workers``
+        differs from the recorded count, rejected loudly if the layout is
+        impossible (see :func:`remap_assignment`).  ``num_workers`` and
+        ``placement`` default to the checkpointed values (or 2 workers /
+        round-robin for documents that predate placement persistence).
+        """
+        block = parse_placement_block(payload)
+        if num_workers is None:
+            try:
+                num_workers = int(block.get("num_workers", 2))
+            except (TypeError, ValueError) as exc:
+                raise CheckpointError(
+                    "malformed placement block in pool checkpoint: "
+                    f"num_workers {block.get('num_workers')!r} is not an "
+                    "integer"
+                ) from exc
+        if placement is None:
+            placement = str(block.get("policy", "round-robin"))
+            try:
+                resolve_placement(placement)
+            except ValueError as exc:
+                # A bad policy *name in the checkpoint* is malformed data
+                # (CheckpointError, like num_workers above); a bad caller-
+                # supplied placement= stays a plain ValueError.
+                raise CheckpointError(
+                    f"malformed placement block in pool checkpoint: {exc}"
+                ) from exc
+        router = StreamRouter.from_checkpoint(payload)
+        return cls(
+            router,
+            num_workers=num_workers,
+            placement=placement,
+            assignment=block.get("assignment"),
+            stream_frames=block.get("stream_frames"),
+            **pool_kwargs,
+        )
 
     # ------------------------------------------------------------------
     # Internals: dispatch, acknowledgements, recovery
     # ------------------------------------------------------------------
     def _require_running(self) -> None:
         if self._broken:
-            raise PoolError("the pool is broken (a worker failed); see logs")
+            # Chain the recorded terminal failure instead of discarding it:
+            # callers see worker index, op sequence and traceback summary
+            # in the cause, not a bare "see logs".
+            detail = (
+                f": {self._failure}" if self._failure is not None
+                else "; see logs"
+            )
+            raise PoolError(
+                f"the pool is broken (a worker failed){detail}"
+            ) from self._failure
         if not self._started:
             raise PoolError(
                 "the pool is not running (start() it first; a stopped pool "
@@ -695,9 +1129,34 @@ class ShardWorkerPool:
     def _assign(self, stream_id: str) -> int:
         index = self._assignment.get(stream_id)
         if index is None:
-            index = len(self._assignment) % self.num_workers
+            index = self._placement.place(stream_id, self._worker_loads())
+            # Same strictness as remap_assignment validates restored
+            # layouts with: a float or None from a custom policy must fail
+            # here, loudly, not crash route() or poison the checkpoint.
+            if (isinstance(index, bool) or not isinstance(index, int)
+                    or not 0 <= index < self.num_workers):
+                raise PoolError(
+                    f"placement policy {self._placement.name!r} returned "
+                    f"worker index {index!r} for stream {stream_id!r} "
+                    f"(expected an int in 0..{self.num_workers - 1})"
+                )
             self._assignment[stream_id] = index
         return index
+
+    def _worker_loads(self) -> List[WorkerLoad]:
+        """Per-worker load signals handed to the placement policy."""
+        streams = [0] * self.num_workers
+        for index in self._assignment.values():
+            streams[index] += 1
+        return [
+            WorkerLoad(
+                index=worker.index,
+                streams=streams[worker.index],
+                frames=worker.frames_routed,
+                queue_depth=len(worker.buffer) + len(worker.inflight),
+            )
+            for worker in self._workers
+        ]
 
     def _spawn(self, worker: _WorkerHandle) -> None:
         worker.tasks = self._ctx.Queue()
@@ -837,9 +1296,18 @@ class ShardWorkerPool:
             self._broken = True
             text = message[2]
             self.terminate()
+            failure = WorkerCrashError(
+                f"worker {worker.index} raised inside an operation "
+                f"({_traceback_summary(text)})",
+                worker_index=worker.index,
+                op_seq=worker.max_acked,
+                pending_ops=len(worker.log),
+                traceback_summary=_traceback_summary(text),
+            )
+            self._failure = failure
             raise PoolError(
                 f"worker {worker.index} raised inside an operation:\n{text}"
-            )
+            ) from failure
         else:  # pragma: no cover - protocol violation
             raise PoolError(f"unknown worker response {kind!r}")
 
@@ -849,12 +1317,20 @@ class ShardWorkerPool:
         self._total_restarts += 1
         if worker.restarts > self.max_restarts:
             self._broken = True
+            exitcode = worker.process.exitcode
             self.terminate()
-            raise WorkerCrashError(
+            failure = WorkerCrashError(
                 f"worker {worker.index} crashed more than "
-                f"{self.max_restarts} times (exitcode "
-                f"{worker.process.exitcode}); giving up"
+                f"{self.max_restarts} times (exitcode {exitcode}, last "
+                f"acked op seq {worker.max_acked}, {len(worker.log)} logged "
+                "ops awaiting replay); giving up",
+                worker_index=worker.index,
+                exitcode=exitcode,
+                op_seq=worker.max_acked,
+                pending_ops=len(worker.log),
             )
+            self._failure = failure
+            raise failure
         worker.process.join(timeout=5)
         # Release the dead generation's queues (feeder threads, pipe fds,
         # buffered messages) before spawning replacements.

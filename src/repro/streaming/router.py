@@ -32,7 +32,7 @@ from repro.streaming.shard import ShardKey, StreamShard
 GroupKey = Tuple[int, int]
 
 
-def _zero_ingest_totals() -> Dict:
+def zero_ingest_totals() -> Dict:
     """A fresh all-zero ingest counter block (shared layout of totals)."""
     return {
         "shards": 0,
@@ -126,7 +126,7 @@ class StreamRouter:
         #: shard's late-drop/duplicate/reorder counts vanish from
         #: :meth:`stats` entirely (the shard left ``_shards``), so exported
         #: stats silently under-reported after every rebalance.
-        self._departed_totals: Dict = _zero_ingest_totals()
+        self._departed_totals: Dict = zero_ingest_totals()
         #: Per-slot frozen counters backing ``_departed_totals``: when a
         #: detached shard is adopted *back* (a round-trip hand-off, e.g.
         #: through a worker pool), its frozen contribution is reversed —
@@ -142,7 +142,7 @@ class StreamRouter:
         #: accounting rule as ``_departed_totals``: removing a shard must
         #: not make its late-drop/duplicate/reorder history vanish from
         #: :meth:`stats`.
-        self._retired_totals: Dict = _zero_ingest_totals()
+        self._retired_totals: Dict = zero_ingest_totals()
 
     @staticmethod
     def _assign_ids(queries: Sequence[CNFQuery]) -> List[CNFQuery]:
@@ -589,14 +589,14 @@ class StreamRouter:
             ]
         departed = payload.get("departed_totals")
         if departed is not None:  # absent in version-1-era snapshots
-            totals = _zero_ingest_totals()
+            totals = zero_ingest_totals()
             for key in totals:
                 value = departed.get(key, totals[key])
                 totals[key] = float(value) if key == "processing_seconds" else int(value)
             router._departed_totals = totals
         retired = payload.get("retired_totals")
         if retired is not None:  # absent in pre-lifecycle snapshots
-            totals = _zero_ingest_totals()
+            totals = zero_ingest_totals()
             for key in totals:
                 value = retired.get(key, totals[key])
                 totals[key] = float(value) if key == "processing_seconds" else int(value)
@@ -614,6 +614,33 @@ class StreamRouter:
         """Rebuild a router from canonical checkpoint bytes."""
         return cls.from_checkpoint(from_bytes(data, expect_kind="router"))
 
+    def _remove_stream_shards(
+        self, stream_id: str, freeze_departed: bool
+    ) -> List[Dict]:
+        """The shared hand-off core of :meth:`detach` and :meth:`expel`:
+        checkpoint-and-pop every shard of the stream, lay the tombstone,
+        drop the stream from first-seen order.  ``freeze_departed`` decides
+        whether the removed shards' ingest counters freeze into the
+        ``departed`` accounting block (external hand-off) or keep accruing
+        on the new owner alone (internal migration)."""
+        removed: List[Dict] = []
+        removed_groups: List[GroupKey] = []
+        for key in [k for k in self._shards if k[0] == stream_id]:
+            shard = self._shards.pop(key)
+            removed.append(shard.checkpoint())
+            removed_groups.append(key[1])
+            if freeze_departed:
+                frozen = self._freeze_ingest_stats(shard)
+                self._departed_by_slot[(stream_id, key[1])] = frozen
+                departed = self._departed_totals
+                departed["shards"] += 1
+                for field, value in frozen.items():
+                    departed[field] += value
+        self._stream_order.pop(stream_id, None)
+        if removed_groups:
+            self._detached[stream_id] = removed_groups
+        return removed
+
     def detach(self, stream_id: str) -> List[Dict]:
         """Checkpoint and remove every shard of one stream (for rebalancing).
 
@@ -623,23 +650,32 @@ class StreamRouter:
         travel with the snapshot, so nothing is lost in the hand-off; matches
         already consumed via :meth:`drain_matches` are not replayed.
         """
-        detached: List[Dict] = []
-        detached_groups: List[GroupKey] = []
-        for key in [k for k in self._shards if k[0] == stream_id]:
-            shard = self._shards.pop(key)
-            detached.append(shard.checkpoint())
-            detached_groups.append(key[1])
-            frozen = self._freeze_ingest_stats(shard)
-            self._departed_by_slot[(stream_id, key[1])] = frozen
-            departed = self._departed_totals
-            departed["shards"] += 1
-            for field, value in frozen.items():
-                departed[field] += value
-        if not detached:
+        if not self.has_live_shards(stream_id):
             raise KeyError(f"no shards for stream {stream_id!r}")
-        self._detached[stream_id] = detached_groups
-        self._stream_order.pop(stream_id, None)
-        return detached
+        return self._remove_stream_shards(stream_id, freeze_departed=True)
+
+    def expel(self, stream_id: str) -> List[Dict]:
+        """Checkpoint and remove a stream's shards for an *internal* move.
+
+        Like :meth:`detach`, but for migrations that stay inside one logical
+        service (a worker pool moving a stream between its own workers): the
+        shard counters keep accruing on the new owner, so — unlike a
+        hand-off to a different owner — nothing is frozen into the
+        ``departed`` accounting block and aggregate stats remain exactly an
+        uninterrupted run's.  The detached-stream tombstone is still laid so
+        a stray frame routed here fails loudly instead of forking state.
+        A stream with **no live shards** (every group retired by
+        cancellations) expels to an empty list and **keeps its first-seen
+        slot**: there is no state to move, and dropping the slot would make
+        the stream re-enter at the end of the order if a new window group
+        later revives it — diverging from an uninterrupted run.  An unknown
+        stream raises.
+        """
+        if not self.has_live_shards(stream_id):
+            if stream_id not in self._stream_order:
+                raise KeyError(f"no stream {stream_id!r} on this router")
+            return []
+        return self._remove_stream_shards(stream_id, freeze_departed=False)
 
     def adopt(self, shard_payload: Dict) -> StreamShard:
         """Restore a detached shard snapshot into this router.
@@ -688,7 +724,7 @@ class StreamRouter:
             if departed["shards"] == 0:
                 # Reset exactly: float subtraction of several seconds values
                 # can leave a ±1e-17 residue that would round to "-0.0".
-                self._departed_totals = _zero_ingest_totals()
+                self._departed_totals = zero_ingest_totals()
         return shard
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -235,8 +235,12 @@ class StreamShard:
         engine = self.engine
         produced: List[QueryMatch] = []
         start = time.perf_counter()
+        stream_id = self.key.stream_id
         for frame in frames:
-            produced.extend(engine.process_frame(frame))
+            produced.extend(
+                match.for_stream(stream_id)
+                for match in engine.process_frame(frame)
+            )
         stats.processing_seconds += time.perf_counter() - start
         stats.frames_processed += len(frames)
         stats.batches += 1

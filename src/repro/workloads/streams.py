@@ -170,6 +170,94 @@ def bench_scenario(
     return feeds, queries
 
 
+def skewed_scenario(
+    num_feeds: int,
+    frames_per_feed: int,
+    groups: Sequence[Tuple[int, int]],
+    queries_per_group: int,
+    seed: int,
+    hot_factor: int = 4,
+) -> Tuple[Dict[str, VideoRelation], List[CNFQuery], str]:
+    """A hot-stream scenario: feed 0 runs ``hot_factor``× its siblings' rate.
+
+    Returns ``(feeds, queries, hot_stream_id)``.  The hot feed carries
+    ``hot_factor * frames_per_feed`` frames; every sibling carries
+    ``frames_per_feed``.  Interleaved with :func:`interleave_skewed`, the
+    hot feed emits ``hot_factor`` frames per round against the siblings'
+    one — the one-camera-covers-the-freeway regime that round-robin
+    stream→worker placement handles worst.
+    """
+    if num_feeds < 2:
+        raise ValueError("a skewed scenario needs at least two feeds")
+    if hot_factor < 2:
+        raise ValueError(f"hot_factor must be >= 2, got {hot_factor}")
+    feeds = {
+        f"cam-{index:02d}": simulated_feed(
+            f"cam-{index:02d}",
+            seed=seed * 1000 + index,
+            num_frames=(
+                frames_per_feed * hot_factor if index == 0 else frames_per_feed
+            ),
+        )
+        for index in range(num_feeds)
+    }
+    queries = [
+        query.with_id(index)
+        for index, query in enumerate(
+            multi_window_workload(
+                list(groups), queries_per_group=queries_per_group, seed=seed
+            )
+        )
+    ]
+    return feeds, queries, "cam-00"
+
+
+def interleave_skewed(
+    feeds: Dict[str, VideoRelation],
+    hot_stream: str,
+    hot_factor: int,
+    stagger: int = 1,
+) -> List[StreamEvent]:
+    """Rate-skewed interleave: the hot stream emits ``hot_factor`` frames
+    per round, siblings one; sibling ``k`` joins at round ``k * stagger``.
+
+    The staggered starts make first-seen order meaningful for placement:
+    by the time a sibling first appears, the hot stream has already built
+    up observable load, so a load-aware policy can steer the newcomer away
+    from the hot worker while round-robin blindly stacks every second
+    sibling next to it.  Deterministic (no randomness).
+    """
+    iterators = {
+        stream_id: relation.frames()
+        for stream_id, relation in feeds.items()
+    }
+    start_round = {
+        stream_id: (index + 1) * stagger
+        for index, stream_id in enumerate(
+            sid for sid in feeds if sid != hot_stream
+        )
+    }
+    start_round[hot_stream] = 0
+    merged: List[StreamEvent] = []
+    round_index = 0
+    while iterators:
+        exhausted = []
+        for stream_id in list(iterators):
+            if round_index < start_round[stream_id]:
+                continue
+            take = hot_factor if stream_id == hot_stream else 1
+            for _ in range(take):
+                frame = next(iterators[stream_id], None)
+                if frame is None:
+                    exhausted.append(stream_id)
+                    break
+                merged.append((stream_id, frame))
+        for stream_id in exhausted:
+            del iterators[stream_id]
+        round_index += 1
+    return merged
+
+
 def multi_window_workload(
     groups: Sequence[Tuple[int, int]],
     queries_per_group: int = 4,
