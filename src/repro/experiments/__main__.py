@@ -60,7 +60,7 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for --bench pool (default 4; "
                              "the skew scenario defaults to 2)")
-    parser.add_argument("--scenario", choices=["throughput", "skew"],
+    parser.add_argument("--scenario", choices=["throughput", "skew", "chaos"],
                         default="throughput",
                         help="--bench pool scenario: 'throughput' (default) "
                              "compares pool/router/sequential serving; "
@@ -68,7 +68,12 @@ def main(argv=None) -> int:
                              "siblings' rate and compares round-robin vs "
                              "least-loaded placement plus a live rebalance "
                              "(imbalance ratios land in BENCH_pool.json "
-                             "under 'skew')")
+                             "under 'skew'); 'chaos' runs a seeded fault "
+                             "plan (kills, hangs, stalls, checkpoint "
+                             "failures) plus a poison-input degraded-mode "
+                             "run, recording recovery latency and "
+                             "degraded throughput in BENCH_pool.json "
+                             "under 'chaos'")
     parser.add_argument("--smoke", action="store_true",
                         help="shrink --bench pool to a CI-sized workload")
     args = parser.parse_args(argv)
@@ -109,6 +114,21 @@ def main(argv=None) -> int:
             kwargs["workers"] = args.workers
         report = run_skew_benchmark(**kwargs)
         print(render_skew_report(report))
+        return 0
+
+    if args.bench == "pool" and args.scenario == "chaos":
+        from repro.experiments.streaming_bench import (
+            render_chaos_report, run_chaos_benchmark,
+        )
+        kwargs = {"smoke": args.smoke}
+        if args.feeds is not None:
+            kwargs["num_feeds"] = args.feeds
+        if args.frames is not None:
+            kwargs["frames_per_feed"] = args.frames
+        if args.workers is not None:
+            kwargs["workers"] = args.workers
+        report = run_chaos_benchmark(**kwargs)
+        print(render_chaos_report(report))
         return 0
 
     if args.bench == "pool":

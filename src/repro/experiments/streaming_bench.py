@@ -43,7 +43,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.config import EngineConfig, MCOSMethod
 from repro.engine.engine import TemporalVideoQueryEngine
+from repro.streaming.faultinject import Fault, FaultPlan
 from repro.streaming.pool import ShardWorkerPool, deterministic_stats, match_report
+from repro.streaming.supervision import SupervisionConfig
 from repro.streaming.router import StreamRouter, group_queries_by_window
 from repro.workloads.streams import (
     bench_scenario,
@@ -424,7 +426,7 @@ def run_pool_benchmark(
 #: throughput report.  Every scenario writer and the carry-over logic in
 #: :func:`_write_pool_bench_json` share this one list, so adding a scenario
 #: cannot silently lose another's recording.
-POOL_SCENARIO_KEYS: Sequence[str] = ("skew",)
+POOL_SCENARIO_KEYS: Sequence[str] = ("skew", "chaos")
 
 
 def _write_pool_bench_json(
@@ -704,6 +706,298 @@ def render_skew_report(report: Dict) -> str:
         f"{report['rebalanced']['imbalance_after']:.4f} "
         f"({report['rebalanced']['migrations']} migrations)",
         "matches byte-identical to the sequential baseline on every run",
+    ]
+    return "\n".join(lines)
+
+
+#: Window groups of the chaos scenario (two groups keep the workload light —
+#: the interesting axis is failure handling, not workload width).
+CHAOS_GROUPS: Sequence[Tuple[int, int]] = ((24, 16), (36, 24))
+
+
+def run_chaos_benchmark(
+    num_feeds: int = 6,
+    frames_per_feed: int = 150,
+    groups: Sequence[Tuple[int, int]] = CHAOS_GROUPS,
+    queries_per_group: int = 2,
+    method: MCOSMethod = MCOSMethod.SSG,
+    batch_size: int = 16,
+    workers: int = 2,
+    dispatch_batch: int = 16,
+    checkpoint_every: int = 8,
+    seed: int = 7,
+    smoke: bool = False,
+    output_path: Optional[str] = "BENCH_pool.json",
+) -> Dict:
+    """The fault-recovery scenario (``--bench pool --scenario chaos``).
+
+    Exercises the pool's supervision layer end to end and records what
+    failures *cost*, against the same oracle discipline every other pool
+    scenario uses (nothing is reported before the results are verified
+    byte-identical).  Three runs over the identical event sequence:
+
+    * **fault_free** — the pool with no plan installed: the throughput
+      baseline the fault runs are compared against;
+    * **recovery** — a seeded :class:`~repro.streaming.faultinject.FaultPlan`
+      mixing every recoverable kind (SIGKILL mid-operation, a hang the
+      watchdog must escalate, slow consumption, a swallowed ack, a
+      checkpoint-write failure).  The pool must recover on its own and the
+      final matches must be byte-identical to the fault-free oracle;
+      recovery latency comes from the supervision ledger
+      (``stats()["pool"]["supervision"]["recovery"]``);
+    * **degraded** — a deterministic poison *frame* kills its worker on
+      every replay (``fires=0``) with quarantine disabled, so the worker
+      exhausts its restart budget and — under ``on_irrecoverable="park"``
+      — its streams are parked.  Throughput *while degraded* is recorded,
+      the surviving streams are verified byte-identical to the oracle, and
+      a final :meth:`~repro.streaming.pool.ShardWorkerPool.repair` with
+      the plan uninstalled must bring the parked streams back to the full
+      byte-identical report.
+    """
+    if smoke:
+        num_feeds = min(num_feeds, 4)
+        frames_per_feed = min(frames_per_feed, 60)
+        workers = min(workers, 2)
+    if workers < 2:
+        raise ValueError(
+            f"the chaos scenario needs at least 2 workers, got {workers}"
+        )
+    feeds, queries = bench_scenario(
+        num_feeds, frames_per_feed, groups, queries_per_group, seed
+    )
+    events = list(interleave_feeds(feeds))
+    total_frames = sum(relation.num_frames for relation in feeds.values())
+
+    # --- oracle: the fault-free single-process router ---------------------
+    router = StreamRouter(
+        queries, method=method, batch_size=batch_size, restrict_labels=False
+    )
+    router.route_many(events)
+    router.flush()
+    oracle_reports = {
+        sid: match_report({sid: router.matches_for(sid)})
+        for sid in router.stream_ids()
+    }
+    oracle_report = match_report(
+        {sid: router.matches_for(sid) for sid in router.stream_ids()}
+    )
+
+    # Tight supervision so the hang fault resolves in benchmark time; the
+    # knobs themselves are part of the recorded scenario.
+    supervision = SupervisionConfig(
+        heartbeat_interval=0.05,
+        slow_after=0.25,
+        hang_after=1.0,
+        escalation_timeout=5.0,
+        backoff_base=0.01,
+        backoff_cap=0.05,
+        seed=seed,
+    )
+
+    def make_pool(on_irrecoverable: str = "raise", max_restarts: int = 3,
+                  poison_threshold: Optional[int] = 2) -> ShardWorkerPool:
+        knobs = supervision.to_dict()
+        knobs["poison_threshold"] = poison_threshold
+        return ShardWorkerPool(
+            StreamRouter(
+                queries, method=method, batch_size=batch_size,
+                restrict_labels=False,
+            ),
+            num_workers=workers,
+            dispatch_batch=dispatch_batch,
+            checkpoint_every=checkpoint_every,
+            max_restarts=max_restarts,
+            supervision=knobs,
+            on_irrecoverable=on_irrecoverable,
+        )
+
+    def timed_run(pool: ShardWorkerPool) -> float:
+        start = time.perf_counter()
+        pool.route_many(events)
+        pool.flush()
+        return time.perf_counter() - start
+
+    def pool_report(pool: ShardWorkerPool) -> Dict:
+        return match_report(
+            {sid: pool.matches_for(sid) for sid in pool.stream_ids()}
+        )
+
+    def throughput(seconds: float) -> float:
+        return round(total_frames / seconds, 2) if seconds else 0.0
+
+    # --- fault-free pool: the throughput baseline -------------------------
+    pool = make_pool()
+    pool.start()
+    try:
+        baseline_seconds = timed_run(pool)
+        if pool_report(pool) != oracle_report:
+            raise AssertionError(
+                "fault-free pool diverged from the router oracle"
+            )
+    except BaseException:
+        pool.terminate()
+        raise
+    pool.stop()
+    fault_free = {
+        "seconds": round(baseline_seconds, 5),
+        "aggregate_frames_per_sec": throughput(baseline_seconds),
+    }
+
+    # --- recovery: every recoverable fault kind, one seeded plan ----------
+    plan = FaultPlan([
+        Fault("sigkill", 0, after_ops=3),
+        Fault("slow", 1, after_ops=2, delay=0.05, fires=2),
+        Fault("stall", 0, after_ops=6),
+        Fault("ckpt-fail", 1),
+        Fault("hang", 1, after_ops=8),
+    ], seed=seed)
+    pool = make_pool()
+    try:
+        with plan.install():
+            pool.start()
+            recovery_seconds = timed_run(pool)
+        if pool_report(pool) != oracle_report:
+            raise AssertionError(
+                "pool results diverged from the oracle after fault recovery"
+            )
+        stats = pool.stats()["pool"]
+    except BaseException:
+        pool.terminate()
+        raise
+    pool.stop()
+    ledger = stats["supervision"]
+    recovery = {
+        "plan": [fault.to_dict() for fault in plan.faults],
+        "faults_fired": sum(plan.fire_counts().values()),
+        "seconds": round(recovery_seconds, 5),
+        "aggregate_frames_per_sec": throughput(recovery_seconds),
+        "slowdown_vs_fault_free": round(
+            recovery_seconds / baseline_seconds, 2
+        ) if baseline_seconds else 0.0,
+        "restarts": stats["restarts"],
+        "hang_escalations": sum(
+            view["escalations"] for view in ledger["workers"]
+        ),
+        "checkpoint_failures": ledger["checkpoint_failures"],
+        "backoff_seconds_total": ledger["backoff_seconds_total"],
+        "recovery_latency": ledger["recovery"],
+        "results_verified_identical": True,
+    }
+    if recovery["restarts"] < 1:
+        raise AssertionError("the recovery plan caused no worker restart")
+
+    # --- degraded mode: a poison frame parks its worker -------------------
+    # The poison input: a frame of the first stream (worker 0 under
+    # round-robin placement) that SIGKILLs the worker on every replay —
+    # quarantine disabled, so the restart budget runs out and the worker's
+    # streams are parked while the rest keep serving.
+    poison_stream = next(iter(feeds))
+    poison = FaultPlan([
+        Fault(
+            "sigkill", 0,
+            frame=(poison_stream, frames_per_feed // 2),
+            fires=0,
+        ),
+    ], seed=seed)
+    pool = make_pool(
+        on_irrecoverable="park", max_restarts=1, poison_threshold=None
+    )
+    try:
+        with poison.install():
+            pool.start()
+            degraded_seconds = timed_run(pool)
+        if not pool.degraded:
+            raise AssertionError(
+                "the poison plan did not drive the pool into degraded mode"
+            )
+        parked = pool.parked_streams()
+        healthy = [
+            sid for sid in pool.stream_ids() if sid not in parked
+        ]
+        if not healthy:
+            raise AssertionError("degraded mode parked every stream")
+        for sid in healthy:
+            if match_report({sid: pool.matches_for(sid)}) != \
+                    oracle_reports[sid]:
+                raise AssertionError(
+                    f"healthy stream {sid!r} diverged from the oracle "
+                    "while the pool was degraded"
+                )
+        # The plan is uninstalled now (the operator cleared the cause):
+        # repair respawns the parked worker, replays its journal fault-free
+        # and must restore the full byte-identical report.
+        repaired = pool.repair()
+        pool.flush()
+        if pool_report(pool) != oracle_report:
+            raise AssertionError(
+                "pool results diverged from the oracle after repair"
+            )
+    except BaseException:
+        pool.terminate()
+        raise
+    pool.stop()
+    degraded = {
+        "poison_stream": poison_stream,
+        "plan": [fault.to_dict() for fault in poison.faults],
+        "seconds": round(degraded_seconds, 5),
+        "aggregate_frames_per_sec": throughput(degraded_seconds),
+        "parked_streams": sorted(parked),
+        "parked_records": {sid: dict(parked[sid]) for sid in sorted(parked)},
+        "healthy_streams": healthy,
+        "healthy_streams_verified_identical": True,
+        "repaired_streams": repaired,
+        "post_repair_verified_identical": True,
+    }
+
+    chaos_report: Dict = {
+        "scenario": "chaos",
+        "method": method.value,
+        "feeds": num_feeds,
+        "frames_per_feed": frames_per_feed,
+        "total_source_frames": total_frames,
+        "queries": len(queries),
+        "workers": workers,
+        "seed": seed,
+        "smoke": smoke,
+        "cpus": _available_parallelism(),
+        "supervision": supervision.to_dict(),
+        "fault_free": fault_free,
+        "recovery": recovery,
+        "degraded": degraded,
+        "results_verified_identical": True,
+    }
+
+    if output_path:
+        chaos_report["__written_to__"] = _write_pool_bench_json(
+            output_path, chaos_report, scenario_key="chaos"
+        )
+    return chaos_report
+
+
+def render_chaos_report(report: Dict) -> str:
+    """Plain-text table of the chaos (fault-recovery) report."""
+    recovery = report["recovery"]
+    degraded = report["degraded"]
+    latency = recovery["recovery_latency"]
+    lines = [
+        f"pool chaos benchmark  method={report['method']}  "
+        f"feeds={report['feeds']}x{report['frames_per_feed']}f  "
+        f"workers={report['workers']}  cpus={report['cpus']}",
+        f"{'run':24s} {'seconds':>9s} {'frames/s':>10s}",
+        f"{'fault-free':24s} {report['fault_free']['seconds']:9.3f} "
+        f"{report['fault_free']['aggregate_frames_per_sec']:10.1f}",
+        f"{'recovery (faults live)':24s} {recovery['seconds']:9.3f} "
+        f"{recovery['aggregate_frames_per_sec']:10.1f}",
+        f"{'degraded (1 worker down)':24s} {degraded['seconds']:9.3f} "
+        f"{degraded['aggregate_frames_per_sec']:10.1f}",
+        f"recovery: {recovery['restarts']} restart(s), "
+        f"{recovery['hang_escalations']} hang escalation(s), "
+        f"{recovery['checkpoint_failures']} checkpoint failure(s), "
+        f"latency mean {latency['mean_seconds']}s / max "
+        f"{latency['max_seconds']}s over {latency['count']} recoveries",
+        f"degraded: parked {degraded['parked_streams']} "
+        f"(poison {degraded['poison_stream']!r}), healthy streams "
+        "byte-identical, repair restored the full report",
     ]
     return "\n".join(lines)
 

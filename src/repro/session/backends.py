@@ -95,6 +95,20 @@ class Backend(abc.ABC):
     def checkpoint_payload(self) -> Dict:
         """JSON-friendly snapshot embedded in the session checkpoint."""
 
+    def health(self) -> Dict[str, Dict]:
+        """Per-stream health map (empty = the backend tracks no health).
+
+        Backends with a failure domain (worker processes) report
+        ``{stream_id: {"state": "healthy" | "parked", ...}}``; in-process
+        backends have no partial-failure mode and report ``{}``.
+        """
+        return {}
+
+    def repair(self) -> List[str]:
+        """Re-adopt parked streams after degradation (no-op when the
+        backend has no failure domain or nothing is parked)."""
+        return []
+
     def close(self) -> None:
         """Release resources (worker processes, window state)."""
 
@@ -367,6 +381,8 @@ class PoolBackend(Backend):
         placement: str = "round-robin",
         assignment: Optional[Dict[str, int]] = None,
         stream_frames: Optional[Dict[str, int]] = None,
+        supervision: Optional[Dict] = None,
+        degraded_mode: bool = True,
         router: Optional[StreamRouter] = None,
     ):
         if router is None:
@@ -387,6 +403,10 @@ class PoolBackend(Backend):
             placement=placement,
             assignment=assignment,
             stream_frames=stream_frames,
+            supervision=supervision,
+            # Sessions prefer staying up: an irrecoverable worker parks its
+            # streams (per-stream health) instead of breaking the session.
+            on_irrecoverable="park" if degraded_mode else "raise",
         )
         self.pool.start()
 
@@ -411,6 +431,13 @@ class PoolBackend(Backend):
     def stats(self) -> Dict:
         return self.pool.stats()
 
+    def health(self) -> Dict[str, Dict]:
+        return self.pool.stream_health()
+
+    def repair(self) -> List[str]:
+        """Repair a degraded pool (respawn parked workers, replay journal)."""
+        return self.pool.repair()
+
     def checkpoint_payload(self) -> Dict:
         return self.pool.checkpoint_router()
 
@@ -422,6 +449,8 @@ class PoolBackend(Backend):
         dispatch_batch: int = 32,
         checkpoint_every: int = 8,
         placement: str = "round-robin",
+        supervision: Optional[Dict] = None,
+        degraded_mode: bool = True,
         **_config,
     ) -> "PoolBackend":
         # A checkpoint taken on a pool carries its placement block; honour
@@ -441,6 +470,8 @@ class PoolBackend(Backend):
                 placement=placement,
                 assignment=block.get("assignment"),
                 stream_frames=block.get("stream_frames"),
+                supervision=supervision,
+                degraded_mode=degraded_mode,
                 router=router,
             )
         except WorkerCrashError:
@@ -459,11 +490,26 @@ class PoolBackend(Backend):
             ) from exc
 
     def close(self) -> None:
-        if self.pool.started:
+        """Release worker processes, whatever state the pool is in.
+
+        A healthy pool stops gracefully (state adopted back into the
+        origin router); a degraded pool cannot — its parked journal has no
+        process to replay into — so it is terminated; and any failure
+        during the graceful path falls back to termination too.  Close
+        never raises and never leaks a worker process.
+        """
+        if not self.pool.started:
+            return
+        if self.pool.degraded:
+            self.pool.terminate()
+            return
+        try:
+            self.pool.stop()
+        except Exception:  # crash-path cleanup must still reap workers
             try:
-                self.pool.stop()
-            except PoolError:  # pragma: no cover - crash-path cleanup
                 self.pool.terminate()
+            except Exception:  # pragma: no cover - reaping is best-effort
+                pass
 
 
 #: Backend registry keyed by the ``Session(backend=...)`` selector.

@@ -61,6 +61,8 @@ from repro.session.backends import (
 )
 from repro.streaming.placement import resolve_placement
 from repro.streaming.checkpoint import CheckpointError, from_bytes, to_bytes
+from repro.streaming.pool import PoisonOpError, PoolError, WorkerCrashError
+from repro.streaming.supervision import SupervisionConfig
 
 #: Everything :meth:`Session.register` accepts as a query.
 QueryLike = Union[str, QueryExpr, CNFQuery]
@@ -76,7 +78,10 @@ class QueryHandle:
     a given stream are guaranteed to equal a present-from-frame-0 run.
     """
 
-    __slots__ = ("_session", "query", "_registered_at", "_matches", "_active")
+    __slots__ = (
+        "_session", "query", "_registered_at", "_matches", "_active",
+        "_faults",
+    )
 
     def __init__(
         self,
@@ -90,6 +95,9 @@ class QueryHandle:
         self._registered_at = registered_at
         self._matches: List[QueryMatch] = []
         self._active = True
+        #: Backend faults observed while this query was active (see
+        #: :meth:`faults`).
+        self._faults: List[Dict] = []
 
     # -- identity -------------------------------------------------------
     @property
@@ -132,6 +140,19 @@ class QueryHandle:
         taken = self.matches()
         self._matches = []
         return taken
+
+    def faults(self) -> List[Dict]:
+        """Backend faults observed while this query was active.
+
+        Each record is the session-level fault dict (``kind`` from the
+        pool's failure taxonomy, the affected ``streams``, a ``detail``
+        message) — a per-query view of the same events
+        ``Session.stats()["faults"]`` reports pool-wide.  A non-empty list
+        means matches on the named streams may be missing or delayed; an
+        empty list means every delivered match carries the usual
+        exactly-once guarantee.
+        """
+        return [dict(fault) for fault in self._faults]
 
     def cancel(self) -> None:
         """Cancel this query on the session (see :meth:`Session.cancel`)."""
@@ -191,6 +212,19 @@ class Session:
         Stream→worker placement policy of the pool backend:
         ``"round-robin"`` (deterministic default) or ``"least-loaded"``
         (load-aware; see :mod:`repro.streaming.placement`).
+    supervision:
+        Worker supervision knobs of the pool backend — heartbeat cadence,
+        hang thresholds, restart backoff, poison-quarantine threshold — as
+        a :class:`~repro.streaming.supervision.SupervisionConfig` or a
+        plain dict of its fields.  ``None`` uses the defaults.
+    degraded_mode:
+        Pool backend only.  When True (the default), a worker that
+        exhausts its restart budget *parks* its streams — the session
+        stays up, the remaining streams keep serving byte-identical
+        results, and :meth:`stream_health` / ``stats()["stream_health"]``
+        report the parked streams until :meth:`repair`.  When False the
+        failure surfaces as a
+        :class:`~repro.streaming.pool.WorkerCrashError`.
     queries:
         Optional initial workload; each entry is registered as if passed to
         :meth:`register`.
@@ -209,6 +243,8 @@ class Session:
         dispatch_batch: int = 32,
         checkpoint_every: int = 8,
         placement: str = "round-robin",
+        supervision: Optional[Union[Dict, SupervisionConfig]] = None,
+        degraded_mode: bool = True,
         queries: Iterable[QueryLike] = (),
     ):
         if backend not in BACKENDS:
@@ -230,6 +266,13 @@ class Session:
             "dispatch_batch": int(dispatch_batch),
             "checkpoint_every": int(checkpoint_every),
             "placement": str(placement),
+            # Validated eagerly (like placement) so a bad knob is an
+            # argument error here, not a deferred pool-construction one.
+            "supervision": (
+                None if supervision is None
+                else SupervisionConfig.coerce(supervision).to_dict()
+            ),
+            "degraded_mode": bool(degraded_mode),
         }
         self._init_registry()
         self._backend: Backend = self._build_backend()
@@ -263,6 +306,17 @@ class Session:
         #: nothing can be pending.
         self._dirty = False
         self._closed = False
+        #: Backend faults observed over the session's lifetime (poison
+        #: quarantines, parked streams, crashes) — deterministic records,
+        #: mirrored into the handles that were active when they happened.
+        self._faults: List[Dict] = []
+        #: Health fault keys already recorded, so a parked stream is
+        #: reported once, not once per drain.
+        self._seen_health_faults: set = set()
+        #: Final ``stats()`` snapshot taken by :meth:`close` — keeps
+        #: ``stats()`` readable on a closed session, including one that
+        #: went down broken or degraded.
+        self._final_stats: Optional[Dict] = None
 
     def _build_backend(self) -> Backend:
         config = self._config
@@ -283,6 +337,8 @@ class Session:
                 dispatch_batch=config["dispatch_batch"],
                 checkpoint_every=config["checkpoint_every"],
                 placement=config.get("placement", "round-robin"),
+                supervision=config.get("supervision"),
+                degraded_mode=bool(config.get("degraded_mode", True)),
             )
         return BACKENDS[kind](**kwargs)
 
@@ -452,12 +508,46 @@ class Session:
         (:meth:`QueryHandle.matches`), so both access patterns — by stream
         and by query — see every result exactly once in the same canonical
         order.
+
+        Faults surface here, attributed per query instead of as one
+        opaque pool-wide failure: a quarantined poison operation is
+        recorded into ``stats()["faults"]`` and every active handle's
+        :meth:`QueryHandle.faults`, then the drain *continues* — the
+        healthy remainder is delivered.  A worker crash that exhausted its
+        restart budget (``degraded_mode=False``) is recorded the same way
+        and then re-raised as its
+        :class:`~repro.streaming.pool.WorkerCrashError`, which names the
+        failure ``kind`` and the affected streams.  In degraded mode
+        parked streams are recorded as faults without raising.
         """
         self._require_open()
         if not self._dirty:
             return {}
-        drained = self._backend.drain()
+        try:
+            drained = self._backend.drain()
+        except PoisonOpError as exc:
+            self._record_fault({
+                "kind": "poison",
+                "streams": sorted({
+                    str(stream_id)
+                    for record in exc.records
+                    for stream_id in record.get("streams", ())
+                }),
+                "detail": str(exc),
+                "records": [dict(record) for record in exc.records],
+            })
+            # The poison op is already quarantined; the rest of the drain
+            # is healthy and must still be delivered.
+            drained = self._backend.drain()
+        except WorkerCrashError as exc:
+            self._record_fault({
+                "kind": exc.kind,
+                "streams": [str(s) for s in (exc.stream_ids or ())],
+                "detail": str(exc),
+            })
+            raise
         self._dirty = False
+        self._observe_health_faults()
         for matches in drained.values():
             for match in matches:
                 handle = self._handles.get(match.query_id)
@@ -471,16 +561,108 @@ class Session:
         self._require_open()
         return self._backend.matches_for(stream_id)
 
+    def _record_fault(self, fault: Dict) -> None:
+        """Append a fault record session-wide and to every active handle."""
+        self._faults.append(dict(fault))
+        for handle in self._handles.values():
+            if handle.active:
+                handle._faults.append(dict(fault))
+
+    def _observe_health_faults(self) -> None:
+        """Record newly unhealthy streams (degraded mode parks silently)."""
+        for stream_id, record in self._backend.health().items():
+            state = record.get("state", "healthy")
+            if state == "healthy":
+                continue
+            key = (str(stream_id), str(state), str(record.get("kind", "")))
+            if key in self._seen_health_faults:
+                continue
+            self._seen_health_faults.add(key)
+            self._record_fault({
+                "kind": str(record.get("kind") or state),
+                "streams": [str(stream_id)],
+                "detail": str(
+                    record.get("reason")
+                    or f"stream {stream_id!r} is {state}"
+                ),
+            })
+
+    def stream_health(self) -> Dict[str, Dict]:
+        """Per-stream health, for every stream that has ingested frames.
+
+        ``{"state": "healthy"}`` normally; a stream parked by a degraded
+        pool reports ``{"state": "parked", "kind": ..., "reason": ...}``
+        with the failure kind of the worker that took it down.  In-process
+        backends have no partial-failure domain, so every stream is always
+        healthy — which keeps this map (and its copy in ``stats()``)
+        backend-invariant on fault-free runs.
+        """
+        self._require_open()
+        return self._stream_health()
+
+    def _stream_health(self) -> Dict[str, Dict]:
+        try:
+            health = self._backend.health()
+        except Exception:  # a broken pool must not take stats() with it
+            health = {}
+        out: Dict[str, Dict] = {}
+        for stream_id in self._frontiers:
+            record = health.get(stream_id)
+            if record is None or record.get("state", "healthy") == "healthy":
+                out[stream_id] = {"state": "healthy"}
+                continue
+            entry = {"state": str(record["state"])}
+            for key in ("kind", "reason"):
+                if record.get(key):
+                    entry[key] = str(record[key])
+            out[stream_id] = entry
+        return out
+
+    def repair(self) -> List[str]:
+        """Re-adopt the parked streams of a degraded pool backend.
+
+        Respawns the parked workers and replays their journals (checkpoint
+        plus every operation since); once the cause of death is gone the
+        revived streams resume exactly where they parked.  Returns the
+        revived stream ids (empty when nothing was parked — including on
+        backends with no failure domain).  Parked-stream fault records
+        stay in :meth:`stats` history; health reporting returns to
+        ``"healthy"``.
+        """
+        self._require_open()
+        revived = self._backend.repair()
+        if revived:
+            self._dirty = True
+            # A repaired stream that parks again is a new fault; re-arm
+            # its health-fault key.
+            self._seen_health_faults.clear()
+        return revived
+
     def stats(self) -> Dict:
         """Session statistics: a deterministic, backend-independent core
         plus the raw backend report under ``"backend_stats"``.
 
         The core — queries, groups, per-stream frame counts and frontiers,
-        per-query delivery counts — is a pure function of the API call
-        sequence, so a workload driven through any backend must agree on it
-        byte for byte (pinned by the differential suite).
+        per-query delivery counts, per-stream health, the fault history —
+        is a pure function of the API call sequence (plus any faults the
+        backend suffered; none on a fault-free run), so a workload driven
+        through any backend must agree on it byte for byte (pinned by the
+        differential suite).
+
+        On a closed session the final snapshot taken by :meth:`close` is
+        returned — including for a session that went down broken or
+        degraded, where ``"faults"`` records what happened and
+        ``"backend_stats"`` is ``None`` if the backend could no longer
+        report.
         """
+        if self._closed and self._final_stats is not None:
+            return dict(self._final_stats)
         self._require_open()
+        stats = self._stats_core()
+        stats["backend_stats"] = self._backend.stats()
+        return stats
+
+    def _stats_core(self) -> Dict:
         return {
             "backend": self.backend_kind,
             "queries": [
@@ -507,7 +689,8 @@ class Session:
                 ]
                 for stream_id in self._frontiers
             ],
-            "backend_stats": self._backend.stats(),
+            "stream_health": self._stream_health(),
+            "faults": [dict(fault) for fault in self._faults],
         }
 
     # ------------------------------------------------------------------
@@ -649,6 +832,10 @@ class Session:
                 dispatch_batch=int(config["dispatch_batch"]),
                 checkpoint_every=int(config["checkpoint_every"]),
                 placement=str(config.get("placement", "round-robin")),
+                # Pre-supervision checkpoints predate these keys; default
+                # them exactly as a fresh Session would.
+                supervision=config.get("supervision"),
+                degraded_mode=bool(config.get("degraded_mode", True)),
             )
             try:
                 session._next_qid = int(registry["next_query_id"])
@@ -708,6 +895,13 @@ class Session:
         backend's synchronous semantics.  Then the backend releases its
         resources (a pool stops gracefully, adopting worker state back
         before its processes exit).
+
+        Close **never raises**, whatever state the backend is in: on a
+        broken or degraded pool it drains what is drainable, records the
+        failure into the final :meth:`stats` snapshot (readable after
+        close) and each handle's :meth:`QueryHandle.faults`, and always
+        releases the worker processes — escalating a stuck shutdown to
+        termination rather than leaking them.
         """
         if self._closed:
             return
@@ -715,7 +909,7 @@ class Session:
             self._backend.flush()
             self._dirty = True
             self.drain()
-        except Exception as exc:  # pragma: no cover - crash-path cleanup
+        except Exception as exc:
             # Closing must always release resources, but a failed final
             # flush means the buffered tail was NOT evaluated (e.g. a pool
             # worker exhausted its restart budget) — say so instead of
@@ -727,8 +921,45 @@ class Session:
                 RuntimeWarning,
                 stacklevel=2,
             )
+            detail = str(exc)
+            # A broken pool often wraps the original WorkerCrashError in a
+            # generic PoolError; unwrap so the fault record keeps the real
+            # failure kind and the streams it took down.
+            crash = exc
+            if not isinstance(crash, WorkerCrashError) and isinstance(
+                getattr(exc, "__cause__", None), WorkerCrashError
+            ):
+                crash = exc.__cause__
+            if not any(f.get("detail") == detail for f in self._faults):
+                self._record_fault({
+                    "kind": str(getattr(crash, "kind", None) or "crash"),
+                    "streams": [
+                        str(s)
+                        for s in (getattr(crash, "stream_ids", None) or ())
+                    ],
+                    "detail": detail,
+                })
+        # The final snapshot: everything that is still knowable about the
+        # session, preserved past close.  The core never touches the
+        # backend except through the exception-safe health probe; the raw
+        # backend report is best-effort (None when the backend is too
+        # broken to report).
+        snapshot = self._stats_core()
+        try:
+            snapshot["backend_stats"] = self._backend.stats()
+        except Exception:
+            snapshot["backend_stats"] = None
+        self._final_stats = snapshot
         self._closed = True
-        self._backend.close()
+        try:
+            self._backend.close()
+        except Exception as exc:  # pragma: no cover - backends guard this
+            warnings.warn(
+                f"session close could not stop the backend cleanly "
+                f"({exc!r})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def __enter__(self) -> "Session":
         return self

@@ -15,7 +15,13 @@ A :class:`~repro.streaming.pool.ShardWorkerPool` moves the shards into
 ``multiprocessing`` workers — shipped as checkpoint bytes, fed batched
 frames over queues, periodically snapshotted, and restored-plus-replayed
 when a worker crashes — while producing results byte-identical to the
-in-process router.
+in-process router.  A supervision layer
+(:mod:`repro.streaming.supervision`) watches the workers — heartbeats, a
+hung-worker watchdog, jittered-backoff restarts, poison-operation
+quarantine, and a degraded mode that parks an irrecoverable worker's
+streams while the rest keep serving — and a deterministic fault-injection
+harness (:mod:`repro.streaming.faultinject`) scripts the failures that
+exercise it.
 """
 
 from repro.streaming.checkpoint import (
@@ -23,6 +29,13 @@ from repro.streaming.checkpoint import (
     CHECKPOINT_VERSION,
     SUPPORTED_VERSIONS,
     CheckpointError,
+)
+from repro.streaming.faultinject import (
+    FAULT_KINDS,
+    RECOVERABLE_KINDS,
+    Fault,
+    FaultPlan,
+    InjectedFault,
 )
 from repro.streaming.placement import (
     PLACEMENT_POLICIES,
@@ -32,6 +45,7 @@ from repro.streaming.placement import (
     WorkerLoad,
 )
 from repro.streaming.pool import (
+    PoisonOpError,
     PoolError,
     ShardWorkerPool,
     WorkerCrashError,
@@ -41,15 +55,27 @@ from repro.streaming.pool import (
 )
 from repro.streaming.router import StreamRouter, group_queries_by_window
 from repro.streaming.shard import ShardKey, ShardStats, StreamShard
+from repro.streaming.supervision import (
+    FAILURE_KINDS,
+    SupervisionConfig,
+    Supervisor,
+)
 
 __all__ = [
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_VERSION",
+    "FAILURE_KINDS",
+    "FAULT_KINDS",
     "PLACEMENT_POLICIES",
+    "RECOVERABLE_KINDS",
     "SUPPORTED_VERSIONS",
     "CheckpointError",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
     "LeastLoadedPlacement",
     "PlacementPolicy",
+    "PoisonOpError",
     "PoolError",
     "RoundRobinPlacement",
     "ShardKey",
@@ -57,6 +83,8 @@ __all__ = [
     "ShardWorkerPool",
     "StreamShard",
     "StreamRouter",
+    "SupervisionConfig",
+    "Supervisor",
     "WorkerCrashError",
     "WorkerLoad",
     "deterministic_stats",

@@ -32,7 +32,21 @@ spreads them over ``multiprocessing`` workers:
   duplicate acknowledgements from replay are discarded by sequence number;
 * **graceful shutdown** — :meth:`stop` checkpoints every worker and adopts
   all shards back into the origin router, which resumes exactly where the
-  pool left off (detach tombstones lift).
+  pool left off (detach tombstones lift);
+* **supervision** — workers heartbeat on their result queues (sequence
+  number, current operation, frames since the last beat) and a parent-side
+  :class:`~repro.streaming.supervision.Supervisor` watchdog classifies
+  them healthy / slow / hung from acknowledgement progress, escalating
+  hung workers ``terminate()`` → ``kill()`` into the ordinary recovery
+  path.  Restarts wait a jittered exponential backoff; an operation that
+  kills a worker repeatedly is **quarantined** (skipped, recorded in
+  ``stats()["quarantined"]``, surfaced as :class:`PoisonOpError` on the
+  next drain) instead of burning the restart budget; and when a worker is
+  irrecoverable a pool constructed with ``on_irrecoverable="park"``
+  enters **degraded mode** — the dead worker's streams are parked (frames
+  journaled for a later :meth:`repair`) while every other stream keeps
+  serving byte-identical results.  Scripted failures for all of this live
+  in :mod:`repro.streaming.faultinject`.
 
 Exactly-once effects
 --------------------
@@ -53,6 +67,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import queue as queue_module
+import time
 import traceback
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -60,12 +75,14 @@ from repro.datamodel.observation import FrameObservation
 from repro.query.evaluator import QueryMatch
 from repro.query.model import CNFQuery
 from repro.streaming.checkpoint import CheckpointError, from_bytes, to_bytes
+from repro.streaming.faultinject import InjectedFault, load_injector
 from repro.streaming.placement import (
     PlacementPolicy,
     WorkerLoad,
     resolve_placement,
 )
 from repro.streaming.router import StreamRouter
+from repro.streaming.supervision import SupervisionConfig, Supervisor
 
 #: Sentinel stored as the "ack" of a read-only query lost to a worker crash.
 _LOST = object()
@@ -81,10 +98,16 @@ class WorkerCrashError(PoolError):
     Raised when a worker keeps dying past its restart budget, and recorded
     (as the chained cause of later :class:`PoolError`\\ s on the broken
     pool) when a worker raises inside an operation — a deterministic raise
-    would replay-crash forever, so it is not restarted.  Carries the crash
-    context so callers see what actually happened instead of a bare
-    "see logs":
+    would replay-crash forever, so it is not restarted.  Carries the full
+    crash context so callers can react programmatically:
 
+    * ``kind`` — machine-readable failure class: ``"crash"`` (process
+      death), ``"hang"`` (watchdog escalation), ``"poison"`` (one
+      operation kept killing the worker with quarantine disabled), or
+      ``"restart-budget"`` (the consecutive-fruitless-restart budget ran
+      out);
+    * ``stream_ids`` — the streams assigned to the failed worker (the
+      results a caller can no longer get from this pool);
     * ``worker_index`` — which worker failed;
     * ``exitcode`` — the dead process's exit code (negative = signal;
       ``None`` when the worker raised instead of dying);
@@ -104,6 +127,8 @@ class WorkerCrashError(PoolError):
         op_seq: Optional[int] = None,
         pending_ops: int = 0,
         traceback_summary: Optional[str] = None,
+        kind: str = "crash",
+        stream_ids: Optional[Sequence[str]] = None,
     ):
         super().__init__(message)
         self.worker_index = worker_index
@@ -111,12 +136,66 @@ class WorkerCrashError(PoolError):
         self.op_seq = op_seq
         self.pending_ops = pending_ops
         self.traceback_summary = traceback_summary
+        self.kind = kind
+        self.stream_ids = list(stream_ids) if stream_ids is not None else []
+
+
+class PoisonOpError(PoolError):
+    """One or more deterministically-crashing operations were quarantined.
+
+    Raised once by :meth:`ShardWorkerPool.drain_matches` after a
+    quarantine, so the caller that consumes results learns — exactly once,
+    with structured context in ``records`` — that some results may be
+    incomplete.  The pool itself stays healthy: the poison operation was
+    skipped, the worker recovered, and every other operation's results are
+    byte-identical to a fault-free run.  The full quarantine history also
+    stays visible under ``stats()["quarantined"]``.
+    """
+
+    def __init__(self, records: Sequence[Mapping]):
+        summary = ", ".join(
+            f"op {record['op_seq']} ({record['op']!s}, worker "
+            f"{record['worker']}, {record['crashes']} crashes)"
+            for record in records
+        )
+        super().__init__(
+            f"poison operation(s) quarantined: {summary}; results touching "
+            "the quarantined operation(s) may be incomplete"
+        )
+        self.records = [dict(record) for record in records]
 
 
 def _traceback_summary(text: str) -> str:
     """The last non-empty line of a formatted traceback (the raise site)."""
     lines = [line.strip() for line in text.splitlines() if line.strip()]
     return lines[-1] if lines else ""
+
+
+def _reap_process(process, timeout: float = 5.0) -> Optional[int]:
+    """Join a worker process, escalating ``terminate()`` → ``kill()``.
+
+    Every stop/restart path funnels through here so a worker that ignores
+    (or cannot receive) one signal tier is pushed to the next instead of
+    being leaked as a zombie behind an ignored ``join(timeout)``.  Returns
+    the exit code; raises :class:`PoolError` in the (theoretically
+    impossible) case a process survives SIGKILL, because continuing would
+    silently leak it.
+    """
+    if process is None:
+        return None
+    process.join(timeout)
+    if process.is_alive():
+        process.terminate()
+        process.join(timeout)
+    if process.is_alive():
+        process.kill()
+        process.join(timeout)
+    if process.is_alive():  # pragma: no cover - kernel-level failure
+        raise PoolError(
+            f"worker process {process.pid} survived SIGKILL and cannot be "
+            "reaped; refusing to leak it"
+        )
+    return process.exitcode
 
 
 def parse_placement_block(payload: Mapping) -> Dict:
@@ -265,7 +344,13 @@ def _answer_query(router: StreamRouter, query: Tuple):
     raise PoolError(f"unknown worker query {kind!r}")
 
 
-def _worker_main(index: int, tasks, results, config_blob: bytes) -> None:
+def _worker_main(
+    index: int,
+    tasks,
+    results,
+    config_blob: bytes,
+    heartbeat_interval: float = 0.5,
+) -> None:
     """Worker loop: fold the parent's operation stream into a local router.
 
     State-changing operations and read-only queries are acknowledged with
@@ -273,18 +358,56 @@ def _worker_main(index: int, tasks, results, config_blob: bytes) -> None:
     recovery) and ``stop`` answers with a final checkpoint and exits.
     Checkpoints are only ever taken between messages, which is the
     between-frames boundary the shard checkpoint contract requires.
+
+    Supervision: the loop emits a heartbeat before every operation (phase
+    ``busy``, carrying the sequence and op kind — the parent's poison
+    attribution signal) and one per ``heartbeat_interval`` while the task
+    queue is empty (phase ``idle``), each carrying the frames applied
+    since the previous beat.  When a fault plan is installed in the
+    environment (:mod:`repro.streaming.faultinject`), its injector hooks
+    run at the op/query/ack boundaries; an injected checkpoint-write
+    failure answers the query with a ``nack`` instead of dying.
     """
+    injector = load_injector(index)
     try:
         router = StreamRouter.from_bytes(config_blob)
+        frames_since = 0
         while True:
-            message = tasks.get()
+            try:
+                message = tasks.get(timeout=heartbeat_interval)
+            except queue_module.Empty:
+                results.put(("hb", index, {
+                    "phase": "idle", "seq": None, "op": None,
+                    "frames_since": frames_since,
+                }))
+                frames_since = 0
+                continue
             kind = message[0]
             if kind == "op":
                 _, seq, op = message
-                results.put(("ack", index, seq, _apply_op(router, op)))
+                results.put(("hb", index, {
+                    "phase": "busy", "seq": seq, "op": op[0],
+                    "frames_since": frames_since,
+                }))
+                frames_since = 0
+                if injector is not None:
+                    injector.before_op(seq, op)
+                payload = _apply_op(router, op)
+                if op[0] == "frames":
+                    frames_since = len(op[1])
+                if injector is not None and injector.suppress_ack(seq):
+                    continue
+                results.put(("ack", index, seq, payload))
             elif kind == "query":
                 _, seq, query = message
-                results.put(("ack", index, seq, _answer_query(router, query)))
+                try:
+                    if injector is not None:
+                        injector.before_query(seq, query[0])
+                    payload = _answer_query(router, query)
+                except InjectedFault as fault:
+                    results.put(("nack", index, seq, str(fault)))
+                else:
+                    results.put(("ack", index, seq, payload))
             elif kind == "restore":
                 router = StreamRouter.from_bytes(message[1])
             elif kind == "stop":
@@ -306,7 +429,10 @@ class _WorkerHandle:
         "index", "process", "tasks", "results", "next_seq", "log",
         "last_checkpoint", "pending_ckpt_seq", "inflight", "max_acked",
         "acks", "buffer", "restarts", "ops_since_ckpt", "stopped_state",
-        "ckpt_count", "frames_routed",
+        "ckpt_count", "frames_routed", "parked", "death_kind",
+        "pending_sent_at", "last_progress_at", "stop_requested_at",
+        "culprit_seq", "culprit_streak", "last_busy_seq", "quarantined_seqs",
+        "recovery_started_at", "recovery_target_seq",
     )
 
     def __init__(self, index: int):
@@ -331,8 +457,37 @@ class _WorkerHandle:
         self.acks: Dict[int, object] = {}
         #: Frames buffered for the next ``frames`` dispatch.
         self.buffer: List[Tuple[str, list]] = []
+        #: Consecutive restarts without acknowledgement progress — reset to
+        #: zero whenever a fresh ack advances ``max_acked``, so the budget
+        #: measures *fruitless* restarts, not lifetime bad luck.
         self.restarts = 0
         self.ops_since_ckpt = 0
+        #: Parked (degraded mode): the process is dead, operations are only
+        #: journaled, and :meth:`ShardWorkerPool.repair` replays them.
+        self.parked = False
+        #: Failure kind staged by an escalation for the next ``_recover``.
+        self.death_kind: Optional[str] = None
+        #: Dispatch wall-clock per unacknowledged sequence (ops *and*
+        #: queries) — the watchdog's oldest-pending-age signal.
+        self.pending_sent_at: Dict[int, float] = {}
+        #: Wall-clock of the last acknowledgement progress (or spawn).
+        self.last_progress_at = 0.0
+        #: Wall-clock of the outstanding graceful-stop request, if any
+        #: (``stop`` carries no sequence, so the watchdog tracks it here).
+        self.stop_requested_at: Optional[float] = None
+        #: Poison attribution: the operation blamed for the last death and
+        #: how many consecutive deaths landed on it.
+        self.culprit_seq: Optional[int] = None
+        self.culprit_streak = 0
+        #: Sequence of the last ``busy`` heartbeat — what the worker was
+        #: actually executing when it died.
+        self.last_busy_seq: Optional[int] = None
+        #: Sequences quarantined as poison (their awaiters resolve to None).
+        self.quarantined_seqs: set = set()
+        #: Recovery-latency probe: death-detection time and the last
+        #: replayed sequence; fulfilled when that sequence acks.
+        self.recovery_started_at: Optional[float] = None
+        self.recovery_target_seq: Optional[int] = None
         #: Cumulative frame load of the streams this worker currently owns
         #: (migrations move a stream's history with it) — the load signal
         #: placement policies rank workers by.
@@ -366,9 +521,20 @@ class ShardWorkerPool:
         Bound on unacknowledged operations per worker (backpressure, and a
         bound on parent-side replay-log memory between checkpoints).
     max_restarts:
-        Crash-recovery budget per worker; exceeding it raises
-        :class:`WorkerCrashError` (a worker that dies deterministically
-        would otherwise replay-crash forever).
+        Crash-recovery budget per worker, counted over *consecutive
+        fruitless* restarts (acknowledgement progress resets it); a worker
+        that exceeds it is irrecoverable — :class:`WorkerCrashError` by
+        default, parked (degraded mode) with ``on_irrecoverable="park"``.
+    supervision:
+        A :class:`~repro.streaming.supervision.SupervisionConfig` (or a
+        mapping of its fields, or ``None`` for defaults): heartbeat
+        cadence, slow/hang thresholds, restart backoff, poison quarantine
+        threshold.
+    on_irrecoverable:
+        ``"raise"`` (default) breaks the whole pool when a worker is
+        irrecoverable; ``"park"`` enters degraded mode instead — the dead
+        worker's streams are parked and journaled while every other stream
+        keeps serving byte-identical results, until :meth:`repair`.
     start_method:
         ``multiprocessing`` start method; defaults to ``fork`` where
         available (cheapest), else the platform default.
@@ -399,9 +565,16 @@ class ShardWorkerPool:
         placement: Union[str, PlacementPolicy, None] = None,
         assignment: Optional[Mapping[str, int]] = None,
         stream_frames: Optional[Mapping[str, int]] = None,
+        supervision: Union[SupervisionConfig, Mapping, None] = None,
+        on_irrecoverable: str = "raise",
     ):
         if num_workers <= 0:
             raise PoolError("num_workers must be positive")
+        if on_irrecoverable not in ("raise", "park"):
+            raise PoolError(
+                f"on_irrecoverable must be 'raise' or 'park', got "
+                f"{on_irrecoverable!r}"
+            )
         if dispatch_batch <= 0 or checkpoint_every <= 0 or max_inflight <= 0:
             raise PoolError(
                 "dispatch_batch, checkpoint_every and max_inflight must be positive"
@@ -483,6 +656,15 @@ class ShardWorkerPool:
         self._ops_dispatched = 0
         self._frames_dispatched = 0
         self._total_restarts = 0
+        self._supervision = SupervisionConfig.coerce(supervision)
+        self._supervisor = Supervisor(self._supervision, num_workers)
+        self._on_irrecoverable = on_irrecoverable
+        #: Quarantined-operation records, in quarantine order (stats surface).
+        self._quarantined: List[Dict] = []
+        #: Quarantine records not yet surfaced as a PoisonOpError.
+        self._poison_pending: List[Dict] = []
+        #: Degraded mode: parked-worker records by worker index.
+        self._parked: Dict[int, Dict] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -495,6 +677,62 @@ class ShardWorkerPool:
     def restarts(self) -> int:
         """Workers restarted after crashes over the pool's lifetime."""
         return self._total_restarts
+
+    @property
+    def supervision(self) -> SupervisionConfig:
+        """The supervision configuration in effect."""
+        return self._supervision
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any worker is parked (degraded mode; see :meth:`repair`)."""
+        return bool(self._parked)
+
+    @property
+    def quarantined(self) -> List[Dict]:
+        """Quarantined-operation records, in quarantine order."""
+        return [dict(record) for record in self._quarantined]
+
+    def parked_streams(self) -> Dict[str, Dict]:
+        """Per-stream park records of a degraded pool (empty when healthy).
+
+        Maps each parked stream to its tombstone: owning worker, failure
+        ``kind``, human-readable ``reason``, journaled operations awaiting
+        :meth:`repair`, and frames journaled since the park.
+        """
+        block: Dict[str, Dict] = {}
+        for index, record in self._parked.items():
+            worker = self._workers[index]
+            for stream_id in record["streams"]:
+                block[stream_id] = {
+                    "worker": index,
+                    "kind": record["kind"],
+                    "reason": record["reason"],
+                    "pending_ops": len(worker.log),
+                    "frames_parked": record.get("frames_parked", 0),
+                }
+        return block
+
+    def stream_health(self) -> Dict[str, Dict]:
+        """Health of every stream the pool serves.
+
+        Healthy streams map to ``{"state": "healthy", "worker": i}``;
+        streams of a parked worker to ``{"state": "parked", ...}`` with the
+        failure kind and reason.  Byte-stable on fault-free runs.
+        """
+        health: Dict[str, Dict] = {}
+        for stream_id, index in self._assignment.items():
+            record = self._parked.get(index)
+            if record is None:
+                health[stream_id] = {"state": "healthy", "worker": index}
+            else:
+                health[stream_id] = {
+                    "state": "parked",
+                    "worker": index,
+                    "kind": record["kind"],
+                    "reason": record["reason"],
+                }
+        return health
 
     def stream_ids(self) -> List[str]:
         """Streams routed through (or handed to) the pool, first-seen order.
@@ -573,10 +811,17 @@ class ShardWorkerPool:
         streams included) and resumes exactly where the workers left off.
         """
         self._require_running()
+        if self._parked:
+            raise PoolError(
+                "cannot gracefully stop a degraded pool (streams parked on "
+                f"workers {sorted(self._parked)}): repair() it first, or "
+                "terminate() to abandon the parked state"
+            )
         self._flush_buffers()
         stop_sent_to = {}
         for worker in self._workers:
             worker.tasks.put(("stop",))
+            worker.stop_requested_at = time.monotonic()
             stop_sent_to[worker.index] = worker.process
         while any(worker.stopped_state is None for worker in self._workers):
             self._pump(block=True)
@@ -587,6 +832,7 @@ class ShardWorkerPool:
                     # checkpoint; _pump recovered it (restore + tail replay),
                     # so re-request the stop from the fresh process.
                     worker.tasks.put(("stop",))
+                    worker.stop_requested_at = time.monotonic()
                     stop_sent_to[worker.index] = worker.process
         for worker in self._workers:
             worker.process.join()
@@ -630,8 +876,11 @@ class ShardWorkerPool:
             if process is not None and process.is_alive():
                 process.terminate()
         for worker in self._workers:
-            if worker.process is not None:
-                worker.process.join(timeout=5)
+            # Escalates to kill() on a stuck worker and asserts the reap —
+            # terminate() must never leak a zombie behind an ignored join.
+            _reap_process(
+                worker.process, timeout=self._supervision.escalation_timeout
+            )
         self._close_queues()
         self._started = False
         self._stopped = True
@@ -642,9 +891,11 @@ class ShardWorkerPool:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if exc_type is None and self._started:
+        if exc_type is None and self._started and not self._parked:
             self.stop()
         elif self._started:
+            # Error unwind — or a degraded pool the caller never repaired,
+            # whose parked shards cannot be adopted back gracefully.
             self.terminate()
 
     # ------------------------------------------------------------------
@@ -681,6 +932,8 @@ class ShardWorkerPool:
             for worker in self._workers
         ]
         for worker, seq in seqs:
+            if worker.parked:
+                continue  # journaled; repair() replays it in order
             self._await(worker, seq)
 
     # ------------------------------------------------------------------
@@ -752,13 +1005,35 @@ class ShardWorkerPool:
             return False
         source = self._workers[source_index]
         target = self._workers[worker]
+        if source.parked or target.parked:
+            parked_index = source_index if source.parked else worker
+            raise PoolError(
+                f"cannot migrate {stream_id!r}: worker {parked_index} is "
+                "parked (degraded mode); repair() the pool first"
+            )
         # Barrier: every frame routed so far must reach the source before
         # the expel (per-worker FIFO then guarantees the checkpoint covers
         # them); the target's buffer is dispatched too so the adopt cannot
         # overtake frames of other streams buffered before the migration.
         self._dispatch_buffer(source)
         self._dispatch_buffer(target)
-        blobs = self._await(source, self._send_op(source, ("expel", stream_id)))
+        expel_seq = self._send_op(source, ("expel", stream_id))
+        blobs = self._await(source, expel_seq)
+        if source.parked or target.parked:
+            # The source (or target) became irrecoverable while we waited
+            # on the expel: the hand-off cannot complete, and flipping the
+            # assignment now would fork ownership from the journaled state.
+            raise PoolError(
+                f"migration of {stream_id!r} aborted: a participating "
+                "worker parked mid-migration; repair() the pool first"
+            )
+        if expel_seq in source.quarantined_seqs:
+            # The expel itself was quarantined as poison — the shards never
+            # left the source, so the stream must keep its old owner.
+            raise PoolError(
+                f"migration of {stream_id!r} aborted: its expel operation "
+                "was quarantined as poison (see stats()['quarantined'])"
+            )
         if blobs:
             self._send_op(target, ("adopt", blobs))
         self._assignment[stream_id] = worker
@@ -786,6 +1061,11 @@ class ShardWorkerPool:
         (stream id → new worker).
         """
         self._require_running()
+        if self._parked:
+            raise PoolError(
+                "cannot rebalance a degraded pool (streams parked on "
+                f"workers {sorted(self._parked)}): repair() it first"
+            )
         planner = (
             self._placement if policy is None else resolve_placement(policy)
         )
@@ -839,14 +1119,23 @@ class ShardWorkerPool:
     # Results
     # ------------------------------------------------------------------
     def matches_for(self, stream_id: str) -> List[QueryMatch]:
-        """A stream's retained matches, ordered exactly as the router's."""
+        """A stream's retained matches, ordered exactly as the router's.
+
+        A parked stream answers with ``[]`` — its matches are retained in
+        the journaled state and become available again after
+        :meth:`repair` (see :meth:`stream_health` to tell the cases apart).
+        """
         self._require_running()
         index = self._assignment.get(stream_id)
         if index is None:
             return []
         worker = self._workers[index]
+        if worker.parked:
+            return []
         self._dispatch_buffer(worker)
         records = self._call(worker, ("matches", stream_id))
+        if records is None:  # worker parked while we awaited the query
+            return []
         return [QueryMatch.from_record(record) for record in records]
 
     def drain_matches(self) -> Dict[str, List[QueryMatch]]:
@@ -854,13 +1143,24 @@ class ShardWorkerPool:
 
         Stream order is global first-seen order and per-stream match order
         is the router's — byte-identical to what the single-process router
-        would have drained.
+        would have drained.  Parked workers are skipped entirely (their
+        matches stay retained in the journaled state for :meth:`repair`).
+
+        Raises :class:`PoisonOpError` — exactly once per quarantine — when
+        an operation was quarantined since the last drain, so the caller
+        consuming results learns they may be incomplete; calling
+        :meth:`drain_matches` again then drains normally.
         """
         self._require_running()
+        if self._poison_pending:
+            records = list(self._poison_pending)
+            self._poison_pending.clear()
+            raise PoisonOpError(records)
         self._flush_buffers()
         seqs = [
             (worker, self._send_op(worker, ("drain",)))
             for worker in self._workers
+            if not worker.parked
         ]
         merged: Dict[str, List[QueryMatch]] = {}
         per_worker = {}
@@ -888,9 +1188,13 @@ class ShardWorkerPool:
         """
         self._require_running()
         self._flush_buffers()
-        worker_stats = [
-            self._call(worker, ("stats",)) for worker in self._workers
-        ]
+        worker_stats = []
+        for worker in self._workers:
+            if worker.parked:
+                continue  # journaled state; surfaced under "parked" instead
+            stats = self._call(worker, ("stats",))
+            if stats is not None:
+                worker_stats.append(stats)
         totals = {
             "frames_ingested": 0, "frames_processed": 0, "dropped_late": 0,
             "duplicates": 0, "reordered": 0, "processing_seconds": 0.0,
@@ -935,6 +1239,8 @@ class ShardWorkerPool:
             "departed": departed,
             "retired": retired,
             "per_shard": per_shard,
+            "parked": self.parked_streams(),
+            "quarantined": self.quarantined,
             "pool": {
                 "workers": self.num_workers,
                 "restarts": self._total_restarts,
@@ -944,6 +1250,8 @@ class ShardWorkerPool:
                 "placement": self._placement.name,
                 "migrations": self._migrations,
                 "worker_loads": self.worker_loads(),
+                "degraded": self.degraded,
+                "supervision": self._supervisor.stats(),
             },
         }
 
@@ -952,12 +1260,14 @@ class ShardWorkerPool:
         self._require_running()
         self._flush_buffers()
         for worker in self._workers:
+            if worker.parked:
+                continue  # journaled state is its checkpoint until repair()
             # Wait for a checkpoint *received after entry*: acknowledgements
             # of replayed ops after a crash can advance max_acked past a
             # lost request's sequence, so sequence progress alone does not
             # prove a fresh snapshot landed.
             baseline = worker.ckpt_count
-            while worker.ckpt_count == baseline:
+            while worker.ckpt_count == baseline and not worker.parked:
                 if worker.pending_ckpt_seq is None:
                     self._request_checkpoint(worker)
                 self._pump(block=True, focus=worker)
@@ -978,6 +1288,13 @@ class ShardWorkerPool:
         and cancelled query state — exactly where the workers are now.
         """
         self._require_running()
+        if self._parked:
+            raise PoolError(
+                "cannot export a merged checkpoint of a degraded pool "
+                f"(streams parked on workers {sorted(self._parked)}): the "
+                "parked shards' state lives in an unreplayed journal; "
+                "repair() the pool first"
+            )
         self._flush_buffers()
         worker_payloads = [
             from_bytes(self._call(worker, ("ckpt",)), expect_kind="router")
@@ -1111,11 +1428,11 @@ class ShardWorkerPool:
     def _require_running(self) -> None:
         if self._broken:
             # Chain the recorded terminal failure instead of discarding it:
-            # callers see worker index, op sequence and traceback summary
-            # in the cause, not a bare "see logs".
+            # callers see worker index, failure kind, op sequence and
+            # traceback summary in the cause.
             detail = (
                 f": {self._failure}" if self._failure is not None
-                else "; see logs"
+                else " (no failure context was recorded)"
             )
             raise PoolError(
                 f"the pool is broken (a worker failed){detail}"
@@ -1163,11 +1480,19 @@ class ShardWorkerPool:
         worker.results = self._ctx.Queue()
         worker.process = self._ctx.Process(
             target=_worker_main,
-            args=(worker.index, worker.tasks, worker.results, self._config_blob),
+            args=(
+                worker.index, worker.tasks, worker.results,
+                self._config_blob, self._supervision.heartbeat_interval,
+            ),
             daemon=True,
             name=f"shard-worker-{worker.index}",
         )
         worker.process.start()
+        # A fresh generation starts with a clean watchdog slate; replayed
+        # operations are re-stamped as they are re-sent.
+        worker.pending_sent_at.clear()
+        worker.last_progress_at = time.monotonic()
+        worker.last_busy_seq = None
 
     def _dispatch_buffer(self, worker: _WorkerHandle) -> None:
         if worker.buffer:
@@ -1184,9 +1509,21 @@ class ShardWorkerPool:
         seq = worker.next_seq
         worker.next_seq += 1
         worker.log.append((seq, op))
-        worker.inflight.add(seq)
-        worker.tasks.put(("op", seq, op))
         self._ops_dispatched += 1
+        if worker.parked:
+            # Degraded mode: the op is only journaled; repair() replays the
+            # whole journal in order, so ordering (and therefore the
+            # differential contract) is preserved across the outage.
+            if op[0] == "frames":
+                record = self._parked.get(worker.index)
+                if record is not None:
+                    record["frames_parked"] = (
+                        record.get("frames_parked", 0) + len(op[1])
+                    )
+            return seq
+        worker.inflight.add(seq)
+        worker.pending_sent_at[seq] = time.monotonic()
+        worker.tasks.put(("op", seq, op))
         worker.ops_since_ckpt += 1
         if (worker.ops_since_ckpt >= self.checkpoint_every
                 and worker.pending_ckpt_seq is None):
@@ -1199,6 +1536,7 @@ class ShardWorkerPool:
         seq = worker.next_seq
         worker.next_seq += 1
         worker.inflight.add(seq)
+        worker.pending_sent_at[seq] = time.monotonic()
         worker.tasks.put(("query", seq, query))
         return seq
 
@@ -1207,31 +1545,48 @@ class ShardWorkerPool:
         worker.ops_since_ckpt = 0
 
     def _call(self, worker: _WorkerHandle, query: Tuple):
-        """Issue a read-only query, transparently retrying across crashes."""
+        """Issue a read-only query, transparently retrying across crashes.
+
+        Returns ``None`` when the worker parks mid-call (the query can
+        never be answered until :meth:`repair`; callers treat it as
+        absent data).
+        """
         while True:
+            if worker.parked:
+                return None
             seq = self._send_query(worker, query)
             result = self._await(worker, seq)
             if result is not _LOST:
                 return result
 
     def _await(self, worker: _WorkerHandle, seq: int):
-        """Block until ``seq`` is acknowledged; returns its payload."""
+        """Block until ``seq`` is acknowledged; returns its payload.
+
+        Resolves to ``None`` when the sequence can no longer be answered:
+        it was quarantined as poison, or the worker parked (degraded mode)
+        while we waited.
+        """
         while True:
             if seq in worker.acks:
                 return worker.acks.pop(seq)
             if worker.max_acked >= seq:
                 return None
+            if seq in worker.quarantined_seqs or worker.parked:
+                return worker.acks.pop(seq, None)
             self._pump(block=True, focus=worker)
 
     def _pump(self, block: bool, focus: Optional[_WorkerHandle] = None) -> bool:
-        """Drain worker results; detect and recover crashed workers.
+        """Drain worker results; detect and recover crashed/hung workers.
 
         Returns ``True`` when at least one message was processed.  ``focus``
         names the worker a caller is actively awaiting: the blocking wait
         then happens on that worker's queue (instead of a plain sleep), so
-        acknowledgements are consumed the moment they arrive.
+        acknowledgements are consumed the moment they arrive.  The
+        supervision watchdog ticks here — exactly when a caller is blocked
+        on the pool, which is the only time detection latency matters.
         """
         progressed = self._drain_results()
+        self._watchdog()
         if progressed or not block:
             return progressed
         # Nothing queued: wait a beat, then re-drain BEFORE scanning for
@@ -1240,7 +1595,16 @@ class ShardWorkerPool:
         # from being mistaken for a crash.  (Per-worker queues keep a
         # SIGKILL's possibly-truncated stream from poisoning other
         # workers' results.)
-        target = focus if focus is not None else self._workers[0]
+        target = focus if focus is not None and not focus.parked else None
+        if target is None:
+            target = next(
+                (w for w in self._workers
+                 if not w.parked and w.results is not None),
+                None,
+            )
+        if target is None:
+            # Every worker is parked: nothing will ever arrive.
+            return False
         try:
             message = target.results.get(timeout=self.poll_interval)
         except (queue_module.Empty, OSError, EOFError):
@@ -1253,6 +1617,8 @@ class ShardWorkerPool:
         if progressed:
             return True
         for worker in self._workers:
+            if worker.parked:
+                continue  # dead by design until repair()
             if worker.process is not None and not worker.process.is_alive() \
                     and worker.stopped_state is None:
                 self._recover(worker)
@@ -1262,6 +1628,8 @@ class ShardWorkerPool:
     def _drain_results(self) -> bool:
         progressed = False
         for worker in self._workers:
+            if worker.results is None:
+                continue
             while True:
                 try:
                     message = worker.results.get_nowait()
@@ -1271,6 +1639,44 @@ class ShardWorkerPool:
                 progressed = True
         return progressed
 
+    def _watchdog(self) -> None:
+        """Classify live workers; escalate the ones that stopped progressing.
+
+        A worker is *hung* when its oldest pending message has been
+        outstanding — with no acknowledgement progress at all — for longer
+        than ``hang_after``.  Progress is measured by acks, not heartbeats:
+        a worker whose result pipe stalled (or that livelocks while idle
+        beats flow) still gets caught, while a deep-but-draining queue does
+        not (each ack refreshes the progress clock).
+        """
+        now = time.monotonic()
+        for worker in self._workers:
+            if (worker.parked or worker.process is None
+                    or worker.stopped_state is not None
+                    or not worker.process.is_alive()):
+                continue  # dead workers go through _recover, not escalation
+            oldest = (
+                min(worker.pending_sent_at.values())
+                if worker.pending_sent_at else worker.stop_requested_at
+            )
+            pending_age = None if oldest is None else now - oldest
+            idle_age = now - worker.last_progress_at
+            state = self._supervisor.assess(worker.index, pending_age, idle_age)
+            if state == "hung":
+                self._escalate(worker)
+
+    def _escalate(self, worker: _WorkerHandle) -> None:
+        """Kill a hung worker and push it through ordinary crash recovery."""
+        self._supervisor.record_escalation(worker.index)
+        worker.death_kind = "hang"
+        process = worker.process
+        timeout = self._supervision.escalation_timeout
+        process.terminate()
+        process.join(timeout)
+        if process.is_alive():
+            process.kill()
+        self._recover(worker)
+
     def _on_message(self, worker: _WorkerHandle, message: Tuple) -> None:
         kind = message[0]
         if kind == "ack":
@@ -1279,9 +1685,24 @@ class ShardWorkerPool:
             # re-adds every logged sequence, including already-acked ones,
             # and leaking them would wedge _send_op's backpressure loop.
             worker.inflight.discard(seq)
+            worker.pending_sent_at.pop(seq, None)
             if seq <= worker.max_acked:
                 return  # replay duplicate (or a stale ack from a dead life)
             worker.max_acked = seq
+            # Fresh progress: the watchdog clock and the fruitless-restart
+            # budget both reset (the worker is demonstrably getting work
+            # done, so restarts so far were not wasted).
+            worker.last_progress_at = time.monotonic()
+            worker.restarts = 0
+            self._supervisor.observe_progress(worker.index)
+            if (worker.recovery_target_seq is not None
+                    and seq >= worker.recovery_target_seq):
+                self._supervisor.record_recovery(
+                    worker.index,
+                    time.monotonic() - worker.recovery_started_at,
+                )
+                worker.recovery_target_seq = None
+                worker.recovery_started_at = None
             if seq == worker.pending_ckpt_seq:
                 worker.last_checkpoint = payload
                 worker.pending_ckpt_seq = None
@@ -1290,8 +1711,32 @@ class ShardWorkerPool:
                 self._checkpoints_taken += 1
             elif payload is not None:
                 worker.acks[seq] = payload
+        elif kind == "hb":
+            info = message[2]
+            if info.get("phase") == "busy" and info.get("seq") is not None:
+                worker.last_busy_seq = int(info["seq"])
+            self._supervisor.observe_heartbeat(worker.index, info)
+        elif kind == "nack":
+            _, _, seq, reason = message
+            worker.inflight.discard(seq)
+            worker.pending_sent_at.pop(seq, None)
+            # The worker is demonstrably alive (it answered, just
+            # negatively) — count it as watchdog progress, not ack progress.
+            worker.last_progress_at = time.monotonic()
+            if seq == worker.pending_ckpt_seq:
+                # Checkpoint write failed: keep the previous checkpoint (the
+                # tail just stays longer), count the failure, and re-request
+                # at the next dispatch.
+                worker.pending_ckpt_seq = None
+                worker.ops_since_ckpt = self.checkpoint_every
+                self._supervisor.record_checkpoint_failure(worker.index)
+            else:
+                # A read-only query failed inside the worker; callers
+                # transparently re-issue, exactly like a crash-lost query.
+                worker.acks[seq] = _LOST
         elif kind == "stopped":
             worker.stopped_state = message[2]
+            worker.stop_requested_at = None
         elif kind == "error":
             self._broken = True
             text = message[2]
@@ -1311,33 +1756,224 @@ class ShardWorkerPool:
         else:  # pragma: no cover - protocol violation
             raise PoolError(f"unknown worker response {kind!r}")
 
-    def _recover(self, worker: _WorkerHandle) -> None:
-        """Respawn a dead worker from its last checkpoint and replay the tail."""
-        worker.restarts += 1
-        self._total_restarts += 1
-        if worker.restarts > self.max_restarts:
-            self._broken = True
-            exitcode = worker.process.exitcode
-            self.terminate()
-            failure = WorkerCrashError(
-                f"worker {worker.index} crashed more than "
-                f"{self.max_restarts} times (exitcode {exitcode}, last "
-                f"acked op seq {worker.max_acked}, {len(worker.log)} logged "
-                "ops awaiting replay); giving up",
-                worker_index=worker.index,
-                exitcode=exitcode,
-                op_seq=worker.max_acked,
-                pending_ops=len(worker.log),
+    def _culprit_op(self, worker: _WorkerHandle) -> Optional[Tuple[int, Tuple]]:
+        """The logged operation the dead worker was most plausibly executing.
+
+        Prefer the worker's own last ``busy`` heartbeat (emitted immediately
+        before applying its operation, so it names the op that killed the
+        process); fall back to the oldest unacknowledged logged operation.
+        ``None`` when nothing unacknowledged is logged (the death cannot be
+        blamed on any replayable op).
+        """
+        if (worker.last_busy_seq is not None
+                and worker.last_busy_seq > worker.max_acked):
+            for seq, op in worker.log:
+                if seq == worker.last_busy_seq:
+                    return seq, op
+        for seq, op in worker.log:
+            if seq > worker.max_acked:
+                return seq, op
+        return None
+
+    def _op_streams(self, op: Tuple) -> List[str]:
+        """Stream ids an operation touches (quarantine-record context)."""
+        kind = op[0]
+        if kind == "frames":
+            seen: List[str] = []
+            for stream_id, _ in op[1]:
+                if stream_id not in seen:
+                    seen.append(stream_id)
+            return seen
+        if kind == "expel":
+            return [op[1]]
+        return []
+
+    def _quarantine(
+        self, worker: _WorkerHandle, culprit: Tuple[int, Tuple], kind: str
+    ) -> None:
+        """Drop a poison operation from the replay log, with full context."""
+        seq, op = culprit
+        worker.log = [(s, o) for s, o in worker.log if s != seq]
+        worker.inflight.discard(seq)
+        worker.pending_sent_at.pop(seq, None)
+        worker.quarantined_seqs.add(seq)
+        record = {
+            "worker": worker.index,
+            "op_seq": seq,
+            "op": op[0],
+            "streams": self._op_streams(op),
+            "frames": len(op[1]) if op[0] == "frames" else 0,
+            "crashes": worker.culprit_streak,
+            "kind": kind,
+        }
+        self._quarantined.append(record)
+        self._poison_pending.append(record)
+        self._supervisor.record_quarantine()
+        # The poison is gone from the log: the worker's slate is clean.
+        worker.restarts = 0
+        worker.culprit_streak = 0
+        worker.culprit_seq = None
+
+    def _park(self, worker: _WorkerHandle, kind: str, exitcode) -> None:
+        """Enter degraded mode for one irrecoverable worker.
+
+        The worker's streams are tombstoned with a reason; operations for
+        them keep being journaled (``_send_op`` logs without dispatching)
+        so :meth:`repair` can replay the full history in order and resume
+        byte-identically.  Every other worker keeps serving untouched.
+        """
+        streams = [
+            stream_id for stream_id, index in self._assignment.items()
+            if index == worker.index
+        ]
+        reason = (
+            f"worker {worker.index} is irrecoverable ({kind}; exitcode "
+            f"{exitcode}, last acked op seq {worker.max_acked}) and was "
+            "parked; its streams resume after repair()"
+        )
+        for q in (worker.tasks, worker.results):
+            if q is not None:
+                q.close()
+                q.cancel_join_thread()
+        worker.tasks = None
+        worker.results = None
+        # Unacknowledged payload-bearing ops must not be replayed into the
+        # void on repair: an undelivered drain would discard matches nobody
+        # consumed, an undelivered expel would orphan shards.  Dropping
+        # them keeps matches retained (drain) and ownership unchanged
+        # (expel) — exactly the pre-park state the journal resumes from.
+        worker.log = [
+            (s, op) for s, op in worker.log
+            if not (op[0] in ("drain", "expel") and s > worker.max_acked)
+        ]
+        worker.inflight.clear()
+        worker.pending_sent_at.clear()
+        worker.pending_ckpt_seq = None
+        worker.stop_requested_at = None
+        worker.recovery_started_at = None
+        worker.recovery_target_seq = None
+        worker.parked = True
+        self._parked[worker.index] = {
+            "kind": kind,
+            "reason": reason,
+            "exitcode": exitcode,
+            "streams": streams,
+            "frames_parked": 0,
+        }
+        self._supervisor.record_park(worker.index, kind)
+
+    def repair(self) -> List[str]:
+        """Respawn every parked worker and replay its journaled backlog.
+
+        Returns the stream ids brought back into service (first-seen
+        order).  The replacement processes read the *current* environment,
+        so a fault plan uninstalled since the park does not re-arm, and the
+        replay — checkpoint restore plus the full journal in order —
+        reproduces byte-identical matches and stats for the parked streams.
+        A no-op on a healthy pool.
+        """
+        self._require_running()
+        revived: List[str] = []
+        for index in sorted(self._parked):
+            worker = self._workers[index]
+            record = self._parked.pop(index)
+            worker.parked = False
+            worker.restarts = 0
+            worker.culprit_streak = 0
+            worker.culprit_seq = None
+            self._spawn(worker)
+            if worker.last_checkpoint is not None:
+                worker.tasks.put(("restore", worker.last_checkpoint))
+            now = time.monotonic()
+            for seq, op in worker.log:
+                worker.inflight.add(seq)
+                worker.pending_sent_at[seq] = now
+                worker.tasks.put(("op", seq, op))
+            worker.ops_since_ckpt = len(worker.log)
+            worker.recovery_started_at = now
+            worker.recovery_target_seq = (
+                worker.log[-1][0] if worker.log else None
             )
-            self._failure = failure
-            raise failure
-        worker.process.join(timeout=5)
+            if worker.log:
+                self._request_checkpoint(worker)
+            self._supervisor.record_repair(index)
+            revived.extend(record["streams"])
+        return revived
+
+    def _recover(self, worker: _WorkerHandle) -> None:
+        """Respawn a dead worker from its last checkpoint and replay the tail.
+
+        The supervision layer hangs off this path: the death is attributed
+        to a culprit operation (poison detection → quarantine), the
+        consecutive-fruitless-restart budget is enforced (park or raise
+        when exhausted, with a machine-readable kind), and the respawn
+        waits a jittered exponential backoff.
+        """
+        kind = worker.death_kind or "crash"
+        worker.death_kind = None
+        exitcode = _reap_process(
+            worker.process, timeout=self._supervision.escalation_timeout
+        )
+        self._total_restarts += 1
+        self._supervisor.record_restart(worker.index, kind)
+        # Poison attribution: consecutive deaths blamed on the same logged
+        # operation build a streak; at poison_threshold the op is
+        # quarantined instead of burning the whole restart budget.
+        culprit = self._culprit_op(worker)
+        if culprit is not None and culprit[0] == worker.culprit_seq:
+            worker.culprit_streak += 1
+        else:
+            worker.culprit_seq = culprit[0] if culprit is not None else None
+            worker.culprit_streak = 1 if culprit is not None else 0
+        threshold = self._supervision.poison_threshold
+        if (culprit is not None and threshold is not None
+                and worker.culprit_streak >= threshold):
+            self._quarantine(worker, culprit, kind)
+        else:
+            worker.restarts += 1
+            # With quarantine disabled a poison op resets the fruitless
+            # counter on every death (replayed fresh acks count as
+            # progress), so the streak itself must also bound restarts.
+            poison_blown = (
+                threshold is None and worker.culprit_streak > self.max_restarts
+            )
+            if worker.restarts > self.max_restarts or poison_blown:
+                failure_kind = "poison" if poison_blown else "restart-budget"
+                if self._on_irrecoverable == "park":
+                    self._park(worker, failure_kind, exitcode)
+                    return
+                self._broken = True
+                streams = [
+                    stream_id
+                    for stream_id, index in self._assignment.items()
+                    if index == worker.index
+                ]
+                self.terminate()
+                failure = WorkerCrashError(
+                    f"worker {worker.index} crashed more than "
+                    f"{self.max_restarts} times without progress (kind "
+                    f"{failure_kind!r}, exitcode {exitcode}, last acked op "
+                    f"seq {worker.max_acked}, {len(worker.log)} logged ops "
+                    "awaiting replay); giving up",
+                    worker_index=worker.index,
+                    exitcode=exitcode,
+                    op_seq=worker.max_acked,
+                    pending_ops=len(worker.log),
+                    kind=failure_kind,
+                    stream_ids=streams,
+                )
+                self._failure = failure
+                raise failure
+            delay = self._supervisor.backoff(worker.restarts)
+            if delay > 0:
+                time.sleep(delay)
         # Release the dead generation's queues (feeder threads, pipe fds,
         # buffered messages) before spawning replacements.
         for q in (worker.tasks, worker.results):
             if q is not None:
                 q.close()
                 q.cancel_join_thread()
+        recovery_started = time.monotonic()
         self._spawn(worker)
         if worker.last_checkpoint is not None:
             worker.tasks.put(("restore", worker.last_checkpoint))
@@ -1353,10 +1989,19 @@ class ShardWorkerPool:
                 # (A lost checkpoint request is handled via the cleared
                 # pending marker — nobody awaits its ack directly.)
                 worker.acks[seq] = _LOST
+        now = time.monotonic()
         for seq, op in worker.log:
             worker.inflight.add(seq)
+            worker.pending_sent_at[seq] = now
             worker.tasks.put(("op", seq, op))
         worker.ops_since_ckpt = len(worker.log)
+        # Recovery-latency probe: fulfilled when the whole replayed tail is
+        # re-acknowledged (trivially fulfilled for an empty tail).
+        worker.recovery_started_at = recovery_started
+        worker.recovery_target_seq = worker.log[-1][0] if worker.log else None
+        if worker.recovery_target_seq is None:
+            self._supervisor.record_recovery(worker.index, 0.0)
+            worker.recovery_started_at = None
         if worker.log:
             # Re-checkpoint right after replay so the tail shrinks again.
             self._request_checkpoint(worker)
@@ -1390,7 +2035,10 @@ def deterministic_stats(stats: Dict) -> Dict:
         if isinstance(value, dict):
             return {
                 key: strip(item) for key, item in value.items()
-                if key not in ("processing_seconds", "frames_per_sec", "pool")
+                if key not in (
+                    "processing_seconds", "frames_per_sec", "pool",
+                    "parked", "quarantined",
+                )
             }
         if isinstance(value, list):
             return [strip(item) for item in value]

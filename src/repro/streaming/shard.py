@@ -34,6 +34,13 @@ from repro.query.evaluator import QueryMatch
 from repro.query.model import CNFQuery
 from repro.streaming.checkpoint import CheckpointError, from_bytes, to_bytes
 
+#: Optional per-batch ingest probe ``(shard_key: str, frames: int) -> None``,
+#: called as a batch enters the engine.  ``None`` (the default) keeps the
+#: hot path hook-free; the pool's fault-injection harness installs one
+#: inside worker processes to observe/perturb ingest (e.g. hang-in-ingest
+#: faults), and a deployment could point it at a metrics sink.
+INGEST_PROBE = None
+
 
 @dataclass(frozen=True)
 class ShardKey:
@@ -228,6 +235,9 @@ class StreamShard:
 
     def _process(self, count: int) -> List[QueryMatch]:
         """Hand the first ``count`` buffered frames to the engine, in order."""
+        probe = INGEST_PROBE
+        if probe is not None:
+            probe(str(self.key), count)
         frames = self._pending[:count]
         del self._pending[:count]
         del self._pending_ids[:count]

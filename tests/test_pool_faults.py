@@ -17,6 +17,8 @@ import pytest
 
 from repro.streaming import (
     CheckpointError,
+    Fault,
+    FaultPlan,
     PoolError,
     ShardWorkerPool,
     StreamRouter,
@@ -196,6 +198,67 @@ class TestCrashRecovery:
             assert match_report(
                 {sid: drained[sid] for sid in oracle.stream_ids() if sid in drained}
             ) == match_report(expected_drain), f"seed={seed}"
+        finally:
+            pool.terminate()
+
+
+class TestScriptedFaults:
+    """FaultPlan-driven crashes: deterministic, in-process, mid-operation.
+
+    ``kill_worker`` murders from outside at whatever instant the test
+    reaches the call; the scripted plans below die at an exact operation
+    *inside* the worker, every run, so recovery is exercised at a fixed
+    point in the batch pipeline.
+    """
+
+    def test_scripted_mid_batch_sigkill_recovers_to_oracle(self):
+        seed = 61
+        feeds, queries, events = scenario(seed, num_feeds=2, frames=60)
+        expected = oracle_report(queries, events)
+        # Die exactly while applying the frames op that carries the middle
+        # frame of the first stream — mid-batch, not between dispatches.
+        mid = events[len(events) // 2]
+        plan = FaultPlan(
+            [Fault("sigkill", 0, frame=(mid[0], mid[1].frame_id))],
+            seed=seed,
+        )
+        pool = make_pool(queries, workers=1)
+        try:
+            with plan.install():
+                pool.start()
+                pool.route_many(events)
+                pool.flush()
+            assert plan.fire_counts()[0] == 1, "the scripted kill never fired"
+            assert pool.restarts >= 1
+            assert match_report(
+                {sid: pool.matches_for(sid) for sid in pool.stream_ids()}
+            ) == expected
+        finally:
+            pool.terminate()
+
+    def test_scripted_kills_on_both_workers_recover_independently(self):
+        seed = 67
+        feeds, queries, events = scenario(seed, num_feeds=4, frames=60)
+        expected = oracle_report(queries, events)
+        plan = FaultPlan(
+            [
+                Fault("sigkill", 0, op_kind="frames", after_ops=3),
+                Fault("sigkill", 1, op_kind="frames", after_ops=5),
+            ],
+            seed=seed,
+        )
+        pool = make_pool(queries, workers=2)
+        try:
+            with plan.install():
+                pool.start()
+                pool.route_many(events)
+                pool.flush()
+            fired = plan.fire_counts()
+            assert fired[0] == 1 and fired[1] == 1
+            assert pool.restarts >= 2
+            assert match_report(
+                {sid: pool.matches_for(sid) for sid in pool.stream_ids()}
+            ) == expected
         finally:
             pool.terminate()
 
