@@ -6,6 +6,9 @@ paper plots (time vs. number of frames).
 """
 
 import pytest
+pytest.importorskip(
+    "numpy", reason="the simulated vision/dataset pipeline requires numpy"
+)
 
 from benchmarks.conftest import run_once
 from repro.engine.config import MCOSMethod

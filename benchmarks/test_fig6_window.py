@@ -6,6 +6,9 @@ scan-based methods (NAIVE, MFS) penalised most on the dense datasets.
 """
 
 import pytest
+pytest.importorskip(
+    "numpy", reason="the simulated vision/dataset pipeline requires numpy"
+)
 
 from benchmarks.conftest import run_once
 from repro.engine.config import MCOSMethod

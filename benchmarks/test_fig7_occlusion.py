@@ -8,6 +8,9 @@ they still remove invalid states early.
 """
 
 import pytest
+pytest.importorskip(
+    "numpy", reason="the simulated vision/dataset pipeline requires numpy"
+)
 
 from benchmarks.conftest import run_once
 from repro.engine.config import MCOSMethod

@@ -7,6 +7,9 @@ curves stay flat as queries are added.
 """
 
 import pytest
+pytest.importorskip(
+    "numpy", reason="the simulated vision/dataset pipeline requires numpy"
+)
 
 from benchmarks.conftest import run_once
 from repro.engine.config import MCOSMethod

@@ -9,6 +9,9 @@ the paper at n_min = 9.
 """
 
 import pytest
+pytest.importorskip(
+    "numpy", reason="the simulated vision/dataset pipeline requires numpy"
+)
 
 from benchmarks.conftest import run_once
 from repro.experiments.figures import figure9_nmin

@@ -6,6 +6,9 @@ detection + tracking pipeline, and benchmarks the pipeline itself.
 """
 
 import pytest
+pytest.importorskip(
+    "numpy", reason="the simulated vision/dataset pipeline requires numpy"
+)
 
 from benchmarks.conftest import run_once
 from repro.datasets import DATASET_NAMES, dataset_statistics, load_dataset

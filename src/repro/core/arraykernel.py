@@ -1,0 +1,643 @@
+"""Array-backed SSG fast path.
+
+:class:`ArraySSGGenerator` reruns the Strict State Graph maintenance of
+:class:`~repro.core.ssg.StrictStateGraphGenerator` with the per-visit
+classification work lifted off big-int arithmetic and onto flat,
+slot-indexed arrays: every live graph state owns a row (``state.slot``) in a
+numpy ``uint64`` bitset matrix of object masks plus an index column pointing
+at the state's memoised merge target.
+
+The traversal itself must stay the *exact* walk of the pure-Python path:
+checkpoint bytes include the work counters and the graph's dict insertion
+orders, so any reordering of visits or graph edits is observable.  The
+kernel therefore keeps the oracle's DFS and span maintenance verbatim and
+accelerates the two pieces that dominate repeated frames:
+
+* **Vectorised visit classification.**  A visit's class — empty
+  intersection, subset of the arriving frame, or partial overlap — depends
+  only on the state's (immutable) object mask and the frame mask, so one
+  ``M & F`` over the mask matrix classifies every live slot before the walk
+  starts.  The walk then reads a per-slot code instead of computing a
+  big-int ``&`` per visit.  Codes are computed once per frame and can only
+  go stale in the memo-hit lane (below), which is re-validated scalar-side;
+  slots allocated or invalidated mid-frame are poked back to the "no
+  shortcut" code.
+* **Memoised-hit visits.**  A partial visit whose intersection matches the
+  state's previous derivation (``cached_inter``/``cached_tgt``) repeats a
+  merge that is provably a no-op — the source's live content is contained
+  in the target — into a target whose edge is already memoised.  The visit
+  collapses to the candidate bookkeeping the oracle would perform, skipping
+  the merge-memo probe, the merge dispatch, the tail append (the target's
+  own subset visit this frame performs it) and the edge-memo check.  The
+  cache is dropped whenever the source gains content its target does not
+  share: a marked principal append or an incoming merge.
+
+Everything else — trims, deaths, appends, merges, graph edits, reporting,
+checkpointing — is the inherited oracle code operating on real spans, which
+is what keeps the two backends byte-identical by construction.
+
+Backend selection
+-----------------
+``select_kernel()`` picks the backend at generator construction:
+
+* ``REPRO_KERNEL=python`` (or ``oracle``) forces the pure-Python
+  :class:`StrictStateGraphGenerator` — the differential oracle;
+* ``REPRO_KERNEL=array`` (or ``numpy``) forces the array kernel and raises
+  if numpy is missing;
+* unset or ``REPRO_KERNEL=auto``: the array kernel when numpy imports,
+  the pure-Python path otherwise.
+
+Both classes expose ``name = "SSG"`` and produce byte-identical results,
+reports and checkpoints, so everything above ``core/`` is agnostic to the
+choice and checkpoints migrate freely between the two.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Type
+
+from repro.core.result import ResultStateSet
+from repro.core.ssg import ObjectBits, StrictStateGraphGenerator
+from repro.core.state import State
+from repro.datamodel.observation import FrameObservation
+
+try:  # pragma: no cover - exercised via the REPRO_KERNEL=python CI leg
+    import numpy as _np
+except Exception:  # pragma: no cover
+    _np = None
+
+#: Environment variable selecting the kernel backend.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+#: Environment variable tuning the vectorised-classification threshold.
+THRESHOLD_ENV_VAR = "REPRO_ARRAY_THRESHOLD"
+
+#: Environment variable tuning the minimum mask width (in 64-bit words) for
+#: vectorised classification.
+MIN_WORDS_ENV_VAR = "REPRO_ARRAY_MIN_WORDS"
+
+#: Live-state count above which classification switches to the mask matrix.
+#: Below it the per-frame numpy call overhead exceeds the big-int arithmetic
+#: it replaces.
+DEFAULT_NP_THRESHOLD = 192
+
+#: Minimum object-population width (64-bit words) for the mask matrix.
+#: CPython big-int ``&``/compares on one- or two-word ints run in tens of
+#: nanoseconds — under that the per-visit scalar work is already cheaper
+#: than a numpy round trip, measured on the paper's (narrow) datasets.
+DEFAULT_MIN_WORDS = 4
+
+
+def numpy_available() -> bool:
+    """True when numpy imported successfully in this process."""
+    return _np is not None
+
+
+def select_kernel() -> str:
+    """Resolve the kernel backend name: ``"array"`` or ``"python"``.
+
+    Honours ``REPRO_KERNEL`` (``auto``/``array``/``numpy``/``python``/
+    ``oracle``; unset means ``auto``) and falls back to the pure-Python
+    oracle automatically when numpy is unavailable.
+    """
+    value = os.environ.get(KERNEL_ENV_VAR, "auto").strip().lower() or "auto"
+    if value in ("python", "oracle"):
+        return "python"
+    if value == "auto":
+        return "array" if _np is not None else "python"
+    if value in ("array", "numpy"):
+        if _np is None:
+            raise RuntimeError(
+                f"{KERNEL_ENV_VAR}={value} requests the array kernel but "
+                "numpy is not importable; unset it or use "
+                f"{KERNEL_ENV_VAR}=python"
+            )
+        return "array"
+    raise ValueError(
+        f"unrecognised {KERNEL_ENV_VAR}={value!r} "
+        "(expected auto, array, numpy, python or oracle)"
+    )
+
+
+def ssg_generator_class() -> Type[StrictStateGraphGenerator]:
+    """The SSG generator class for the currently selected backend."""
+    if select_kernel() == "array":
+        return ArraySSGGenerator
+    return StrictStateGraphGenerator
+
+
+class ArraySSGGenerator(StrictStateGraphGenerator):
+    """SSG maintenance with flat-array visit classification.
+
+    Subclasses the pure-Python generator and overrides only the per-frame
+    traversal machinery (`_process`, `_traverse_and_integrate`,
+    `_traverse`) plus the node lifecycle hooks that keep the slot columns
+    in step; span maintenance, graph maintenance, reporting and
+    checkpointing are inherited so both paths evolve identical state.
+    """
+
+    def __init__(self, window_size: int, duration: int, **kwargs):
+        super().__init__(window_size, duration, **kwargs)
+        #: Per-slot visit-class codes for the current frame, or None while
+        #: the population is below the vectorisation threshold.  Mutable:
+        #: slots touched mid-frame are poked back to 0 ("no shortcut").
+        self._frame_codes: Optional[bytearray] = None
+        self._free_slots: List[int] = []
+        self._slot_hi = 0
+        try:
+            self._np_threshold = max(
+                1, int(os.environ.get(THRESHOLD_ENV_VAR, DEFAULT_NP_THRESHOLD))
+            )
+        except ValueError:
+            self._np_threshold = DEFAULT_NP_THRESHOLD
+        try:
+            self._np_min_words = max(
+                1, int(os.environ.get(MIN_WORDS_ENV_VAR, DEFAULT_MIN_WORDS))
+            )
+        except ValueError:
+            self._np_min_words = DEFAULT_MIN_WORDS
+        # Mask matrix / cached-target index column, allocated lazily the
+        # first time the population crosses the threshold.
+        self._masks = None
+        self._ci_slot = None
+        self._mask_words = 1
+        #: Diagnostic: visits served by a flat-array shortcut (not part of
+        #: GeneratorStats — checkpoint stats must match the oracle's).
+        self.trivial_visits = 0
+
+    # ------------------------------------------------------------------
+    # Flat-column lifecycle
+    # ------------------------------------------------------------------
+    def _alloc_slot(self) -> int:
+        free = self._free_slots
+        if free:
+            slot = free.pop()
+        else:
+            slot = self._slot_hi
+            self._slot_hi = slot + 1
+            if self._masks is not None and slot >= self._masks.shape[0]:
+                self._grow_rows(slot + 1)
+        codes = self._frame_codes
+        if codes is not None:
+            # A state allocated mid-frame has no precomputed class; force
+            # the scalar path for it until the next frame's classification.
+            if slot < len(codes):
+                codes[slot] = 0
+            else:
+                codes.extend(b"\x00" * (slot + 1 - len(codes)))
+        return slot
+
+    def _grow_rows(self, need: int) -> None:
+        np = _np
+        rows = max(need, 2 * self._masks.shape[0])
+        masks = np.zeros((rows, self._mask_words), dtype="<u8")
+        masks[: self._masks.shape[0]] = self._masks
+        cis = np.full(rows, -1, dtype=np.int64)
+        cis[: self._ci_slot.shape[0]] = self._ci_slot
+        self._masks, self._ci_slot = masks, cis
+
+    def _ensure_width(self, bits: int) -> None:
+        words = (bits.bit_length() + 63) // 64
+        if words <= self._mask_words:
+            return
+        if self._masks is not None:
+            self._masks = _np.pad(
+                self._masks, ((0, 0), (0, words - self._mask_words))
+            )
+        self._mask_words = words
+
+    def _row_words(self, bits: int):
+        return _np.frombuffer(
+            bits.to_bytes(self._mask_words * 8, "little"), dtype="<u8"
+        )
+
+    def _write_mask_row(self, state: State) -> None:
+        if self._masks is not None:
+            self._ensure_width(state.bits)
+            self._masks[state.slot] = self._row_words(state.bits)
+            self._ci_slot[state.slot] = -1
+
+    def _register_node(self, state: State) -> None:
+        # Mirrors the base implementation (no super() call: this runs on
+        # every _add_edge, where the already-registered no-op dominates).
+        if state.children is None:
+            state.children = {}
+            state.parents = {}
+            self._root_keys[state.bits] = state
+            if state.slot < 0:
+                state.slot = self._alloc_slot()
+                state.cached_inter = -1
+                state.cached_tgt = None
+                self._write_mask_row(state)
+
+    def _remove_node(self, state: State) -> None:
+        super()._remove_node(state)
+        state.cached_inter = -1
+        state.cached_tgt = None
+        slot = state.slot
+        if slot >= 0:
+            # slot == -1 doubles as the liveness flag sources consult before
+            # trusting this state as their cached merge target.
+            state.slot = -1
+            self._free_slots.append(slot)
+            cis = self._ci_slot
+            if cis is not None:
+                cis[slot] = -1
+
+    def _drop_cache(self, state: State) -> None:
+        """Invalidate a state's outgoing derivation cache.
+
+        Called when the state gains content its cached target does not
+        share (a marked principal append or an incoming merge).  Pokes the
+        frame codes so a stale memo-hit code cannot be consumed later in
+        the same frame.
+        """
+        if state.cached_tgt is not None:
+            state.cached_tgt = None
+            state.cached_inter = -1
+            codes = self._frame_codes
+            if codes is not None:
+                codes[state.slot] = 0
+            cis = self._ci_slot
+            if cis is not None:
+                cis[state.slot] = -1
+
+    # ------------------------------------------------------------------
+    # Vectorised classification
+    # ------------------------------------------------------------------
+    def _build_matrices(self) -> None:
+        np = _np
+        rows = max(16, self._slot_hi)
+        self._masks = np.zeros((rows, self._mask_words), dtype="<u8")
+        self._ci_slot = np.full(rows, -1, dtype=np.int64)
+        for state in self._states:
+            slot = state.slot
+            if slot < 0:
+                continue
+            self._ensure_width(state.bits)
+            self._masks[slot] = self._row_words(state.bits)
+            tgt = state.cached_tgt
+            if tgt is not None and tgt.slot >= 0:
+                self._ci_slot[slot] = tgt.slot
+
+    def _classify(self, frame_bits: int) -> Optional[bytearray]:
+        """Per-slot visit-class codes for this frame.
+
+        Codes: 0 = no shortcut (scalar classification), 1 = memoised-partial
+        hit, 2 = subset, 3 = empty intersection.  The empty/subset/partial
+        split depends only on the immutable object masks, so those codes
+        stay valid all frame.  The hit lane exploits
+        ``cached_inter == cached_tgt.bits`` (a cache is only established
+        against the state keyed by the intersection): row ``s`` is a hit iff
+        its cached-target index is valid and ``(masks & frame)[s]`` equals
+        the target's mask row.  A stale index — dead target, recycled
+        target slot — can only produce a false hit or a false miss; the hit
+        consumer re-validates the cached target's liveness and a miss just
+        skips the shortcut.
+        """
+        if _np is None or len(self._states) < self._np_threshold:
+            return None
+        if (frame_bits.bit_length() + 63) // 64 < self._np_min_words \
+                and self._mask_words < self._np_min_words:
+            return None
+        if self._masks is None:
+            self._build_matrices()
+        self._ensure_width(frame_bits)
+        hi = self._slot_hi
+        if hi == 0:
+            return None
+        np = _np
+        f = self._row_words(frame_bits)
+        masks = self._masks[:hi]
+        inter = masks & f
+        cis = self._ci_slot[:hi]
+        hit = (cis >= 0) & (inter == self._masks[cis]).all(axis=1)
+        sub = (inter == masks).all(axis=1)
+        emp = ~inter.any(axis=1)
+        codes = np.where(hit, 1, np.where(sub, 2, np.where(emp, 3, 0)))
+        return bytearray(codes.astype(np.uint8).tobytes())
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _process(self, frame: FrameObservation, frame_bits: int) -> ResultStateSet:
+        frame_id = frame.frame_id
+        oldest_valid = self._oldest_valid_frame(frame_id)
+        self._expire_principals(oldest_valid)
+
+        result_candidates: Dict[ObjectBits, State] = {}
+        if frame_bits:
+            self._frame_codes = self._classify(frame_bits)
+            self._traverse_and_integrate(
+                frame_id, frame_bits, oldest_valid, result_candidates
+            )
+            self._frame_codes = None
+
+        self._track_live_states(len(self._states))
+        if len(self._edge_memo) > 64 * len(self._states) + 1024:
+            self._prune_edge_memo()
+        return self._report(frame_id, oldest_valid, result_candidates)
+
+    def _traverse_and_integrate(
+        self, frame_id: int, frame_bits: int, oldest_valid: int,
+        result_candidates: Dict[ObjectBits, State],
+    ) -> None:
+        principal, created = self._states.get_or_create(frame_bits)
+        if created:
+            self.stats.states_created += 1
+            if not self._keep_new_state(frame_bits):
+                principal.terminated = True
+                principal.add_frame(frame_id, marked=True)
+                return
+            self._register_node(principal)
+        elif principal.terminated:
+            return
+        else:
+            principal.expire_before(oldest_valid)
+        principal.span.append(frame_id, marked=True)
+        # The marked append is content the principal's cached merge target
+        # has not seen: the memoised derivation is no longer a no-op.
+        self._drop_cache(principal)
+        self.stats.frames_appended += 1
+        self._principals.setdefault(frame_bits, []).append(frame_id)
+
+        candidates: Dict[ObjectBits, None] = {}
+        stack: List[State] = []
+        for root in self._roots():
+            root_key = root.bits
+            if root_key == frame_bits:
+                continue
+            root_inter = root_key & frame_bits
+            if root_inter and root_inter != frame_bits:
+                candidates.setdefault(root_inter, None)
+            if root.flag != frame_id:
+                root.flag = frame_id
+                stack.append(root)
+        if stack:
+            self._traverse(stack, frame_bits, frame_id, oldest_valid,
+                           result_candidates)
+
+        self._connect_new_principal(principal, candidates)
+        span = principal.span
+        if span.frame_count >= self.config.duration:
+            result_candidates[frame_bits] = principal
+
+    def _traverse(
+        self,
+        stack: List[State],
+        frame_bits: int,
+        frame_id: int,
+        oldest_valid: int,
+        result_candidates: Dict[ObjectBits, State],
+    ) -> None:
+        """The oracle's DFS with precomputed visit classification.
+
+        Visit order, span contents, graph edits, state creations/removals,
+        candidate insertion order and every work counter match the
+        pure-Python walk exactly; the codes only replace per-visit big-int
+        classification, and the memo-hit lane skips work the oracle's own
+        memos prove redundant.
+        """
+        states = self._states
+        by_bits = states._by_bits
+        interner = self.interner
+        stats = self.stats
+        edge_memo = self._edge_memo
+        add_edge_memo = edge_memo.add
+        duration = self.config.duration
+        codes = self._frame_codes
+        removed = 0
+        survived = 0
+        appended = 0
+        trivial = 0
+        pop = stack.pop
+        push = stack.append
+        while stack:
+            state = pop()
+            key = state.bits
+
+            span = state.span
+            # The oracle's inlined window slide: trim the first run in place
+            # when no marks expire, fall back to the general expiry.
+            sp_head = span._head
+            sp_starts = span._starts
+            first = sp_starts[sp_head]
+            if first < oldest_valid:
+                marked = span._marked
+                mhead = span._mhead
+                if (span._ends[sp_head] >= oldest_valid
+                        and (mhead >= len(marked)
+                             or marked[mhead] >= oldest_valid)):
+                    span.frame_count -= oldest_valid - first
+                    sp_starts[sp_head] = oldest_valid
+                    span.revision += 1
+                else:
+                    span.expire_before(oldest_valid)
+            if span.marked_count == 0:
+                removed += 1
+                children = state.children
+                child_snapshot = list(children.values()) if children else None
+                states.remove(state)
+                self._remove_node(state)
+                if child_snapshot:
+                    for child in child_snapshot:
+                        if child.flag != frame_id:
+                            child.flag = frame_id
+                            push(child)
+                continue
+            survived += 1
+
+            # ---- visit classification --------------------------------
+            if codes is not None:
+                code = codes[state.slot]
+                if code:
+                    inter = -1
+                else:
+                    # Poked slot (allocated or invalidated mid-frame) or a
+                    # genuine partial overlap: classify scalar-side.
+                    inter = key & frame_bits
+                    if not inter:
+                        code = 3
+                    elif inter == key:
+                        code = 2
+                    elif inter == state.cached_inter:
+                        code = 1
+                    else:
+                        code = 0
+            else:
+                inter = key & frame_bits
+                if not inter:
+                    code = 3
+                elif inter == key:
+                    code = 2
+                elif inter == state.cached_inter:
+                    code = 1
+                else:
+                    code = 0
+
+            if code == 3:
+                # Empty intersection: prune the whole subtree.
+                if span.frame_count >= duration:
+                    result_candidates[key] = state
+                continue
+
+            if code == 2:
+                # Subset: append only (inlined FrameSpan.append fast paths).
+                sp_ends = span._ends
+                last = sp_ends[-1]
+                if last == frame_id - 1:
+                    sp_ends[-1] = frame_id
+                    span.frame_count += 1
+                    span.revision += 1
+                elif last != frame_id:
+                    span.append(frame_id)
+                appended += 1
+            else:
+                if code == 1:
+                    # Memoised hit: the derivation repeats with unchanged
+                    # content.  Valid only while the cached target is alive
+                    # and keeps a mark through this frame's slide — a dying
+                    # target must take the general path so its (stale-mark)
+                    # candidate insertion happens exactly where the oracle
+                    # performs it.
+                    tgt = state.cached_tgt
+                    if tgt.slot >= 0 and tgt.span._marked[-1] >= oldest_valid:
+                        # The merge is a no-op (source content is contained
+                        # in the target), the edge is memoised for the
+                        # lifetime of the pair, and the arriving frame
+                        # reaches the target through its own subset visit;
+                        # only the oracle's candidate bookkeeping remains.
+                        tspan = tgt.span
+                        fc = tspan.frame_count
+                        if tspan._ends[-1] != frame_id:
+                            fc += 1
+                        if fc >= duration and tspan.marked_count:
+                            result_candidates[state.cached_inter] = tgt
+                        appended += 1
+                        trivial += 1
+                        if span.frame_count >= duration:
+                            result_candidates[key] = state
+                        children = state.children
+                        if children:
+                            for child in children.values():
+                                if child.flag != frame_id:
+                                    child.flag = frame_id
+                                    push(child)
+                        continue
+                    # Dead or dying target: clear the cache (also releases
+                    # the reference keeping a removed state alive) and take
+                    # the general path.
+                    state.cached_inter = -1
+                    state.cached_tgt = None
+                    cis = self._ci_slot
+                    if cis is not None:
+                        cis[state.slot] = -1
+                    code = 0
+                if inter < 0:
+                    inter = key & frame_bits
+                target = by_bits.get(inter)
+                if target is None:
+                    target = State(inter, interner)
+                    by_bits[inter] = target
+                    stats.states_created += 1
+                    if not self._keep_new_state(inter):
+                        target.terminated = True
+                        target.add_frame(frame_id, marked=True)
+                        target = None  # type: ignore[assignment]
+                elif target.terminated:
+                    target = None  # type: ignore[assignment]
+                if target is not None:
+                    if target.children is None:
+                        self._register_node(target)
+                    tspan = target.span
+                    memo = tspan._merge_memo
+                    entry = memo.get(span.serial) if memo is not None else None
+                    if entry is not None and entry[0] == span.revision \
+                            and entry[3] == span.marks_revision:
+                        # Source unchanged: provable no-op.  The derivation is
+                        # stable — memoise it so the next repeat takes the
+                        # hit lane.  (Sound on this and the catch-up branch:
+                        # both certify the target holds the source's content.)
+                        state.cached_inter = inter
+                        state.cached_tgt = target
+                        cis = self._ci_slot
+                        if cis is not None:
+                            cis[state.slot] = target.slot
+                    elif (entry is not None
+                            and entry[1] == span.mid_revision
+                            and entry[3] == span.marks_revision
+                            and span._ends[-1] <= tspan._ends[-1]
+                            and tspan._starts[-1] <= entry[2] + 1):
+                        entry[0] = span.revision
+                        entry[2] = span._ends[-1]
+                        state.cached_inter = inter
+                        state.cached_tgt = target
+                        cis = self._ci_slot
+                        if cis is not None:
+                            cis[state.slot] = target.slot
+                    else:
+                        # The merge may splice in content the target's own
+                        # cached derivation has not seen.  (The no-op and
+                        # catch-up branches above add nothing beyond the tail
+                        # frame, which the target's cached target receives
+                        # through its own subset visit — no drop needed.)
+                        self._drop_cache(target)
+                        tspan.merge(span, True, entry)
+                    t_ends = tspan._ends
+                    last = t_ends[-1]
+                    if last == frame_id - 1:
+                        t_ends[-1] = frame_id
+                        tspan.frame_count += 1
+                        tspan.revision += 1
+                    elif last != frame_id:
+                        tspan.append(frame_id)
+                    appended += 1
+                    ekey = (span.serial, tspan.serial)
+                    if ekey not in edge_memo:
+                        self._add_edge(state, target)
+                        add_edge_memo(ekey)
+                    if tspan.frame_count >= duration and tspan.marked_count:
+                        result_candidates[inter] = target
+
+            if span.frame_count >= duration:
+                result_candidates[key] = state
+
+            children = state.children
+            if children:
+                for child in children.values():
+                    if child.flag != frame_id:
+                        child.flag = frame_id
+                        push(child)
+        stats.state_visits += survived + removed
+        stats.states_removed += removed
+        stats.intersections += survived
+        stats.frames_appended += appended
+        self.trivial_visits += trivial
+
+    # ------------------------------------------------------------------
+    # Bookkeeping / checkpointing
+    # ------------------------------------------------------------------
+    def _reset_impl(self) -> None:
+        super()._reset_impl()
+        self.trivial_visits = 0
+        self._frame_codes = None
+        self._free_slots = []
+        self._slot_hi = 0
+        self._masks = None
+        self._ci_slot = None
+        self._mask_words = 1
+
+    def _import_impl(self, payload: Dict) -> None:
+        self._free_slots = []
+        self._slot_hi = 0
+        self._masks = None
+        self._ci_slot = None
+        self._mask_words = 1
+        super()._import_impl(payload)
+        for state in self._states:
+            if not state.terminated and state.children is not None \
+                    and state.slot < 0:
+                state.slot = self._alloc_slot()
+                state.cached_inter = -1
+                state.cached_tgt = None

@@ -6,11 +6,11 @@ import enum
 from dataclasses import dataclass
 from typing import Optional, Type
 
+from repro.core.arraykernel import ssg_generator_class
 from repro.core.base import MCOSGenerator
 from repro.core.mfs import MarkedFrameSetGenerator
 from repro.core.naive import NaiveGenerator
 from repro.core.reference import ReferenceGenerator
-from repro.core.ssg import StrictStateGraphGenerator
 
 
 class MCOSMethod(enum.Enum):
@@ -23,11 +23,18 @@ class MCOSMethod(enum.Enum):
 
     @property
     def generator_class(self) -> Type[MCOSGenerator]:
-        """The generator class implementing this method."""
+        """The generator class implementing this method.
+
+        SSG resolves through :func:`repro.core.arraykernel.ssg_generator_class`
+        at every access, so the ``REPRO_KERNEL`` backend selection takes
+        effect per generator construction (both backends are byte-identical;
+        only the inner-loop machinery differs).
+        """
+        if self is MCOSMethod.SSG:
+            return ssg_generator_class()
         return {
             MCOSMethod.NAIVE: NaiveGenerator,
             MCOSMethod.MFS: MarkedFrameSetGenerator,
-            MCOSMethod.SSG: StrictStateGraphGenerator,
             MCOSMethod.REFERENCE: ReferenceGenerator,
         }[self]
 

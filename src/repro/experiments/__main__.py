@@ -15,21 +15,20 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict
 
-from repro.datasets.statistics import statistics_table
-from repro.experiments import figures
-from repro.experiments.report import render_experiment
-
-EXPERIMENTS: Dict[str, Callable] = {
-    "figure4": figures.figure4_total_frames,
-    "figure5": figures.figure5_duration,
-    "figure6": figures.figure6_window_size,
-    "figure7": figures.figure7_occlusion,
-    "figure8": figures.figure8_query_count,
-    "figure9": figures.figure9_nmin,
-    "figure10": figures.figure10_end_to_end,
-}
+#: Names of the figure experiments the default (no ``--bench``) run covers.
+#: They resolve to callables lazily inside :func:`main` because the figures
+#: stack needs the numpy-backed dataset simulator, while the streaming and
+#: pool benchmarks must stay runnable on machines without numpy.
+EXPERIMENT_NAMES = (
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+)
 
 
 def main(argv=None) -> int:
@@ -59,9 +58,9 @@ def main(argv=None) -> int:
                              "streaming/pool (default 400)")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for --bench pool (default 4; "
-                             "the skew scenario defaults to 2)")
+                             "the skew and chaos scenarios default to 2)")
     parser.add_argument("--scenario", choices=["throughput", "skew", "chaos"],
-                        default="throughput",
+                        default=None,
                         help="--bench pool scenario: 'throughput' (default) "
                              "compares pool/router/sequential serving; "
                              "'skew' drives one hot stream at 4x its "
@@ -77,6 +76,26 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="shrink --bench pool to a CI-sized workload")
     args = parser.parse_args(argv)
+
+    # Flags scoped to a benchmark mode are rejected elsewhere instead of
+    # being silently dropped.
+    if args.bench != "pool":
+        where = f"--bench {args.bench}" if args.bench else "the figures run"
+        for flag, value in (("--scenario", args.scenario),
+                            ("--workers", args.workers)):
+            if value is not None:
+                parser.error(f"{flag} only applies to --bench pool, not {where}")
+        if args.smoke:
+            parser.error(f"--smoke only applies to --bench pool, not {where}")
+    if args.bench not in ("streaming", "pool"):
+        where = f"--bench {args.bench}" if args.bench else "the figures run"
+        for flag, value in (("--feeds", args.feeds), ("--frames", args.frames)):
+            if value is not None:
+                parser.error(
+                    f"{flag} only applies to --bench streaming/pool, not {where}"
+                )
+    if args.scenario is None:
+        args.scenario = "throughput"
 
     if args.bench == "kernel":
         from repro.experiments.kernel_bench import (
@@ -145,7 +164,23 @@ def main(argv=None) -> int:
         print(render_pool_report(report))
         return 0
 
-    selected = args.only or ["table6", *EXPERIMENTS]
+    from repro.datasets.statistics import statistics_table
+    from repro.experiments import figures
+    from repro.experiments.report import render_experiment
+
+    experiments = {
+        name: getattr(figures, attr)
+        for name, attr in zip(EXPERIMENT_NAMES, (
+            "figure4_total_frames",
+            "figure5_duration",
+            "figure6_window_size",
+            "figure7_occlusion",
+            "figure8_query_count",
+            "figure9_nmin",
+            "figure10_end_to_end",
+        ))
+    }
+    selected = args.only or ["table6", *experiments]
     for name in selected:
         start = time.perf_counter()
         if name == "table6":
@@ -153,11 +188,11 @@ def main(argv=None) -> int:
                 else figures.table6_statistics(args.datasets, scale=args.scale)
             print("== table6: dataset statistics ==")
             print(statistics_table(stats))
-        elif name in EXPERIMENTS:
+        elif name in experiments:
             kwargs = {"scale": args.scale}
             if args.datasets and name not in ("figure8", "figure9"):
                 kwargs["datasets"] = args.datasets
-            result = EXPERIMENTS[name](**kwargs)
+            result = experiments[name](**kwargs)
             print(render_experiment(result))
         else:
             print(f"unknown experiment {name!r}", file=sys.stderr)

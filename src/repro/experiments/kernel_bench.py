@@ -25,6 +25,7 @@ import json
 import os
 from typing import Dict, Optional, Sequence
 
+from repro.core.arraykernel import select_kernel
 from repro.datasets.registry import load_relation
 from repro.engine.config import MCOSMethod
 from repro.experiments.figures import _window_duration
@@ -54,12 +55,17 @@ def run_kernel_benchmark(
     ``output_path=None`` to skip writing the JSON file.
     """
     window, duration = _window_duration(scale)
+    kernel_backend = select_kernel()
     report: Dict = {
         "benchmark": "kernel",
         "scale": scale,
         "window": window,
         "duration": duration,
         "repeats": repeats,
+        # Which SSG inner-loop backend ran (repro.core.arraykernel): "array"
+        # when numpy vectorisation was active, "python" for the pure-Python
+        # oracle.  Both produce byte-identical results; only speed differs.
+        "kernel_backend": kernel_backend,
         "datasets": {},
     }
     totals: Dict[str, Dict[str, float]] = {
@@ -81,6 +87,8 @@ def run_kernel_benchmark(
                 "result_states": best.result_states,
                 "stats": best.stats.as_dict(),
             }
+            if method is MCOSMethod.SSG:
+                entry["methods"][method.value]["kernel"] = kernel_backend
             totals[method.value]["frames"] += relation.num_frames
             totals[method.value]["seconds"] += best.seconds
         report["datasets"][name] = entry
@@ -165,6 +173,7 @@ def render_report(report: Dict) -> str:
     lines = [
         f"kernel benchmark  scale={report['scale']}  "
         f"w={report['window']} d={report['duration']}  "
+        f"ssg-kernel={report.get('kernel_backend', 'python')}  "
         f"(best of {report['repeats']})",
         f"{'dataset':9s} {'method':7s} {'seconds':>9s} {'frames/s':>10s}"
         f" {'speedup':>8s}",

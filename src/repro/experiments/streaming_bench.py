@@ -238,6 +238,11 @@ def _verify_equivalence(
 #: Worker processes of the default pool benchmark configuration.
 DEFAULT_WORKERS = 4
 
+#: Worker processes of the skew and chaos scenarios.  Their workloads are
+#: deliberately small (few feeds, seeded fault plans), so more workers only
+#: add process startup overhead; the CLI help documents both defaults.
+DEFAULT_SCENARIO_WORKERS = 2
+
 
 def _available_parallelism() -> int:
     """CPUs this process may actually run on (affinity-aware)."""
@@ -510,7 +515,7 @@ def run_skew_benchmark(
     queries_per_group: int = 2,
     method: MCOSMethod = MCOSMethod.SSG,
     batch_size: int = 16,
-    workers: int = 2,
+    workers: int = DEFAULT_SCENARIO_WORKERS,
     dispatch_batch: int = 32,
     checkpoint_every: int = 16,
     seed: int = 7,
@@ -722,7 +727,7 @@ def run_chaos_benchmark(
     queries_per_group: int = 2,
     method: MCOSMethod = MCOSMethod.SSG,
     batch_size: int = 16,
-    workers: int = 2,
+    workers: int = DEFAULT_SCENARIO_WORKERS,
     dispatch_batch: int = 16,
     checkpoint_every: int = 8,
     seed: int = 7,

@@ -1,0 +1,191 @@
+"""Unit tests for the array SSG kernel's flat-array machinery.
+
+The differential suite (``test_array_differential.py``) pins whole-stream
+byte-identity; these tests cover the kernel's building blocks in isolation:
+backend selection, bitmask <-> mask-row conversion, the vectorised visit
+classification against its scalar definition, and slot lifecycle.
+"""
+
+import pytest
+
+import repro.core.arraykernel as arraykernel
+from repro.core.arraykernel import (
+    ArraySSGGenerator,
+    numpy_available,
+    select_kernel,
+    ssg_generator_class,
+)
+from repro.core.ssg import StrictStateGraphGenerator
+
+from tests.conftest import bursty_stream
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="array kernel requires numpy"
+)
+
+
+class TestKernelSelection:
+    def test_python_aliases(self, monkeypatch):
+        for value in ("python", "oracle", "PYTHON", " Oracle "):
+            monkeypatch.setenv("REPRO_KERNEL", value)
+            assert select_kernel() == "python"
+            assert ssg_generator_class() is StrictStateGraphGenerator
+
+    @needs_numpy
+    def test_auto_prefers_array(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert select_kernel() == "array"
+        assert ssg_generator_class() is ArraySSGGenerator
+        monkeypatch.setenv("REPRO_KERNEL", "auto")
+        assert select_kernel() == "array"
+
+    @needs_numpy
+    def test_array_aliases(self, monkeypatch):
+        for value in ("array", "numpy"):
+            monkeypatch.setenv("REPRO_KERNEL", value)
+            assert select_kernel() == "array"
+
+    def test_unknown_value_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "fortran")
+        with pytest.raises(ValueError, match="REPRO_KERNEL"):
+            select_kernel()
+
+    def test_without_numpy_auto_falls_back(self, monkeypatch):
+        monkeypatch.setattr(arraykernel, "_np", None)
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert not numpy_available()
+        assert select_kernel() == "python"
+        assert ssg_generator_class() is StrictStateGraphGenerator
+
+    def test_without_numpy_forced_array_raises(self, monkeypatch):
+        monkeypatch.setattr(arraykernel, "_np", None)
+        monkeypatch.setenv("REPRO_KERNEL", "array")
+        with pytest.raises(RuntimeError, match="numpy"):
+            select_kernel()
+
+
+@needs_numpy
+class TestMaskRows:
+    def test_bits_roundtrip_through_mask_row(self):
+        gen = ArraySSGGenerator(window_size=5, duration=3)
+        for bits in (1, 0b1011, (1 << 63) | 1, (1 << 64) - 1,
+                     (1 << 200) | (1 << 77) | 0b101, (1 << 300) - 1):
+            gen._ensure_width(bits)
+            row = gen._row_words(bits)
+            assert len(row) == gen._mask_words
+            assert int.from_bytes(row.tobytes(), "little") == bits
+
+    def test_ensure_width_grows_monotonically(self):
+        gen = ArraySSGGenerator(window_size=5, duration=3)
+        assert gen._mask_words == 1
+        gen._ensure_width((1 << 70))
+        assert gen._mask_words == 2
+        gen._ensure_width(1)  # never narrows
+        assert gen._mask_words == 2
+
+
+@needs_numpy
+class TestClassification:
+    def test_codes_match_scalar_definition(self, monkeypatch):
+        """The vectorised per-slot codes equal the scalar classification.
+
+        With matrices built fresh from live state (no mid-frame pokes), a
+        slot's code must be: 1 when its live cached derivation matches the
+        intersection, else 2 for a subset, 3 for an empty intersection and
+        0 for a general partial overlap.
+        """
+        monkeypatch.setenv("REPRO_ARRAY_THRESHOLD", "1")
+        monkeypatch.setenv("REPRO_ARRAY_MIN_WORDS", "1")
+        relation = bursty_stream(19, num_frames=60)
+        gen = ArraySSGGenerator(window_size=8, duration=5)
+        probes = []
+        for frame in relation.frames():
+            gen.process_frame(frame)
+            probes.append(gen.interner.intern_ids(frame.object_ids))
+        # Rebuild matrices from the final live state, then probe every
+        # frame mask the stream produced.
+        gen._masks = None
+        gen._ci_slot = None
+        live = [s for s in gen._states if s.children is not None]
+        assert live, "stream must leave live graph states behind"
+        for frame_bits in filter(None, probes):
+            codes = gen._classify(frame_bits)
+            assert codes is not None
+            for state in live:
+                inter = state.bits & frame_bits
+                tgt = state.cached_tgt
+                if (tgt is not None and tgt.slot >= 0
+                        and inter == state.cached_inter):
+                    expected = 1
+                elif inter == state.bits:
+                    expected = 2
+                elif not inter:
+                    expected = 3
+                else:
+                    expected = 0
+                assert codes[state.slot] == expected, (
+                    f"slot {state.slot}: bits={state.bits:#x} "
+                    f"frame={frame_bits:#x}"
+                )
+
+    def test_narrow_population_skips_matrix_by_default(self):
+        gen = ArraySSGGenerator(window_size=8, duration=5)
+        relation = bursty_stream(19, num_frames=40)
+        for frame in relation.frames():
+            gen.process_frame(frame)
+        # A 10-object universe is narrow and the population is tiny: the
+        # default thresholds keep classification scalar (no matrix built).
+        assert gen._classify(0b111) is None
+        assert gen._masks is None
+
+
+@needs_numpy
+class TestSlotLifecycle:
+    def test_alloc_free_reuse(self):
+        gen = ArraySSGGenerator(window_size=5, duration=3)
+        a = gen._alloc_slot()
+        b = gen._alloc_slot()
+        assert (a, b) == (0, 1)
+        assert gen._slot_hi == 2
+        gen._free_slots.append(b)
+        assert gen._alloc_slot() == b  # freed slots are reused
+        assert gen._slot_hi == 2
+
+    def test_alloc_maintains_frame_codes(self):
+        gen = ArraySSGGenerator(window_size=5, duration=3)
+        first = gen._alloc_slot()
+        gen._frame_codes = bytearray(b"\x02")
+        gen._free_slots.append(first)
+        assert gen._alloc_slot() == first
+        assert gen._frame_codes[first] == 0  # reused slot is poked
+        fresh = gen._alloc_slot()
+        assert len(gen._frame_codes) == fresh + 1  # extended with zeros
+        assert gen._frame_codes[fresh] == 0
+
+    def test_stream_keeps_slots_consistent(self):
+        relation = bursty_stream(29, num_frames=80)
+        gen = ArraySSGGenerator(window_size=6, duration=4)
+        for frame in relation.frames():
+            gen.process_frame(frame)
+            live_slots = [s.slot for s in gen._states
+                          if s.children is not None]
+            assert all(slot >= 0 for slot in live_slots)
+            assert len(set(live_slots)) == len(live_slots)  # no aliasing
+            assert not set(live_slots) & set(gen._free_slots)
+            assert gen._slot_hi >= (max(live_slots) + 1 if live_slots else 0)
+
+    def test_removed_state_slot_is_recycled(self):
+        gen = ArraySSGGenerator(window_size=4, duration=2)
+        relation = bursty_stream(31, num_frames=40)
+        removed_any = False
+        seen = {}
+        for frame in relation.frames():
+            gen.process_frame(frame)
+            for state in gen._states:
+                seen[id(state)] = state
+        dead = [s for s in seen.values() if s.children is None]
+        if dead:
+            removed_any = True
+            assert all(s.slot == -1 for s in dead)
+            assert all(s.cached_tgt is None for s in dead)
+        assert removed_any, "stream should have removed at least one state"

@@ -1,6 +1,9 @@
 """Tests for the dataset generators, statistics and occlusion augmentation."""
 
 import pytest
+pytest.importorskip(
+    "numpy", reason="the simulated vision/dataset pipeline requires numpy"
+)
 
 from repro.datamodel import VideoRelation
 from repro.datasets import (

@@ -2,21 +2,35 @@
 
 import pytest
 
+from repro.core.arraykernel import ssg_generator_class
 from repro.core.base import GeneratorStats
 from repro.core.mfs import MarkedFrameSetGenerator
 from repro.core.naive import NaiveGenerator
 from repro.core.reference import ReferenceGenerator
 from repro.core.ssg import StrictStateGraphGenerator
 from repro.engine.config import EngineConfig, MCOSMethod
-from repro.experiments.harness import ExperimentResult, MethodTiming
+
+try:
+    from repro.experiments.harness import ExperimentResult, MethodTiming
+except ImportError:  # the experiments harness needs the numpy-backed datasets
+    ExperimentResult = MethodTiming = None
 
 
 class TestMCOSMethod:
     def test_generator_classes(self):
         assert MCOSMethod.NAIVE.generator_class is NaiveGenerator
         assert MCOSMethod.MFS.generator_class is MarkedFrameSetGenerator
-        assert MCOSMethod.SSG.generator_class is StrictStateGraphGenerator
+        # SSG resolves through the kernel selector: the array subclass when
+        # numpy is available, the pure-Python generator otherwise.  Either
+        # way it is (a subclass of) the SSG generator.
+        assert MCOSMethod.SSG.generator_class is ssg_generator_class()
+        assert issubclass(MCOSMethod.SSG.generator_class,
+                          StrictStateGraphGenerator)
         assert MCOSMethod.REFERENCE.generator_class is ReferenceGenerator
+
+    def test_ssg_backend_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "python")
+        assert MCOSMethod.SSG.generator_class is StrictStateGraphGenerator
 
 
 class TestEngineConfig:
@@ -51,6 +65,10 @@ class TestGeneratorStats:
         assert set(data) == set(GeneratorStats.__dataclass_fields__)
 
 
+@pytest.mark.skipif(
+    ExperimentResult is None,
+    reason="the experiments harness requires numpy",
+)
 class TestExperimentResult:
     def _result(self):
         result = ExperimentResult("demo", "demo experiment")

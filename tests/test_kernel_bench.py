@@ -2,6 +2,12 @@
 
 import json
 
+import pytest
+
+pytest.importorskip(
+    "numpy", reason="the simulated vision/dataset pipeline requires numpy"
+)
+
 from repro.experiments.kernel_bench import render_report, run_kernel_benchmark
 
 

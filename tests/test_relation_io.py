@@ -1,6 +1,9 @@
 """Round-trip tests for the relation persistence formats."""
 
 import pytest
+pytest.importorskip(
+    "numpy", reason="the simulated vision/dataset pipeline requires numpy"
+)
 
 from repro.datamodel import VideoRelation
 from repro.datamodel.io import (

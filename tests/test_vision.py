@@ -1,7 +1,10 @@
 """Tests for the simulated vision substrate: geometry, world, detector, tracker."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip(
+    "numpy", reason="the simulated vision pipeline requires numpy"
+)
 
 from repro.vision import (
     BoundingBox,

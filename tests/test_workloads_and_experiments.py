@@ -2,6 +2,10 @@
 
 import pytest
 
+pytest.importorskip(
+    "numpy", reason="the simulated vision/dataset pipeline requires numpy"
+)
+
 from repro.engine.config import MCOSMethod
 from repro.experiments import (
     figure4_total_frames,
@@ -120,3 +124,93 @@ class TestFigures:
         result = figure5_duration(datasets=("V1",), scale=SCALE, durations=(8,))
         speedups = result.speedup("NAIVE", "MFS")
         assert all(value > 0 for value in speedups.values())
+
+
+class TestExperimentsCLIValidation:
+    """``python -m repro.experiments`` rejects flags outside their mode.
+
+    Regression tests: these combinations used to parse fine and silently
+    drop the flag, leaving the user running a different benchmark than the
+    command line said.
+    """
+
+    @staticmethod
+    def _main(argv):
+        from repro.experiments.__main__ import main
+        return main(argv)
+
+    @pytest.mark.parametrize("argv", [
+        ["--scenario", "skew"],                       # figures mode
+        ["--smoke"],                                  # figures mode
+        ["--workers", "2"],                           # figures mode
+        ["--feeds", "4"],                             # figures mode
+        ["--frames", "100"],                          # figures mode
+        ["--bench", "kernel", "--scenario", "chaos"],
+        ["--bench", "kernel", "--smoke"],
+        ["--bench", "kernel", "--feeds", "4"],
+        ["--bench", "kernel", "--frames", "50"],
+        ["--bench", "kernel", "--workers", "2"],
+        ["--bench", "streaming", "--scenario", "skew"],
+        ["--bench", "streaming", "--smoke"],
+        ["--bench", "streaming", "--workers", "2"],
+    ])
+    def test_out_of_scope_flags_are_rejected(self, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            self._main(argv)
+        assert excinfo.value.code == 2  # argparse parser.error exit code
+
+    def test_error_names_the_flag_and_mode(self, capsys):
+        with pytest.raises(SystemExit):
+            self._main(["--bench", "kernel", "--scenario", "skew"])
+        err = capsys.readouterr().err
+        assert "--scenario" in err and "--bench pool" in err
+
+    def test_figures_error_names_figures_mode(self, capsys):
+        with pytest.raises(SystemExit):
+            self._main(["--smoke"])
+        err = capsys.readouterr().err
+        assert "--smoke" in err and "figures" in err
+
+    def test_pool_scoped_flags_still_parse_for_pool(self):
+        # Only checks argument acceptance: patch the benchmark runner out.
+        import repro.experiments.streaming_bench as streaming_bench
+        from unittest import mock
+        with mock.patch.object(streaming_bench, "run_skew_benchmark",
+                               return_value={}) as run, \
+             mock.patch.object(streaming_bench, "render_skew_report",
+                               return_value=""):
+            assert self._main(["--bench", "pool", "--scenario", "skew",
+                               "--smoke", "--workers", "3"]) == 0
+        assert run.call_args.kwargs["workers"] == 3
+        assert run.call_args.kwargs["smoke"] is True
+
+
+class TestWorkerDefaults:
+    """The CLI help and the scenario defaults must agree (regression: the
+    help text claimed only skew defaulted to 2 workers while chaos did too).
+    """
+
+    def test_scenario_defaults_share_the_constant(self):
+        import inspect
+        from repro.experiments.streaming_bench import (
+            DEFAULT_SCENARIO_WORKERS,
+            DEFAULT_WORKERS,
+            run_chaos_benchmark,
+            run_pool_benchmark,
+            run_skew_benchmark,
+        )
+        assert DEFAULT_WORKERS == 4
+        assert DEFAULT_SCENARIO_WORKERS == 2
+        pool = inspect.signature(run_pool_benchmark).parameters["workers"]
+        skew = inspect.signature(run_skew_benchmark).parameters["workers"]
+        chaos = inspect.signature(run_chaos_benchmark).parameters["workers"]
+        assert pool.default == DEFAULT_WORKERS
+        assert skew.default == DEFAULT_SCENARIO_WORKERS
+        assert chaos.default == DEFAULT_SCENARIO_WORKERS
+
+    def test_workers_help_documents_both_defaults(self):
+        import inspect
+        from repro.experiments import __main__ as cli
+        source = inspect.getsource(cli)
+        assert "default 4" in source
+        assert "skew and chaos scenarios default to 2" in source
