@@ -59,7 +59,8 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for --bench pool (default 4; "
                              "the skew and chaos scenarios default to 2)")
-    parser.add_argument("--scenario", choices=["throughput", "skew", "chaos"],
+    parser.add_argument("--scenario",
+                        choices=["throughput", "skew", "chaos", "drift"],
                         default=None,
                         help="--bench pool scenario: 'throughput' (default) "
                              "compares pool/router/sequential serving; "
@@ -72,7 +73,12 @@ def main(argv=None) -> int:
                              "failures) plus a poison-input degraded-mode "
                              "run, recording recovery latency and "
                              "degraded throughput in BENCH_pool.json "
-                             "under 'chaos'")
+                             "under 'chaos'; 'drift' moves the hotspot "
+                             "between feeds mid-run and exercises the "
+                             "self-managing pool — autonomous rebalance "
+                             "triggers, shared-memory dispatch and elastic "
+                             "grow/shrink — recording trigger convergence "
+                             "in BENCH_pool.json under 'drift'")
     parser.add_argument("--smoke", action="store_true",
                         help="shrink --bench pool to a CI-sized workload")
     args = parser.parse_args(argv)
@@ -133,6 +139,21 @@ def main(argv=None) -> int:
             kwargs["workers"] = args.workers
         report = run_skew_benchmark(**kwargs)
         print(render_skew_report(report))
+        return 0
+
+    if args.bench == "pool" and args.scenario == "drift":
+        from repro.experiments.streaming_bench import (
+            render_drift_report, run_drift_benchmark,
+        )
+        kwargs = {"smoke": args.smoke}
+        if args.feeds is not None:
+            kwargs["num_feeds"] = args.feeds
+        if args.frames is not None:
+            kwargs["frames_per_feed"] = args.frames
+        if args.workers is not None:
+            kwargs["workers"] = args.workers
+        report = run_drift_benchmark(**kwargs)
+        print(render_drift_report(report))
         return 0
 
     if args.bench == "pool" and args.scenario == "chaos":

@@ -49,6 +49,8 @@ from repro.streaming.supervision import SupervisionConfig
 from repro.streaming.router import StreamRouter, group_queries_by_window
 from repro.workloads.streams import (
     bench_scenario,
+    drifting_hotspot_scenario,
+    interleave_drifting,
     interleave_feeds,
     interleave_skewed,
     skewed_scenario,
@@ -431,7 +433,7 @@ def run_pool_benchmark(
 #: throughput report.  Every scenario writer and the carry-over logic in
 #: :func:`_write_pool_bench_json` share this one list, so adding a scenario
 #: cannot silently lose another's recording.
-POOL_SCENARIO_KEYS: Sequence[str] = ("skew", "chaos")
+POOL_SCENARIO_KEYS: Sequence[str] = ("skew", "chaos", "drift")
 
 
 def _write_pool_bench_json(
@@ -977,6 +979,284 @@ def run_chaos_benchmark(
             output_path, chaos_report, scenario_key="chaos"
         )
     return chaos_report
+
+
+#: Window groups of the drift scenario (two groups keep the workload light —
+#: the interesting axis is the self-managing trigger, not workload width).
+DRIFT_GROUPS: Sequence[Tuple[int, int]] = ((24, 16), (36, 24))
+
+
+def run_drift_benchmark(
+    num_feeds: int = 6,
+    frames_per_feed: int = 150,
+    hot_factor: int = 4,
+    phases: int = 2,
+    groups: Sequence[Tuple[int, int]] = DRIFT_GROUPS,
+    queries_per_group: int = 2,
+    method: MCOSMethod = MCOSMethod.SSG,
+    batch_size: int = 16,
+    workers: int = DEFAULT_SCENARIO_WORKERS,
+    dispatch_batch: int = 32,
+    checkpoint_every: int = 16,
+    seed: int = 7,
+    smoke: bool = False,
+    output_path: Optional[str] = "BENCH_pool.json",
+) -> Dict:
+    """The self-managing-pool scenario (``--bench pool --scenario drift``).
+
+    A *drifting* hotspot — the hot camera feed changes identity mid-run
+    (:func:`~repro.workloads.streams.drifting_hotspot_scenario`) — defeats
+    any placement decision made at stream arrival: the layout that was
+    right for phase 0 is wrong for phase 1.  Three runs over the identical
+    event sequence exercise everything the pool can do about it on its
+    own:
+
+    * **auto_rebalance** — the pool with autonomous rebalance triggers
+      armed (aggressive knobs so drift resolves in benchmark time).  The
+      supervisor must fire at least once *by itself* — no caller ever
+      invokes ``rebalance()`` — and the report records every trigger:
+      what drifted (offered-load vs wall-clock-rate signal), the planned
+      migrations, the convergence time (``rebalance_seconds``: flush
+      barrier + checkpoint/ship/adopt round trips) and the post-trigger
+      imbalance;
+    * **shared_memory** — the identical workload dispatched through
+      ``multiprocessing.shared_memory`` ring segments, diffed
+      byte-identical against the default pickled-queue path;
+    * **elastic** — grow from ``workers`` to ``workers + 2`` mid-run (new
+      workers adopt via the restore-from-checkpoint path), rebalance onto
+      the larger fleet, then shrink back (retiring workers' streams
+      migrate to survivors) — all while serving.
+
+    Every run's matches are verified byte-identical to the single-process
+    router oracle; self-management never buys a single changed byte.
+    """
+    if smoke:
+        num_feeds = min(num_feeds, 4)
+        frames_per_feed = min(frames_per_feed, 60)
+        workers = min(workers, 2)
+    if workers < 2:
+        raise ValueError(
+            f"the drift scenario needs at least 2 workers, got {workers}"
+        )
+    if workers >= num_feeds:
+        raise ValueError(
+            f"the drift scenario needs more feeds than workers to create "
+            f"placement contention, got {num_feeds} feeds for {workers} "
+            "workers"
+        )
+    feeds, queries, hot_streams = drifting_hotspot_scenario(
+        num_feeds, frames_per_feed, groups, queries_per_group, seed,
+        hot_factor=hot_factor, phases=phases,
+    )
+    events = interleave_drifting(feeds, hot_streams, hot_factor)
+    total_frames = sum(relation.num_frames for relation in feeds.values())
+
+    # --- oracle: the single-process router --------------------------------
+    router = StreamRouter(
+        queries, method=method, batch_size=batch_size, restrict_labels=False
+    )
+    router.route_many(events)
+    router.flush()
+    oracle_report = match_report(
+        {sid: router.matches_for(sid) for sid in router.stream_ids()}
+    )
+
+    def make_pool(**kwargs) -> ShardWorkerPool:
+        return ShardWorkerPool(
+            StreamRouter(
+                queries, method=method, batch_size=batch_size,
+                restrict_labels=False,
+            ),
+            num_workers=workers,
+            dispatch_batch=dispatch_batch,
+            checkpoint_every=checkpoint_every,
+            **kwargs,
+        )
+
+    def verify(pool: ShardWorkerPool, label: str) -> None:
+        actual = match_report(
+            {sid: pool.matches_for(sid) for sid in pool.stream_ids()}
+        )
+        if actual != oracle_report:
+            raise AssertionError(
+                f"{label} pool matches diverged from the single-process "
+                "router"
+            )
+
+    def throughput(seconds: float) -> float:
+        return round(total_frames / seconds, 2) if seconds else 0.0
+
+    # Aggressive trigger knobs: the benchmark run lasts fractions of a
+    # second, so the production-scale defaults (multi-second windows)
+    # would never evaluate.  The knobs are part of the recorded scenario.
+    auto_knobs = {
+        "watermark": 1.2,
+        "interval": 0.02,
+        "cooldown": 0.1,
+        "min_frames": 32,
+        "hysteresis": 1,
+        "policy": "least-loaded",
+    }
+
+    # --- auto_rebalance: the supervisor fires on its own ------------------
+    pool = make_pool(auto_rebalance=auto_knobs)
+    pool.start()
+    try:
+        start = time.perf_counter()
+        pool.route_many(events)
+        pool.flush()
+        auto_seconds = time.perf_counter() - start
+        verify(pool, "auto-rebalance")
+        stats = pool.stats()["pool"]
+        final_loads = [load["frames"] for load in pool.worker_loads()]
+    except BaseException:
+        pool.terminate()
+        raise
+    pool.stop()
+    ledger = stats["supervision"]["auto_rebalance"]
+    if ledger["fired"] < 1:
+        raise AssertionError(
+            "the drifting hotspot never fired the autonomous rebalance "
+            f"trigger ({ledger['evaluations']} drift evaluations, last "
+            f"{ledger['last_drift']})"
+        )
+    auto = {
+        "knobs": dict(auto_knobs),
+        "seconds": round(auto_seconds, 5),
+        "aggregate_frames_per_sec": throughput(auto_seconds),
+        "drift_evaluations": ledger["evaluations"],
+        "triggers_fired": ledger["fired"],
+        "migrations_total": sum(
+            event.get("migrations", 0) for event in ledger["events"]
+        ),
+        "convergence_seconds": [
+            event["rebalance_seconds"]
+            for event in ledger["events"]
+            if "rebalance_seconds" in event
+        ],
+        "post_trigger_imbalance": [
+            event["offered_ratio_after"]
+            for event in ledger["events"]
+            if "offered_ratio_after" in event
+        ],
+        "final_imbalance": _load_imbalance(final_loads),
+        "events": [dict(event) for event in ledger["events"]],
+        "results_verified_identical": True,
+    }
+
+    # --- shared_memory: ring-segment dispatch vs the pickled queues -------
+    pool = make_pool(shared_memory=True)
+    pool.start()
+    try:
+        start = time.perf_counter()
+        pool.route_many(events)
+        pool.flush()
+        shm_seconds = time.perf_counter() - start
+        verify(pool, "shared-memory")
+        shm_stats = pool.stats()["pool"]["shared_memory"]
+    except BaseException:
+        pool.terminate()
+        raise
+    pool.stop()
+    shared = {
+        "seconds": round(shm_seconds, 5),
+        "aggregate_frames_per_sec": throughput(shm_seconds),
+        "enabled": shm_stats["enabled"],
+        "dispatches": shm_stats["dispatches"],
+        "fallbacks": shm_stats["fallbacks"],
+        "results_verified_identical": True,
+    }
+
+    # --- elastic: grow mid-run, rebalance onto the larger fleet, shrink ---
+    pool = make_pool()
+    pool.start()
+    try:
+        third = len(events) // 3
+        start = time.perf_counter()
+        pool.route_many(events[:third])
+        added = pool.grow(2)
+        grow_plan = pool.rebalance(policy="least-loaded")
+        pool.route_many(events[third:2 * third])
+        retired = pool.shrink(2)
+        pool.route_many(events[2 * third:])
+        pool.flush()
+        elastic_seconds = time.perf_counter() - start
+        verify(pool, "elastic")
+        elastic_stats = pool.stats()["pool"]["elastic"]
+    except BaseException:
+        pool.terminate()
+        raise
+    pool.stop()
+    elastic = {
+        "seconds": round(elastic_seconds, 5),
+        "aggregate_frames_per_sec": throughput(elastic_seconds),
+        "grown_workers": added,
+        "migrations_onto_grown": len(grow_plan),
+        "retired_workers": retired,
+        "grown": elastic_stats["grown"],
+        "shrunk": elastic_stats["shrunk"],
+        "results_verified_identical": True,
+    }
+
+    drift_report: Dict = {
+        "scenario": "drift",
+        "method": method.value,
+        "feeds": num_feeds,
+        "frames_per_feed": frames_per_feed,
+        "hot_streams": list(hot_streams),
+        "hot_factor": hot_factor,
+        "phases": phases,
+        "total_source_frames": total_frames,
+        "queries": len(queries),
+        "workers": workers,
+        "seed": seed,
+        "smoke": smoke,
+        "cpus": _available_parallelism(),
+        "auto_rebalance": auto,
+        "shared_memory": shared,
+        "elastic": elastic,
+        "results_verified_identical": True,
+    }
+
+    if output_path:
+        drift_report["__written_to__"] = _write_pool_bench_json(
+            output_path, drift_report, scenario_key="drift"
+        )
+    return drift_report
+
+
+def render_drift_report(report: Dict) -> str:
+    """Plain-text table of the drift (self-managing pool) report."""
+    auto = report["auto_rebalance"]
+    shared = report["shared_memory"]
+    elastic = report["elastic"]
+    convergence = auto["convergence_seconds"]
+    post = auto["post_trigger_imbalance"]
+    lines = [
+        f"pool drift benchmark  method={report['method']}  "
+        f"feeds={report['feeds']} (hot x{report['hot_factor']}, "
+        f"{report['phases']} phases: {'->'.join(report['hot_streams'])})  "
+        f"workers={report['workers']}  cpus={report['cpus']}",
+        f"{'run':24s} {'seconds':>9s} {'frames/s':>10s}",
+        f"{'auto-rebalance':24s} {auto['seconds']:9.3f} "
+        f"{auto['aggregate_frames_per_sec']:10.1f}",
+        f"{'shared-memory dispatch':24s} {shared['seconds']:9.3f} "
+        f"{shared['aggregate_frames_per_sec']:10.1f}",
+        f"{'elastic grow/shrink':24s} {elastic['seconds']:9.3f} "
+        f"{elastic['aggregate_frames_per_sec']:10.1f}",
+        f"auto: {auto['triggers_fired']} autonomous trigger(s) over "
+        f"{auto['drift_evaluations']} evaluations, "
+        f"{auto['migrations_total']} migration(s), convergence "
+        f"{convergence}s, post-trigger imbalance {post} "
+        f"(final {auto['final_imbalance']})",
+        f"shm: {shared['dispatches']} ring dispatch(es), "
+        f"{shared['fallbacks']} queue fallback(s)",
+        f"elastic: grew {elastic['grown_workers']} "
+        f"({elastic['migrations_onto_grown']} migrations onto them), "
+        f"retired {elastic['retired_workers']}",
+        "matches byte-identical to the single-process oracle on every run",
+    ]
+    return "\n".join(lines)
 
 
 def render_chaos_report(report: Dict) -> str:

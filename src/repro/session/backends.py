@@ -109,6 +109,20 @@ class Backend(abc.ABC):
         backend has no failure domain or nothing is parked)."""
         return []
 
+    def grow(self, count: int = 1) -> List[int]:
+        """Add workers to an elastic backend (pool only)."""
+        raise PoolError(
+            f"backend {self.kind!r} has a fixed in-process worker set and "
+            "cannot grow; use the pool backend for elastic workers"
+        )
+
+    def shrink(self, count: int = 1) -> List[int]:
+        """Retire workers from an elastic backend (pool only)."""
+        raise PoolError(
+            f"backend {self.kind!r} has a fixed in-process worker set and "
+            "cannot shrink; use the pool backend for elastic workers"
+        )
+
     def close(self) -> None:
         """Release resources (worker processes, window state)."""
 
@@ -383,6 +397,9 @@ class PoolBackend(Backend):
         stream_frames: Optional[Dict[str, int]] = None,
         supervision: Optional[Dict] = None,
         degraded_mode: bool = True,
+        first_seen: Optional[int] = None,
+        auto_rebalance: Optional[Dict] = None,
+        shared_memory: bool = False,
         router: Optional[StreamRouter] = None,
     ):
         if router is None:
@@ -407,6 +424,9 @@ class PoolBackend(Backend):
             # Sessions prefer staying up: an irrecoverable worker parks its
             # streams (per-stream health) instead of breaking the session.
             on_irrecoverable="park" if degraded_mode else "raise",
+            first_seen=first_seen,
+            auto_rebalance=auto_rebalance,
+            shared_memory=shared_memory,
         )
         self.pool.start()
 
@@ -438,6 +458,12 @@ class PoolBackend(Backend):
         """Repair a degraded pool (respawn parked workers, replay journal)."""
         return self.pool.repair()
 
+    def grow(self, count: int = 1) -> List[int]:
+        return self.pool.grow(count)
+
+    def shrink(self, count: int = 1) -> List[int]:
+        return self.pool.shrink(count)
+
     def checkpoint_payload(self) -> Dict:
         return self.pool.checkpoint_router()
 
@@ -451,6 +477,8 @@ class PoolBackend(Backend):
         placement: str = "round-robin",
         supervision: Optional[Dict] = None,
         degraded_mode: bool = True,
+        auto_rebalance: Optional[Dict] = None,
+        shared_memory: bool = False,
         **_config,
     ) -> "PoolBackend":
         # A checkpoint taken on a pool carries its placement block; honour
@@ -470,8 +498,11 @@ class PoolBackend(Backend):
                 placement=placement,
                 assignment=block.get("assignment"),
                 stream_frames=block.get("stream_frames"),
+                first_seen=block.get("first_seen"),
                 supervision=supervision,
                 degraded_mode=degraded_mode,
+                auto_rebalance=auto_rebalance,
+                shared_memory=shared_memory,
                 router=router,
             )
         except WorkerCrashError:

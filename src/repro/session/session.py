@@ -62,7 +62,7 @@ from repro.session.backends import (
 from repro.streaming.placement import resolve_placement
 from repro.streaming.checkpoint import CheckpointError, from_bytes, to_bytes
 from repro.streaming.pool import PoisonOpError, PoolError, WorkerCrashError
-from repro.streaming.supervision import SupervisionConfig
+from repro.streaming.supervision import AutoRebalanceConfig, SupervisionConfig
 
 #: Everything :meth:`Session.register` accepts as a query.
 QueryLike = Union[str, QueryExpr, CNFQuery]
@@ -225,6 +225,21 @@ class Session:
         report the parked streams until :meth:`repair`.  When False the
         failure surfaces as a
         :class:`~repro.streaming.pool.WorkerCrashError`.
+    auto_rebalance:
+        Pool backend only.  Autonomous rebalance triggers — the pool's
+        supervisor watches per-worker load ratios and wall-clock frame
+        rates and fires a rebalance on its own once drift crosses the
+        watermark (see
+        :class:`~repro.streaming.supervision.AutoRebalanceConfig`).
+        Pass ``True`` for the defaults, a config/dict for tuned knobs,
+        or ``None``/``False`` (the default) to keep rebalancing
+        caller-invoked.
+    shared_memory:
+        Pool backend only.  When True, dispatch frame batches to workers
+        through ``multiprocessing.shared_memory`` ring segments instead
+        of pickling them through the task queues, falling back to the
+        queue path automatically whenever a segment or slot is
+        unavailable.  Results are byte-identical either way.
     queries:
         Optional initial workload; each entry is registered as if passed to
         :meth:`register`.
@@ -245,6 +260,8 @@ class Session:
         placement: str = "round-robin",
         supervision: Optional[Union[Dict, SupervisionConfig]] = None,
         degraded_mode: bool = True,
+        auto_rebalance: Optional[Union[bool, Dict, AutoRebalanceConfig]] = None,
+        shared_memory: bool = False,
         queries: Iterable[QueryLike] = (),
     ):
         if backend not in BACKENDS:
@@ -273,6 +290,14 @@ class Session:
                 else SupervisionConfig.coerce(supervision).to_dict()
             ),
             "degraded_mode": bool(degraded_mode),
+            # Same eager-validation contract as supervision above.
+            "auto_rebalance": (
+                coerced.to_dict()
+                if (coerced := AutoRebalanceConfig.coerce(auto_rebalance))
+                is not None
+                else None
+            ),
+            "shared_memory": bool(shared_memory),
         }
         self._init_registry()
         self._backend: Backend = self._build_backend()
@@ -339,6 +364,8 @@ class Session:
                 placement=config.get("placement", "round-robin"),
                 supervision=config.get("supervision"),
                 degraded_mode=bool(config.get("degraded_mode", True)),
+                auto_rebalance=config.get("auto_rebalance"),
+                shared_memory=bool(config.get("shared_memory", False)),
             )
         return BACKENDS[kind](**kwargs)
 
@@ -638,6 +665,39 @@ class Session:
             self._seen_health_faults.clear()
         return revived
 
+    def grow(self, count: int = 1) -> List[int]:
+        """Add ``count`` workers to a pool backend (elastic scale-out).
+
+        New workers spawn through the pool's restore-from-checkpoint path
+        and start empty; subsequent placements (and any rebalance) spread
+        streams onto them.  Returns the new worker indices.  Raises
+        :class:`~repro.streaming.pool.PoolError` on backends with a fixed
+        in-process worker set.
+        """
+        self._require_open()
+        added = self._backend.grow(int(count))
+        # The config travels in checkpoints: a restore must rebuild the
+        # grown worker set, not the one the session was constructed with.
+        self._config["num_workers"] += len(added)
+        self._dirty = True
+        return added
+
+    def shrink(self, count: int = 1) -> List[int]:
+        """Retire ``count`` workers from a pool backend (scale-in).
+
+        Each retiring worker's streams are migrated (flush barrier,
+        checkpoint/ship/adopt — byte-identical results) onto the surviving
+        workers before its process stops.  Returns the retired worker
+        indices.  Raises :class:`~repro.streaming.pool.PoolError` on
+        backends with a fixed in-process worker set, or when the pool
+        would shrink below one worker.
+        """
+        self._require_open()
+        retired = self._backend.shrink(int(count))
+        self._config["num_workers"] -= len(retired)
+        self._dirty = True
+        return retired
+
     def stats(self) -> Dict:
         """Session statistics: a deterministic, backend-independent core
         plus the raw backend report under ``"backend_stats"``.
@@ -836,6 +896,8 @@ class Session:
                 # them exactly as a fresh Session would.
                 supervision=config.get("supervision"),
                 degraded_mode=bool(config.get("degraded_mode", True)),
+                auto_rebalance=config.get("auto_rebalance"),
+                shared_memory=bool(config.get("shared_memory", False)),
             )
             try:
                 session._next_qid = int(registry["next_query_id"])

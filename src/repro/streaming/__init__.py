@@ -57,6 +57,7 @@ from repro.streaming.router import StreamRouter, group_queries_by_window
 from repro.streaming.shard import ShardKey, ShardStats, StreamShard
 from repro.streaming.supervision import (
     FAILURE_KINDS,
+    AutoRebalanceConfig,
     SupervisionConfig,
     Supervisor,
 )
@@ -69,6 +70,7 @@ __all__ = [
     "PLACEMENT_POLICIES",
     "RECOVERABLE_KINDS",
     "SUPPORTED_VERSIONS",
+    "AutoRebalanceConfig",
     "CheckpointError",
     "Fault",
     "FaultPlan",

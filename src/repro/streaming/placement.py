@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 
 @dataclass(frozen=True)
@@ -65,8 +65,20 @@ class PlacementPolicy(abc.ABC):
     name: str = "abstract"
 
     @abc.abstractmethod
-    def place(self, stream_id: str, loads: Sequence[WorkerLoad]) -> int:
-        """Pick the worker index for a first-seen stream."""
+    def place(
+        self,
+        stream_id: str,
+        loads: Sequence[WorkerLoad],
+        first_seen: Optional[int] = None,
+    ) -> int:
+        """Pick the worker index for a first-seen stream.
+
+        ``first_seen`` is the pool's monotonic count of streams ever
+        placed — persisted across checkpoint/restore, so it keeps
+        counting where the live pool left off even when the current
+        assignment has shrunk (retired groups) or been remapped.
+        Policies that rank by load may ignore it.
+        """
 
     def rebalance(
         self,
@@ -87,14 +99,27 @@ class PlacementPolicy(abc.ABC):
 class RoundRobinPlacement(PlacementPolicy):
     """First-seen order, round-robin: stream ``k`` lands on ``k % workers``.
 
-    Oblivious to load but perfectly deterministic and history-free — the
-    assignment of the next stream depends only on how many streams exist.
+    Oblivious to load but perfectly deterministic — stream ``k`` is the
+    ``k``-th stream the pool has *ever* placed, via the pool's persisted
+    first-seen counter.  The live assignment size is only a fallback for
+    callers without a counter: it drifts from first-seen order the moment
+    a stream leaves the assignment (a retired group, a remapped restore),
+    which would shift every subsequent placement.
     """
 
     name = "round-robin"
 
-    def place(self, stream_id: str, loads: Sequence[WorkerLoad]) -> int:
-        return sum(load.streams for load in loads) % len(loads)
+    def place(
+        self,
+        stream_id: str,
+        loads: Sequence[WorkerLoad],
+        first_seen: Optional[int] = None,
+    ) -> int:
+        slot = (
+            first_seen if first_seen is not None
+            else sum(load.streams for load in loads)
+        )
+        return slot % len(loads)
 
 
 class LeastLoadedPlacement(PlacementPolicy):
@@ -103,7 +128,12 @@ class LeastLoadedPlacement(PlacementPolicy):
 
     name = "least-loaded"
 
-    def place(self, stream_id: str, loads: Sequence[WorkerLoad]) -> int:
+    def place(
+        self,
+        stream_id: str,
+        loads: Sequence[WorkerLoad],
+        first_seen: Optional[int] = None,
+    ) -> int:
         return min(
             loads,
             key=lambda load: (load.frames, load.streams, load.index),

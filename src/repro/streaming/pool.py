@@ -64,12 +64,19 @@ logged; if a crash swallows one, the caller transparently re-issues it.
 
 from __future__ import annotations
 
+import inspect
 import json
 import multiprocessing
+import pickle
 import queue as queue_module
 import time
 import traceback
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - shared_memory is 3.8+ stdlib
+    _shared_memory = None
 
 from repro.datamodel.observation import FrameObservation
 from repro.query.evaluator import QueryMatch
@@ -82,10 +89,21 @@ from repro.streaming.placement import (
     resolve_placement,
 )
 from repro.streaming.router import StreamRouter
-from repro.streaming.supervision import SupervisionConfig, Supervisor
+from repro.streaming.supervision import (
+    AutoRebalanceConfig,
+    SupervisionConfig,
+    Supervisor,
+)
 
 #: Sentinel stored as the "ack" of a read-only query lost to a worker crash.
 _LOST = object()
+
+#: Shared-memory dispatch ring geometry: slots per worker segment and
+#: bytes per slot.  A ``frames`` batch whose pickled payload fits a free
+#: slot travels through shared memory; otherwise it falls back to the
+#: ordinary pickled queue message (counted, never dropped).
+_SHM_SLOTS = 8
+_SHM_SLOT_BYTES = 1 << 20
 
 
 class PoolError(RuntimeError):
@@ -201,10 +219,11 @@ def _reap_process(process, timeout: float = 5.0) -> Optional[int]:
 def parse_placement_block(payload: Mapping) -> Dict:
     """Parse the ``placement`` block of a pool checkpoint document.
 
-    Returns a dict with ``policy`` / ``num_workers`` (verbatim when
-    present) and ``assignment`` / ``stream_frames`` decoded from their
-    list-of-pairs wire form into plain dicts; an empty dict when the
-    document has no block (router checkpoints, pre-placement snapshots).
+    Returns a dict with ``policy`` / ``num_workers`` / ``first_seen``
+    (verbatim when present) and ``assignment`` / ``stream_frames`` decoded
+    from their list-of-pairs wire form into plain dicts; an empty dict
+    when the document has no block (router checkpoints, pre-placement
+    snapshots).
     The single parser shared by :meth:`ShardWorkerPool.from_checkpoint`
     and the session pool backend, so the wire format cannot drift.
     """
@@ -240,7 +259,7 @@ def parse_placement_block(payload: Mapping) -> Dict:
         "assignment": decode_pairs("assignment", lambda value: value),
         "stream_frames": decode_pairs("stream_frames", int),
     }
-    for key in ("policy", "num_workers"):
+    for key in ("policy", "num_workers", "first_seen"):
         if key in block:
             parsed[key] = block[key]
     return parsed
@@ -344,12 +363,51 @@ def _answer_query(router: StreamRouter, query: Tuple):
     raise PoolError(f"unknown worker query {kind!r}")
 
 
+def _attach_shm(shm_name: str):
+    """Attach the parent's shared-memory dispatch segment in a worker.
+
+    The attaching process must not register the segment with its own
+    resource tracker: the parent owns the segment's lifetime, and a
+    child-side registration would unlink it (or warn) when the worker
+    exits.  Returns ``None`` when attaching fails — the parent then gets
+    a loud error on the first shared-memory op instead of silent frame
+    loss.
+    """
+    if _shared_memory is None:
+        return None
+    try:
+        from multiprocessing import resource_tracker
+        # A fork child inherits the parent's (already running) tracker;
+        # its cache is a set, so the attach's re-register is a no-op and
+        # must NOT be unregistered — that would strip the parent's own
+        # entry.  A spawn child starts a private tracker during attach;
+        # that one must forget the segment or it unlinks it on exit.
+        tracker_is_shared = (
+            getattr(resource_tracker._resource_tracker, "_fd", None)
+            is not None
+        )
+    except Exception:  # pragma: no cover - tracker internals vary
+        resource_tracker = None
+        tracker_is_shared = True
+    try:
+        shm = _shared_memory.SharedMemory(name=shm_name)
+    except (OSError, ValueError, FileNotFoundError):
+        return None
+    if resource_tracker is not None and not tracker_is_shared:
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+    return shm
+
+
 def _worker_main(
     index: int,
     tasks,
     results,
     config_blob: bytes,
     heartbeat_interval: float = 0.5,
+    shm_name: Optional[str] = None,
 ) -> None:
     """Worker loop: fold the parent's operation stream into a local router.
 
@@ -369,6 +427,7 @@ def _worker_main(
     failure answers the query with a ``nack`` instead of dying.
     """
     injector = load_injector(index)
+    shm = _attach_shm(shm_name) if shm_name is not None else None
     try:
         router = StreamRouter.from_bytes(config_blob)
         frames_since = 0
@@ -385,6 +444,20 @@ def _worker_main(
             kind = message[0]
             if kind == "op":
                 _, seq, op = message
+                if op[0] == "frames_shm":
+                    # Decode the shared-memory batch reference back into
+                    # the plain op before anything observes it, so the
+                    # heartbeat/poison/log view is transport-independent.
+                    if shm is None:
+                        raise PoolError(
+                            "shared-memory dispatch op received but the "
+                            "segment could not be attached"
+                        )
+                    offset, nbytes = op[1], op[2]
+                    op = (
+                        "frames",
+                        pickle.loads(bytes(shm.buf[offset:offset + nbytes])),
+                    )
                 results.put(("hb", index, {
                     "phase": "busy", "seq": seq, "op": op[0],
                     "frames_since": frames_since,
@@ -417,6 +490,9 @@ def _worker_main(
                 raise PoolError(f"unknown worker message {kind!r}")
     except Exception:
         results.put(("error", index, traceback.format_exc()))
+    finally:
+        if shm is not None:
+            shm.close()
 
 
 # ----------------------------------------------------------------------
@@ -433,6 +509,7 @@ class _WorkerHandle:
         "pending_sent_at", "last_progress_at", "stop_requested_at",
         "culprit_seq", "culprit_streak", "last_busy_seq", "quarantined_seqs",
         "recovery_started_at", "recovery_target_seq",
+        "shm", "shm_slots", "shm_pending",
     )
 
     def __init__(self, index: int):
@@ -492,6 +569,12 @@ class _WorkerHandle:
         #: (migrations move a stream's history with it) — the load signal
         #: placement policies rank workers by.
         self.frames_routed = 0
+        #: Shared-memory dispatch ring: the segment (parent-owned), the
+        #: free slot indices, and the in-flight seq→slot map (a slot is
+        #: reusable once its batch is acknowledged).
+        self.shm = None
+        self.shm_slots: List[int] = []
+        self.shm_pending: Dict[int, int] = {}
         #: Checkpoints received over the worker's lifetime (freshness token
         #: for :meth:`ShardWorkerPool.checkpoint_now`).
         self.ckpt_count = 0
@@ -550,6 +633,26 @@ class ShardWorkerPool:
         worker count shrank, a deterministic remap (see
         :func:`remap_assignment`) — before any policy decision, so a
         restored pool reproduces the checkpointed layout exactly.
+    first_seen:
+        Optional persisted monotonic count of streams the service has
+        *ever* placed (the ``placement.first_seen`` block).  Round-robin
+        placement slots are derived from it, so a restore — even one with
+        retired or remapped streams — continues the first-seen sequence
+        instead of re-deriving slots from the live assignment size.
+    auto_rebalance:
+        ``None``/``False`` (default) leaves rebalancing caller-invoked.
+        An :class:`~repro.streaming.supervision.AutoRebalanceConfig` (or
+        mapping of its fields, or ``True`` for defaults) arms the
+        autonomous trigger: the supervision tick watches per-worker
+        offered load and wall-clock processing rate and fires
+        :meth:`rebalance` when drift crosses the watermark (with
+        hysteresis and cooldown).
+    shared_memory:
+        When ``True``, ``frames`` batches are shipped through a per-worker
+        ``multiprocessing.shared_memory`` ring instead of pickled queue
+        payloads, falling back to the queue automatically (batch too
+        large, ring full, or the platform lacks shared memory).  Purely a
+        transport choice — results are byte-identical either way.
     """
 
     def __init__(
@@ -567,6 +670,9 @@ class ShardWorkerPool:
         stream_frames: Optional[Mapping[str, int]] = None,
         supervision: Union[SupervisionConfig, Mapping, None] = None,
         on_irrecoverable: str = "raise",
+        first_seen: Optional[int] = None,
+        auto_rebalance: Union[AutoRebalanceConfig, Mapping, bool, None] = None,
+        shared_memory: bool = False,
     ):
         if num_workers <= 0:
             raise PoolError("num_workers must be positive")
@@ -608,8 +714,28 @@ class ShardWorkerPool:
                     "stream_frames entries have no persisted assignment "
                     f"(their history would be silently dropped): {uncovered}"
                 )
+        if first_seen is not None:
+            if (isinstance(first_seen, bool) or not isinstance(first_seen, int)
+                    or first_seen < 0):
+                raise PoolError(
+                    f"first_seen must be a non-negative integer, got "
+                    f"{first_seen!r}"
+                )
         self._ctx = multiprocessing.get_context(start_method)
         self._placement = resolve_placement(placement)
+        # Legacy placement policies predate the first_seen kwarg; detect
+        # once instead of masking in-policy TypeErrors on every placement.
+        try:
+            place_params = inspect.signature(self._placement.place).parameters
+            self._place_takes_first_seen = (
+                "first_seen" in place_params
+                or any(
+                    param.kind is inspect.Parameter.VAR_KEYWORD
+                    for param in place_params.values()
+                )
+            )
+        except (TypeError, ValueError):  # pragma: no cover - builtins only
+            self._place_takes_first_seen = True
         self._workers: List[_WorkerHandle] = []
         #: Stream ownership, in global first-seen order (policy-placed).
         self._assignment: Dict[str, int] = {}
@@ -657,8 +783,34 @@ class ShardWorkerPool:
         self._frames_dispatched = 0
         self._total_restarts = 0
         self._supervision = SupervisionConfig.coerce(supervision)
-        self._supervisor = Supervisor(self._supervision, num_workers)
+        self._auto_rebalance = AutoRebalanceConfig.coerce(auto_rebalance)
+        if self._auto_rebalance is not None:
+            # Fail at construction, not first trigger, on a bad policy name.
+            resolve_placement(self._auto_rebalance.policy)
+        self._supervisor = Supervisor(
+            self._supervision, num_workers,
+            auto_rebalance=self._auto_rebalance,
+        )
         self._on_irrecoverable = on_irrecoverable
+        #: Monotonic count of streams ever placed (round-robin slots are
+        #: derived from it; persisted in the checkpoint placement block).
+        self._first_seen = 0
+        self._initial_first_seen = first_seen
+        #: Next wall-clock at which route() runs a supervision tick.
+        self._next_tick_at = 0.0
+        #: True while a migration, grow/shrink, recovery or shutdown is
+        #: mid-flight — the autonomous trigger must not fire a rebalance
+        #: into a pool whose worker set or stream ownership is in motion.
+        self._in_maintenance = False
+        #: Elastic grow/shrink events (stats surface).
+        self._elastic_events: List[Dict] = []
+        self._grown = 0
+        self._shrunk = 0
+        #: Shared-memory dispatch: requested flag, effective flag (cleared
+        #: on platform/creation failure), and transport counters.
+        self.shared_memory = bool(shared_memory) and _shared_memory is not None
+        self._shm_dispatches = 0
+        self._shm_fallbacks = 0
         #: Quarantined-operation records, in quarantine order (stats surface).
         self._quarantined: List[Dict] = []
         #: Quarantine records not yet surfaced as a PoisonOpError.
@@ -682,6 +834,11 @@ class ShardWorkerPool:
     def supervision(self) -> SupervisionConfig:
         """The supervision configuration in effect."""
         return self._supervision
+
+    @property
+    def auto_rebalance(self) -> Optional[AutoRebalanceConfig]:
+        """The autonomous-rebalance configuration (``None`` = disarmed)."""
+        return self._auto_rebalance
 
     @property
     def degraded(self) -> bool:
@@ -774,6 +931,16 @@ class ShardWorkerPool:
                 self.num_workers,
                 known_streams=router.stream_ids(),
             )
+        # The first-seen counter resumes from the checkpointed value when
+        # one exists; documents that predate it fall back to the restored
+        # assignment size (exact for layouts that never lost a stream).
+        # Never below the assignment size — the counter means "streams
+        # ever placed", which the current layout is a lower bound on.
+        self._first_seen = max(
+            len(self._assignment),
+            self._initial_first_seen
+            if self._initial_first_seen is not None else 0,
+        )
         self._workers = [_WorkerHandle(index) for index in range(self.num_workers)]
         for worker in self._workers:
             self._spawn(worker)
@@ -817,6 +984,11 @@ class ShardWorkerPool:
                 f"workers {sorted(self._parked)}): repair() it first, or "
                 "terminate() to abandon the parked state"
             )
+        # Shutdown is maintenance: the stop-await pumps below must not
+        # fire an autonomous rebalance into workers that are checkpointing
+        # their final state.  The pool never serves again, so the flag is
+        # simply left set.
+        self._in_maintenance = True
         self._flush_buffers()
         stop_sent_to = {}
         for worker in self._workers:
@@ -917,6 +1089,8 @@ class ShardWorkerPool:
         )
         if len(worker.buffer) >= self.dispatch_batch:
             self._dispatch_buffer(worker)
+        if time.monotonic() >= self._next_tick_at:
+            self.tick()
 
     def route_many(self, events: Iterable[Tuple[str, FrameObservation]]) -> None:
         """Route a ``(stream_id, frame)`` event sequence."""
@@ -935,6 +1109,57 @@ class ShardWorkerPool:
             if worker.parked:
                 continue  # journaled; repair() replays it in order
             self._await(worker, seq)
+
+    # ------------------------------------------------------------------
+    # Supervision tick
+    # ------------------------------------------------------------------
+    def tick(self) -> Optional[Dict]:
+        """One supervision tick: drain results, watchdog, drift evaluation.
+
+        This is the supervisor's own entry point — it does not require a
+        caller to be blocked in ``_pump``.  The routing hot path invokes
+        it time-gated, and an idle parent (or an external scheduler) can
+        call it directly: a hung worker is escalated even when nobody is
+        awaiting an acknowledgement, and with ``auto_rebalance`` armed a
+        drifted load distribution fires :meth:`rebalance` autonomously.
+        Returns the trigger record (drift ratios, plan, migration count)
+        when an autonomous rebalance fired, else ``None``.
+        """
+        self._require_running()
+        auto = self._auto_rebalance
+        interval = (
+            auto.interval if auto is not None
+            else self._supervision.heartbeat_interval
+        )
+        self._next_tick_at = time.monotonic() + interval
+        self._drain_results()
+        self._watchdog()
+        return self._maybe_autorebalance()
+
+    def _maybe_autorebalance(self) -> Optional[Dict]:
+        """Evaluate load drift; fire and annotate a rebalance if over it."""
+        auto = self._auto_rebalance
+        if (auto is None or self._parked or not self._started
+                or self._in_maintenance):
+            return None
+        trigger = self._supervisor.evaluate_drift(
+            [worker.frames_routed for worker in self._workers],
+            time.monotonic(),
+        )
+        if trigger is None:
+            return None
+        started = time.monotonic()
+        plan = self.rebalance(policy=auto.policy)
+        # Annotate the supervisor's ledger record in place: what drifted,
+        # what moved, and how even the fleet came out.
+        trigger["plan"] = dict(plan)
+        trigger["migrations"] = len(plan)
+        trigger["rebalance_seconds"] = round(time.monotonic() - started, 6)
+        loads = [float(worker.frames_routed) for worker in self._workers]
+        trigger["offered_ratio_after"] = round(
+            Supervisor._imbalance(loads), 4
+        )
+        return trigger
 
     # ------------------------------------------------------------------
     # Placement and rebalancing
@@ -1015,27 +1240,34 @@ class ShardWorkerPool:
         # the expel (per-worker FIFO then guarantees the checkpoint covers
         # them); the target's buffer is dispatched too so the adopt cannot
         # overtake frames of other streams buffered before the migration.
-        self._dispatch_buffer(source)
-        self._dispatch_buffer(target)
-        expel_seq = self._send_op(source, ("expel", stream_id))
-        blobs = self._await(source, expel_seq)
-        if source.parked or target.parked:
-            # The source (or target) became irrecoverable while we waited
-            # on the expel: the hand-off cannot complete, and flipping the
-            # assignment now would fork ownership from the journaled state.
-            raise PoolError(
-                f"migration of {stream_id!r} aborted: a participating "
-                "worker parked mid-migration; repair() the pool first"
-            )
-        if expel_seq in source.quarantined_seqs:
-            # The expel itself was quarantined as poison — the shards never
-            # left the source, so the stream must keep its old owner.
-            raise PoolError(
-                f"migration of {stream_id!r} aborted: its expel operation "
-                "was quarantined as poison (see stats()['quarantined'])"
-            )
-        if blobs:
-            self._send_op(target, ("adopt", blobs))
+        previous_maintenance = self._in_maintenance
+        self._in_maintenance = True
+        try:
+            self._dispatch_buffer(source)
+            self._dispatch_buffer(target)
+            expel_seq = self._send_op(source, ("expel", stream_id))
+            blobs = self._await(source, expel_seq)
+            if source.parked or target.parked:
+                # The source (or target) became irrecoverable while we
+                # waited on the expel: the hand-off cannot complete, and
+                # flipping the assignment now would fork ownership from
+                # the journaled state.
+                raise PoolError(
+                    f"migration of {stream_id!r} aborted: a participating "
+                    "worker parked mid-migration; repair() the pool first"
+                )
+            if expel_seq in source.quarantined_seqs:
+                # The expel itself was quarantined as poison — the shards
+                # never left the source, so the stream keeps its old owner.
+                raise PoolError(
+                    f"migration of {stream_id!r} aborted: its expel "
+                    "operation was quarantined as poison (see "
+                    "stats()['quarantined'])"
+                )
+            if blobs:
+                self._send_op(target, ("adopt", blobs))
+        finally:
+            self._in_maintenance = previous_maintenance
         self._assignment[stream_id] = worker
         # The stream's frame history moves with it: a worker's load is the
         # sum of its *owned* streams' loads (which is also how a restored
@@ -1075,6 +1307,156 @@ class ShardWorkerPool:
         for stream_id, worker in plan.items():
             self.migrate_stream(stream_id, worker)
         return plan
+
+    # ------------------------------------------------------------------
+    # Elastic workers
+    # ------------------------------------------------------------------
+    def grow(self, count: int = 1) -> List[int]:
+        """Add ``count`` workers to a live pool; returns their indices.
+
+        New workers come up through the existing restore path — a fresh
+        process built from the origin's config checkpoint, exactly like a
+        crash recovery with an empty tail — and own no streams until
+        placement or a rebalance moves some there (with ``auto_rebalance``
+        armed, the next over-watermark tick does it autonomously).  The
+        grown worker count is persisted in pool checkpoints.
+        """
+        self._require_running()
+        if count < 1:
+            raise PoolError("grow() needs a positive worker count")
+        if self._parked:
+            raise PoolError(
+                "cannot grow a degraded pool (streams parked on workers "
+                f"{sorted(self._parked)}): repair() it first"
+            )
+        previous_maintenance = self._in_maintenance
+        self._in_maintenance = True
+        try:
+            self._flush_buffers()
+            added = [
+                _WorkerHandle(self.num_workers + offset)
+                for offset in range(count)
+            ]
+            self._workers.extend(added)
+            self.num_workers += count
+            # Resize the supervisor before any spawn: the new workers'
+            # heartbeats must find their views the moment results drain.
+            self._supervisor.resize(self.num_workers)
+            for worker in added:
+                self._spawn(worker)
+        finally:
+            self._in_maintenance = previous_maintenance
+        indices = [worker.index for worker in added]
+        self._grown += count
+        self._elastic_events.append({
+            "action": "grow", "workers": indices,
+            "num_workers": self.num_workers,
+        })
+        return indices
+
+    def shrink(self, count: int = 1) -> List[int]:
+        """Retire the ``count`` highest-index workers; returns their indices.
+
+        Each retiring worker's streams are migrated (flush-barriered,
+        op-logged — the ordinary :meth:`migrate_stream` machinery) onto
+        the least-loaded surviving worker, then the worker is stopped
+        gracefully: its final checkpoint is verified empty of shards and
+        its retired-shard counters fold into the service totals, exactly
+        as :meth:`stop` folds them.  At least one worker must remain.
+        """
+        self._require_running()
+        if count < 1:
+            raise PoolError("shrink() needs a positive worker count")
+        if count >= self.num_workers:
+            raise PoolError(
+                f"cannot shrink {count} of {self.num_workers} workers: at "
+                "least one must remain"
+            )
+        if self._parked:
+            raise PoolError(
+                "cannot shrink a degraded pool (streams parked on workers "
+                f"{sorted(self._parked)}): repair() it first"
+            )
+        previous_maintenance = self._in_maintenance
+        self._in_maintenance = True
+        try:
+            self._flush_buffers()
+            keep = self.num_workers - count
+            retiring = self._workers[keep:]
+            survivors = self._workers[:keep]
+            for worker in retiring:
+                owned = [
+                    stream_id
+                    for stream_id, index in self._assignment.items()
+                    if index == worker.index
+                ]
+                for stream_id in owned:
+                    target = min(
+                        survivors,
+                        key=lambda survivor: (
+                            survivor.frames_routed, survivor.index
+                        ),
+                    )
+                    self.migrate_stream(stream_id, target.index)
+            indices = [worker.index for worker in retiring]
+            for worker in retiring:
+                # Graceful per-worker stop with the same crash-resilient
+                # re-request loop stop() uses: a worker dying between the
+                # stop request and its final checkpoint is recovered and
+                # re-asked from the fresh process.
+                worker.tasks.put(("stop",))
+                worker.stop_requested_at = time.monotonic()
+                stop_process = worker.process
+                while worker.stopped_state is None:
+                    self._pump(block=True, focus=worker)
+                    if (worker.stopped_state is None
+                            and worker.process is not stop_process):
+                        worker.tasks.put(("stop",))
+                        worker.stop_requested_at = time.monotonic()
+                        stop_process = worker.process
+                worker.process.join()
+                payload = from_bytes(
+                    worker.stopped_state, expect_kind="router"
+                )
+                leftover = payload.get("shards", [])
+                if leftover:  # pragma: no cover - migration invariant
+                    raise PoolError(
+                        f"retiring worker {worker.index} still held "
+                        f"{len(leftover)} shard(s) after migrating its "
+                        "streams away; refusing to drop state"
+                    )
+                retired = payload.get("retired_totals")
+                if retired:
+                    # Fold into the origin router (so a later stop()
+                    # reports the full service history) *and* the live
+                    # snapshot the pool's own stats/checkpoints are built
+                    # from.
+                    self.router.fold_retired(retired)
+                    for key, value in retired.items():
+                        self._origin_retired[key] = (
+                            self._origin_retired.get(key, 0) + value
+                        )
+                for q in (worker.tasks, worker.results):
+                    if q is not None:
+                        q.close()
+                        q.cancel_join_thread()
+                # Null the queues out: the remaining retiring workers' stop
+                # loops still pump every handle, and a closed queue must
+                # read as "nothing to drain", not raise.
+                worker.tasks = None
+                worker.results = None
+                self._release_shm(worker)
+            del self._workers[keep:]
+            self.num_workers = keep
+            self._supervisor.resize(self.num_workers)
+        finally:
+            self._in_maintenance = previous_maintenance
+        self._shrunk += count
+        self._elastic_events.append({
+            "action": "shrink", "workers": indices,
+            "num_workers": self.num_workers,
+        })
+        return indices
 
     # ------------------------------------------------------------------
     # Live query lifecycle
@@ -1252,6 +1634,16 @@ class ShardWorkerPool:
                 "worker_loads": self.worker_loads(),
                 "degraded": self.degraded,
                 "supervision": self._supervisor.stats(),
+                "elastic": {
+                    "grown": self._grown,
+                    "shrunk": self._shrunk,
+                    "events": [dict(e) for e in self._elastic_events],
+                },
+                "shared_memory": {
+                    "enabled": self.shared_memory,
+                    "dispatches": self._shm_dispatches,
+                    "fallbacks": self._shm_fallbacks,
+                },
             },
         }
 
@@ -1357,6 +1749,10 @@ class ShardWorkerPool:
         document["placement"] = {
             "policy": self._placement.name,
             "num_workers": self.num_workers,
+            #: Monotonic count of streams ever placed — round-robin slots
+            #: continue from it after a restore even when the live
+            #: assignment no longer reflects first-seen history.
+            "first_seen": self._first_seen,
             "assignment": [
                 [stream_id, index]
                 for stream_id, index in self._assignment.items()
@@ -1412,6 +1808,13 @@ class ShardWorkerPool:
                 raise CheckpointError(
                     f"malformed placement block in pool checkpoint: {exc}"
                 ) from exc
+        first_seen = block.get("first_seen")
+        if first_seen is not None:
+            if isinstance(first_seen, bool) or not isinstance(first_seen, int):
+                raise CheckpointError(
+                    "malformed placement block in pool checkpoint: "
+                    f"first_seen {first_seen!r} is not an integer"
+                )
         router = StreamRouter.from_checkpoint(payload)
         return cls(
             router,
@@ -1419,6 +1822,7 @@ class ShardWorkerPool:
             placement=placement,
             assignment=block.get("assignment"),
             stream_frames=block.get("stream_frames"),
+            first_seen=first_seen,
             **pool_kwargs,
         )
 
@@ -1446,7 +1850,13 @@ class ShardWorkerPool:
     def _assign(self, stream_id: str) -> int:
         index = self._assignment.get(stream_id)
         if index is None:
-            index = self._placement.place(stream_id, self._worker_loads())
+            if self._place_takes_first_seen:
+                index = self._placement.place(
+                    stream_id, self._worker_loads(),
+                    first_seen=self._first_seen,
+                )
+            else:
+                index = self._placement.place(stream_id, self._worker_loads())
             # Same strictness as remap_assignment validates restored
             # layouts with: a float or None from a custom policy must fail
             # here, loudly, not crash route() or poison the checkpoint.
@@ -1458,6 +1868,7 @@ class ShardWorkerPool:
                     f"(expected an int in 0..{self.num_workers - 1})"
                 )
             self._assignment[stream_id] = index
+            self._first_seen += 1
         return index
 
     def _worker_loads(self) -> List[WorkerLoad]:
@@ -1478,11 +1889,24 @@ class ShardWorkerPool:
     def _spawn(self, worker: _WorkerHandle) -> None:
         worker.tasks = self._ctx.Queue()
         worker.results = self._ctx.Queue()
+        if self.shared_memory and worker.shm is None:
+            try:
+                worker.shm = _shared_memory.SharedMemory(
+                    create=True, size=_SHM_SLOTS * _SHM_SLOT_BYTES
+                )
+                worker.shm_slots = list(range(_SHM_SLOTS))
+                worker.shm_pending = {}
+            except (OSError, ValueError):
+                # Platform without (or out of) shared memory: fall back to
+                # pickled queue dispatch for the whole pool, permanently.
+                worker.shm = None
+                self.shared_memory = False
         worker.process = self._ctx.Process(
             target=_worker_main,
             args=(
                 worker.index, worker.tasks, worker.results,
                 self._config_blob, self._supervision.heartbeat_interval,
+                worker.shm.name if worker.shm is not None else None,
             ),
             daemon=True,
             name=f"shard-worker-{worker.index}",
@@ -1523,7 +1947,7 @@ class ShardWorkerPool:
             return seq
         worker.inflight.add(seq)
         worker.pending_sent_at[seq] = time.monotonic()
-        worker.tasks.put(("op", seq, op))
+        self._put_op(worker, seq, op)
         worker.ops_since_ckpt += 1
         if (worker.ops_since_ckpt >= self.checkpoint_every
                 and worker.pending_ckpt_seq is None):
@@ -1531,6 +1955,58 @@ class ShardWorkerPool:
         while len(worker.inflight) > self.max_inflight:
             self._pump(block=True, focus=worker)
         return seq
+
+    def _put_op(self, worker: _WorkerHandle, seq: int, op: Tuple) -> None:
+        """Ship one operation, through shared memory when it qualifies.
+
+        Only ``frames`` batches ride the ring (everything else is small),
+        and only when a slot is free and the pickled payload fits a slot;
+        otherwise the op travels as an ordinary pickled queue message.
+        The *log* always stores the plain op — replay after a crash uses
+        the queue, so recovery is transport-independent.
+        """
+        if worker.shm is not None and op[0] == "frames":
+            payload = pickle.dumps(op[1], protocol=pickle.HIGHEST_PROTOCOL)
+            if worker.shm_slots and len(payload) <= _SHM_SLOT_BYTES:
+                slot = worker.shm_slots.pop()
+                offset = slot * _SHM_SLOT_BYTES
+                worker.shm.buf[offset:offset + len(payload)] = payload
+                worker.shm_pending[seq] = slot
+                self._shm_dispatches += 1
+                worker.tasks.put(
+                    ("op", seq, ("frames_shm", offset, len(payload)))
+                )
+                return
+            self._shm_fallbacks += 1
+        worker.tasks.put(("op", seq, op))
+
+    def _free_shm_slot(self, worker: _WorkerHandle, seq: int) -> None:
+        """Return ``seq``'s ring slot (acknowledged = consumed) if any."""
+        slot = worker.shm_pending.pop(seq, None)
+        if slot is not None:
+            worker.shm_slots.append(slot)
+
+    def _reclaim_shm_slots(self, worker: _WorkerHandle) -> None:
+        """Reclaim every in-flight ring slot (crash recovery, park).
+
+        Safe because the replacement generation is fed from the *log*
+        (plain ops over the queue), never from stale ring contents.
+        """
+        worker.shm_slots.extend(worker.shm_pending.values())
+        worker.shm_pending.clear()
+
+    def _release_shm(self, worker: _WorkerHandle) -> None:
+        """Tear down a worker's ring segment (stop/terminate/park)."""
+        if worker.shm is None:
+            return
+        try:
+            worker.shm.close()
+            worker.shm.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover - racy OS
+            pass
+        worker.shm = None
+        worker.shm_slots = []
+        worker.shm_pending = {}
 
     def _send_query(self, worker: _WorkerHandle, query: Tuple) -> int:
         seq = worker.next_seq
@@ -1587,6 +2063,18 @@ class ShardWorkerPool:
         """
         progressed = self._drain_results()
         self._watchdog()
+        # The wall-clock supervision tick also runs here: routing often
+        # completes long before the workers do, so the time in which load
+        # drift becomes observable is spent blocked in this loop, not in
+        # route().  Guarded exactly like tick() — a pump reached from
+        # inside a migration, grow/shrink or recovery must not fire a
+        # rebalance into its own machinery (_in_maintenance).
+        if (self._auto_rebalance is not None
+                and time.monotonic() >= self._next_tick_at):
+            self._next_tick_at = (
+                time.monotonic() + self._auto_rebalance.interval
+            )
+            self._maybe_autorebalance()
         if progressed or not block:
             return progressed
         # Nothing queued: wait a beat, then re-drain BEFORE scanning for
@@ -1686,6 +2174,7 @@ class ShardWorkerPool:
             # and leaking them would wedge _send_op's backpressure loop.
             worker.inflight.discard(seq)
             worker.pending_sent_at.pop(seq, None)
+            self._free_shm_slot(worker, seq)
             if seq <= worker.max_acked:
                 return  # replay duplicate (or a stale ack from a dead life)
             worker.max_acked = seq
@@ -1720,6 +2209,7 @@ class ShardWorkerPool:
             _, _, seq, reason = message
             worker.inflight.discard(seq)
             worker.pending_sent_at.pop(seq, None)
+            self._free_shm_slot(worker, seq)
             # The worker is demonstrably alive (it answered, just
             # negatively) — count it as watchdog progress, not ack progress.
             worker.last_progress_at = time.monotonic()
@@ -1796,6 +2286,7 @@ class ShardWorkerPool:
         worker.log = [(s, o) for s, o in worker.log if s != seq]
         worker.inflight.discard(seq)
         worker.pending_sent_at.pop(seq, None)
+        self._free_shm_slot(worker, seq)
         worker.quarantined_seqs.add(seq)
         record = {
             "worker": worker.index,
@@ -1837,6 +2328,9 @@ class ShardWorkerPool:
                 q.cancel_join_thread()
         worker.tasks = None
         worker.results = None
+        # The parked process is gone for good until repair() respawns it
+        # (which re-creates a fresh ring); release the segment now.
+        self._release_shm(worker)
         # Unacknowledged payload-bearing ops must not be replayed into the
         # void on repair: an undelivered drain would discard matches nobody
         # consumed, an undelivered expel would orphan shards.  Dropping
@@ -1968,11 +2462,14 @@ class ShardWorkerPool:
             if delay > 0:
                 time.sleep(delay)
         # Release the dead generation's queues (feeder threads, pipe fds,
-        # buffered messages) before spawning replacements.
+        # buffered messages) before spawning replacements.  In-flight ring
+        # slots are reclaimed wholesale: replay feeds the replacement from
+        # the log over the queue, never from stale ring contents.
         for q in (worker.tasks, worker.results):
             if q is not None:
                 q.close()
                 q.cancel_join_thread()
+        self._reclaim_shm_slots(worker)
         recovery_started = time.monotonic()
         self._spawn(worker)
         if worker.last_checkpoint is not None:
@@ -2012,6 +2509,7 @@ class ShardWorkerPool:
                 if q is not None:
                     q.close()
                     q.cancel_join_thread()
+            self._release_shm(worker)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         state = "running" if self._started else ("stopped" if self._stopped else "new")
