@@ -40,7 +40,8 @@ def main(argv=None) -> int:
                         help="subset of experiments (e.g. table6 figure9)")
     parser.add_argument("--datasets", nargs="*", default=None,
                         help="restrict to these datasets (e.g. V1 M2)")
-    parser.add_argument("--bench", choices=["kernel", "streaming", "pool"],
+    parser.add_argument("--bench",
+                        choices=["kernel", "streaming", "pool", "serve"],
                         default=None,
                         help="run a micro-benchmark instead of the figures "
                              "(kernel: MCOS generation frames/sec, writes "
@@ -49,7 +50,11 @@ def main(argv=None) -> int:
                              "camera feeds, writes BENCH_streaming.json; "
                              "pool: multiprocess ShardWorkerPool vs the "
                              "single-process router vs sequential engines, "
-                             "writes BENCH_pool.json)")
+                             "writes BENCH_pool.json; serve: the multi-tenant "
+                             "HTTP gateway under concurrent load-generator "
+                             "tenants with a direct-session byte-identity "
+                             "oracle and an injected-fault leg, writes "
+                             "BENCH_serve.json)")
     parser.add_argument("--feeds", type=int, default=None,
                         help="number of simulated camera feeds for "
                              "--bench streaming/pool (default 8)")
@@ -80,7 +85,17 @@ def main(argv=None) -> int:
                              "grow/shrink — recording trigger convergence "
                              "in BENCH_pool.json under 'drift'")
     parser.add_argument("--smoke", action="store_true",
-                        help="shrink --bench pool to a CI-sized workload")
+                        help="shrink --bench pool/serve to a CI-sized "
+                             "workload (serve: byte-identity assertions "
+                             "only, no wall-clock claims)")
+    parser.add_argument("--tenants", type=int, default=None,
+                        help="concurrent load-generator tenants for "
+                             "--bench serve (default 4)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="workload length knob for --bench serve: "
+                             "scales the seeded per-feed frame count "
+                             "(default 2.0 ~ 400 frames/feed), keeping "
+                             "runs deterministic and oracle-checkable")
     args = parser.parse_args(argv)
 
     # Flags scoped to a benchmark mode are rejected elsewhere instead of
@@ -91,14 +106,26 @@ def main(argv=None) -> int:
                             ("--workers", args.workers)):
             if value is not None:
                 parser.error(f"{flag} only applies to --bench pool, not {where}")
+    if args.bench not in ("pool", "serve"):
+        where = f"--bench {args.bench}" if args.bench else "the figures run"
         if args.smoke:
-            parser.error(f"--smoke only applies to --bench pool, not {where}")
+            parser.error(
+                f"--smoke only applies to --bench pool/serve, not {where}"
+            )
     if args.bench not in ("streaming", "pool"):
         where = f"--bench {args.bench}" if args.bench else "the figures run"
         for flag, value in (("--feeds", args.feeds), ("--frames", args.frames)):
             if value is not None:
                 parser.error(
                     f"{flag} only applies to --bench streaming/pool, not {where}"
+                )
+    if args.bench != "serve":
+        where = f"--bench {args.bench}" if args.bench else "the figures run"
+        for flag, value in (("--tenants", args.tenants),
+                            ("--duration", args.duration)):
+            if value is not None:
+                parser.error(
+                    f"{flag} only applies to --bench serve, not {where}"
                 )
     if args.scenario is None:
         args.scenario = "throughput"
@@ -125,6 +152,20 @@ def main(argv=None) -> int:
         )
         print(render_report(report))
         return 0
+
+    if args.bench == "serve":
+        from repro.experiments.serve_bench import (
+            render_serve_report, run_serve_benchmark,
+        )
+        report = run_serve_benchmark(
+            num_tenants=args.tenants if args.tenants is not None else 4,
+            duration=args.duration if args.duration is not None else 2.0,
+            smoke=args.smoke,
+        )
+        print(render_serve_report(report))
+        service_ok = report["service"]["verification"]["ok"]
+        fault_ok = report.get("fault", {}).get("ok", True)
+        return 0 if service_ok and fault_ok else 1
 
     if args.bench == "pool" and args.scenario == "skew":
         from repro.experiments.streaming_bench import (

@@ -1,0 +1,314 @@
+"""Service-tier benchmark: the gateway under concurrent tenant load.
+
+Stands up one :class:`~repro.serve.gateway.Gateway` (pool backend by
+default) and drives ``N`` concurrent tenants through seeded workloads
+with the load generator, writing a ``BENCH_serve.json`` report with two
+legs:
+
+* **service** — the clean run: sustained request throughput, ingest
+  frames/sec and end-to-end match latency (p50/p95) under ``N`` tenants,
+  with every tenant's delivered matches verified **byte-identical** to a
+  direct-session oracle replaying the same seeded workload without HTTP
+  or tenancy (per ``(query, stream)`` sequence — the deterministic unit;
+  cross-stream interleave depends on pump timing, and the report would be
+  worthless if the service tier changed a single answer).
+* **fault** — the same fleet with a scripted ``sigkill`` pinned to one
+  tenant's stream on the pool backend.  The worker hosting that stream
+  dies on every replay attempt and the supervisor parks it; the claim
+  verified here is *containment*: the gateway stays up, ``/healthz``
+  turns ``degraded``, streams on surviving workers keep answering
+  byte-identically (parked streams deliver a strict prefix), and after
+  the operator clears the fault and POSTs ``/v1/admin/repair`` the whole
+  fleet drains to full byte-identity.
+
+``--smoke`` shrinks the workload and asserts the byte-identity claims
+only — no wall-clock numbers worth reading, but the assertions are the
+same, which is what CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.serve.client import GatewayClient
+from repro.serve.gateway import Gateway, GatewayRunner
+from repro.serve.loadgen import (
+    TenantResult,
+    TenantWorkload,
+    canonical,
+    direct_oracle,
+    run_tenants,
+    seeded_tenants,
+    summarize,
+)
+from repro.streaming.faultinject import Fault, FaultPlan
+
+#: Admin key used by the benchmark's operator actions (repair, healthz).
+ADMIN_KEY = "bench-admin"
+
+
+def _frames_per_feed(duration: float, smoke: bool) -> int:
+    """Workload size from ``--duration``: the knob scales the *seeded*
+    workload (deterministic, so the oracle replays it exactly) rather
+    than capping wall-clock time, which would make runs incomparable."""
+    if smoke:
+        return 30
+    return max(40, int(200 * duration))
+
+
+def _verify_tenants(
+    workloads: List[TenantWorkload],
+    results: List[TenantResult],
+    backend_errors: bool = True,
+) -> Dict:
+    """Full-fleet byte-identity of delivered matches vs the oracle."""
+    identical = 0
+    mismatches: List[str] = []
+    total_matches = 0
+    for workload, result in zip(workloads, results):
+        if result.error is not None and backend_errors:
+            mismatches.append(f"{workload.name}: {result.error!r}")
+            continue
+        expected = direct_oracle(workload)
+        total_matches += sum(len(v) for v in expected.values())
+        if canonical(expected) == canonical(result.delivered):
+            identical += 1
+        else:
+            mismatches.append(workload.name)
+    return {
+        "tenants": len(workloads),
+        "byte_identical": identical,
+        "oracle_matches": total_matches,
+        "mismatches": mismatches,
+        "ok": identical == len(workloads),
+    }
+
+
+def _drain_all(
+    client_of: Dict[str, GatewayClient],
+    workloads: List[TenantWorkload],
+    results: List[TenantResult],
+) -> None:
+    """Flush then poll every tenant's queries once more, into results."""
+    now = time.monotonic()
+    for workload, result in zip(workloads, results):
+        client = client_of[workload.name]
+        client.flush()
+        for local_qid in range(len(workload.queries)):
+            payload = client.poll_matches(local_qid)
+            result.record_matches(local_qid, payload["matches"], {}, now)
+
+
+def _service_leg(
+    workloads: List[TenantWorkload],
+    backend: str,
+    num_sessions: int,
+    session_kwargs: Dict,
+) -> Dict:
+    gateway = Gateway(
+        [w.config() for w in workloads],
+        admin_key=ADMIN_KEY,
+        backend=backend,
+        num_sessions=num_sessions,
+        session_kwargs=dict(session_kwargs),
+    )
+    with GatewayRunner(gateway) as runner:
+        results, elapsed = run_tenants(workloads, runner.host, runner.port)
+        admin = GatewayClient(runner.host, runner.port, ADMIN_KEY)
+        health = admin.healthz().payload
+        stats = admin.stats().payload
+        admin.close()
+    leg = summarize(results, elapsed)
+    leg["healthz"] = health["status"]
+    leg["gateway_counters"] = stats["gateway"]
+    leg["verification"] = _verify_tenants(workloads, results)
+    return leg
+
+
+def _fault_leg(
+    workloads: List[TenantWorkload],
+    num_sessions: int,
+    session_kwargs: Dict,
+) -> Dict:
+    """Pool backend with a pinned sigkill: containment, then recovery."""
+    victim = workloads[0]
+    victim_stream = sorted(victim.feeds)[0]
+    scoped = f"{victim.name}/{victim_stream}"
+    fault_frame = 20
+    kwargs = dict(session_kwargs)
+    # Park (don't raise) when the fault proves irrecoverable, and keep the
+    # poison heuristic out of the way so the scripted fault is what parks
+    # the worker, deterministically.
+    kwargs["degraded_mode"] = True
+    kwargs.setdefault("supervision", {"poison_threshold": None})
+    plan = FaultPlan(
+        [Fault("sigkill", None, frame=(scoped, fault_frame), fires=0)]
+    )
+    gateway = Gateway(
+        [w.config() for w in workloads],
+        admin_key=ADMIN_KEY,
+        backend="pool",
+        num_sessions=num_sessions,
+        session_kwargs=kwargs,
+    )
+    leg: Dict = {
+        "fault": {"kind": "sigkill", "stream": scoped, "frame": fault_frame},
+    }
+    runner = GatewayRunner(gateway)
+    clients: Dict[str, GatewayClient] = {}
+    try:
+        with plan.install():
+            runner.start()
+            results, elapsed = run_tenants(workloads, runner.host, runner.port)
+            admin = GatewayClient(runner.host, runner.port, ADMIN_KEY)
+            health = admin.healthz().payload
+            parked = sorted(
+                stream for stream, record in health["streams"].items()
+                if record.get("state") != "healthy"
+            )
+            leg["during_fault"] = {
+                "gateway_up": True,
+                "healthz": health["status"],
+                "parked_streams": parked,
+                "summary": summarize(results, elapsed),
+            }
+            # Containment: every (query, stream) sequence on a healthy
+            # stream must already be byte-identical; a parked stream may
+            # only be *behind* (a strict prefix), never wrong.
+            healthy_ok, prefix_ok, violations = 0, 0, []
+            for workload, result in zip(workloads, results):
+                expected = direct_oracle(workload)
+                keys = set(expected) | set(result.delivered)
+                for key in sorted(keys):
+                    want = expected.get(key, [])
+                    got = result.delivered.get(key, [])
+                    scoped_key = f"{workload.name}/{key[1]}"
+                    if scoped_key in parked:
+                        if got == want[: len(got)]:
+                            prefix_ok += 1
+                        else:
+                            violations.append(f"{workload.name}:{key}")
+                    elif canonical({key: want}) == canonical({key: got}):
+                        healthy_ok += 1
+                    else:
+                        violations.append(f"{workload.name}:{key}")
+            leg["during_fault"]["healthy_sequences_identical"] = healthy_ok
+            leg["during_fault"]["parked_sequences_prefix"] = prefix_ok
+            leg["during_fault"]["violations"] = violations
+            leg["during_fault"]["ok"] = (
+                health["status"] == "degraded" and not violations
+            )
+        # The context exited: the fault cause is cleared.  The operator
+        # repairs; replayed frames drain and the whole fleet must now be
+        # byte-identical — exactly-once across the park/repair boundary.
+        revived = admin.repair()
+        for workload in workloads:
+            clients[workload.name] = GatewayClient(
+                runner.host, runner.port, workload.api_key
+            )
+        _drain_all(clients, workloads, results)
+        verification = _verify_tenants(workloads, results)
+        health_after = admin.healthz().payload
+        admin.close()
+        leg["after_repair"] = {
+            "revived_streams": revived,
+            "healthz": health_after["status"],
+            "verification": verification,
+            "ok": verification["ok"] and health_after["status"] == "ok",
+        }
+        leg["ok"] = leg["during_fault"]["ok"] and leg["after_repair"]["ok"]
+    finally:
+        for client in clients.values():
+            client.close()
+        runner.close()
+    return leg
+
+
+def run_serve_benchmark(
+    num_tenants: int = 4,
+    duration: float = 2.0,
+    backend: str = "pool",
+    num_sessions: int = 2,
+    num_workers: int = 2,
+    seed: int = 0,
+    smoke: bool = False,
+    with_fault: bool = True,
+    output_path: Optional[str] = "BENCH_serve.json",
+) -> Dict:
+    """The full service-tier benchmark (see the module docstring)."""
+    if num_tenants < 1:
+        raise ValueError("num_tenants must be >= 1")
+    frames = _frames_per_feed(duration, smoke)
+    workloads = seeded_tenants(num_tenants, seed=seed, frames_per_feed=frames)
+    session_kwargs = {"watermark": 4}
+    if backend == "pool":
+        session_kwargs["num_workers"] = num_workers
+    report: Dict = {
+        "benchmark": "serve",
+        "params": {
+            "tenants": num_tenants,
+            "duration": duration,
+            "frames_per_feed": frames,
+            "feeds_per_tenant": len(workloads[0].feeds),
+            "queries_per_tenant": len(workloads[0].queries),
+            "backend": backend,
+            "num_sessions": num_sessions,
+            "num_workers": num_workers if backend == "pool" else None,
+            "seed": seed,
+            "smoke": smoke,
+        },
+        "service": _service_leg(
+            workloads, backend, num_sessions, session_kwargs
+        ),
+    }
+    if with_fault and backend == "pool":
+        report["fault"] = _fault_leg(workloads, 1, session_kwargs)
+    if output_path:
+        with open(output_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        report["__written_to__"] = os.path.abspath(output_path)
+    return report
+
+
+def render_serve_report(report: Dict) -> str:
+    """A terminal summary of one serve-benchmark report."""
+    params = report["params"]
+    service = report["service"]
+    verification = service["verification"]
+    lines = [
+        "service tier benchmark "
+        f"({params['tenants']} tenants, {params['backend']} backend, "
+        f"{params['num_sessions']} session(s), "
+        f"{params['frames_per_feed']} frames/feed"
+        f"{', smoke' if params['smoke'] else ''})",
+        f"  sustained_qps          {service['sustained_qps']:10.1f}",
+        f"  ingest_frames_per_sec  {service['ingest_frames_per_sec']:10.1f}",
+        f"  match_latency_p50_ms   {service['match_latency']['p50_ms']:10.2f}",
+        f"  match_latency_p95_ms   {service['match_latency']['p95_ms']:10.2f}",
+        f"  byte_identical         "
+        f"{verification['byte_identical']}/{verification['tenants']} tenants"
+        f" ({verification['oracle_matches']} oracle matches)"
+        f" {'OK' if verification['ok'] else 'MISMATCH'}",
+    ]
+    fault = report.get("fault")
+    if fault:
+        during, after = fault["during_fault"], fault["after_repair"]
+        lines += [
+            f"  fault leg: sigkill on {fault['fault']['stream']} "
+            f"@ frame {fault['fault']['frame']}",
+            f"    during: healthz={during['healthz']} "
+            f"parked={len(during['parked_streams'])} "
+            f"healthy_seq_ok={during['healthy_sequences_identical']} "
+            f"{'OK' if during['ok'] else 'FAIL'}",
+            f"    repair: healthz={after['healthz']} "
+            f"revived={len(after['revived_streams'])} "
+            f"identical={after['verification']['byte_identical']}"
+            f"/{after['verification']['tenants']} "
+            f"{'OK' if after['ok'] else 'FAIL'}",
+        ]
+    if "__written_to__" in report:
+        lines.append(f"  report written to {report['__written_to__']}")
+    return "\n".join(lines)

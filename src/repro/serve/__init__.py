@@ -1,0 +1,61 @@
+"""The service tier: a multi-tenant asyncio gateway over pooled sessions.
+
+Layers (each its own module, bottom up):
+
+* :mod:`repro.serve.http` — hand-rolled HTTP/1.1 framing over asyncio
+  streams (no web framework; the repo's no-new-dependencies discipline);
+* :mod:`repro.serve.tenants` — API keys, per-tenant namespacing, quotas
+  (query/stream caps, token-bucket ingest rate → HTTP 429);
+* :mod:`repro.serve.broker` — bounded match delivery (poll buffers and
+  per-subscriber queues, drop-oldest + ``lagged`` accounting);
+* :mod:`repro.serve.gateway` — the endpoints, the per-session pump, and
+  :class:`~repro.serve.gateway.GatewayRunner` for synchronous harnesses;
+* :mod:`repro.serve.client` — a blocking stdlib client (used by tests,
+  examples and the load generator);
+* :mod:`repro.serve.loadgen` — seeded multi-tenant load generation with
+  a direct-session oracle for byte-identity checking.
+"""
+
+from repro.serve.broker import FEED_CLOSED, MatchFeed, Subscriber
+from repro.serve.client import GatewayClient, GatewayError, GatewayResponse
+from repro.serve.gateway import Gateway, GatewayRunner, match_event
+from repro.serve.http import (
+    ChunkedWriter,
+    HTTPError,
+    Request,
+    json_response,
+    read_request,
+)
+from repro.serve.tenants import (
+    STREAM_SCOPE_SEP,
+    AuthError,
+    QuotaError,
+    Tenant,
+    TenantConfig,
+    TenantRegistry,
+    TokenBucket,
+)
+
+__all__ = [
+    "AuthError",
+    "ChunkedWriter",
+    "FEED_CLOSED",
+    "Gateway",
+    "GatewayClient",
+    "GatewayError",
+    "GatewayResponse",
+    "GatewayRunner",
+    "HTTPError",
+    "MatchFeed",
+    "QuotaError",
+    "Request",
+    "STREAM_SCOPE_SEP",
+    "Subscriber",
+    "Tenant",
+    "TenantConfig",
+    "TenantRegistry",
+    "TokenBucket",
+    "json_response",
+    "match_event",
+    "read_request",
+]

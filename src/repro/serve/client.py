@@ -1,0 +1,268 @@
+"""A blocking HTTP client for the gateway, on ``http.client`` (stdlib).
+
+The synchronous counterpart of the service tier: the load generator, the
+examples and the tests all talk to the gateway through this.  One
+:class:`GatewayClient` holds one keep-alive connection (``http.client``
+reuses the socket across requests), so a client instance maps naturally
+onto "one tenant connection" in the load generator — use one instance
+per thread, the class is not thread-safe.
+
+Every JSON endpoint returns a :class:`GatewayResponse` (status + decoded
+payload); the ``expect()`` helper turns unexpected statuses into
+:class:`GatewayError` with the server's error payload attached.  The
+chunked match stream is consumed through :meth:`GatewayClient.stream_matches`,
+a generator of decoded NDJSON events.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.datamodel.observation import FrameObservation
+
+
+class GatewayError(Exception):
+    """An endpoint answered with an unexpected HTTP status."""
+
+    def __init__(self, status: int, payload):
+        self.status = status
+        self.payload = payload
+        message = payload.get("message") if isinstance(payload, dict) else None
+        super().__init__(f"HTTP {status}: {message or payload!r}")
+
+    @property
+    def code(self) -> Optional[str]:
+        """The server's machine-readable error code, when present."""
+        if isinstance(self.payload, dict):
+            return self.payload.get("error")
+        return None
+
+
+class GatewayResponse:
+    """Status, headers and decoded JSON payload of one request."""
+
+    __slots__ = ("status", "headers", "payload")
+
+    def __init__(self, status: int, headers: Dict[str, str], payload):
+        self.status = status
+        self.headers = headers
+        self.payload = payload
+
+    def expect(self, *statuses: int) -> "GatewayResponse":
+        """Return self when the status is expected; raise otherwise."""
+        if self.status not in statuses:
+            raise GatewayError(self.status, self.payload)
+        return self
+
+
+def frame_to_ndjson(frame: FrameObservation) -> str:
+    """One frame as its NDJSON ingest line."""
+    return json.dumps(
+        {
+            "frame_id": frame.frame_id,
+            "objects": {str(oid): frame.label_of(oid)
+                        for oid in sorted(frame.object_ids)},
+        },
+        sort_keys=True,
+    )
+
+
+class GatewayClient:
+    """One keep-alive connection to a gateway (single-threaded use)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        api_key: Optional[str] = None,
+        timeout: float = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self.api_key = api_key
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing -------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _headers(self, extra: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+        headers = dict(extra or {})
+        if self.api_key is not None:
+            headers["X-API-Key"] = self.api_key
+        return headers
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        content_type: str = "application/json",
+    ) -> GatewayResponse:
+        """One fixed-length request/response round trip."""
+        headers = self._headers()
+        if body is not None:
+            headers["Content-Type"] = content_type
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except (ConnectionError, http.client.HTTPException, OSError):
+            # The keep-alive socket may have been idled out by the server;
+            # one reconnect-and-retry is safe for our idempotent surface.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        payload = None
+        if raw:
+            try:
+                payload = json.loads(raw)
+            except ValueError:
+                payload = raw.decode("utf-8", "replace")
+        return GatewayResponse(
+            response.status, dict(response.getheaders()), payload
+        )
+
+    def request_json(
+        self, method: str, path: str, payload=None
+    ) -> GatewayResponse:
+        body = None
+        if payload is not None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return self.request(method, path, body=body)
+
+    # -- endpoint helpers ----------------------------------------------
+    def healthz(self) -> GatewayResponse:
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> GatewayResponse:
+        return self.request("GET", "/v1/stats")
+
+    def register_query(
+        self,
+        q: str,
+        *,
+        window: Optional[int] = None,
+        duration: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> int:
+        """Register a query, returning its tenant-local query id."""
+        payload: Dict[str, object] = {"q": q}
+        if window is not None:
+            payload["window"] = window
+        if duration is not None:
+            payload["duration"] = duration
+        if name is not None:
+            payload["name"] = name
+        response = self.request_json("POST", "/v1/queries", payload).expect(201)
+        return response.payload["query_id"]
+
+    def list_queries(self) -> List[Dict]:
+        response = self.request("GET", "/v1/queries").expect(200)
+        return response.payload["queries"]
+
+    def cancel_query(self, query_id: int) -> GatewayResponse:
+        return self.request("DELETE", f"/v1/queries/{query_id}").expect(200)
+
+    def post_frames(
+        self, stream_id: str, frames: Iterable[FrameObservation]
+    ) -> GatewayResponse:
+        """Ingest a frame batch as NDJSON.  Raises on anything but 200 —
+        catch :class:`GatewayError` and inspect ``status == 429`` plus the
+        ``Retry-After`` header to handle throttling."""
+        body = "\n".join(frame_to_ndjson(f) for f in frames).encode("utf-8")
+        return self.request(
+            "POST",
+            f"/v1/streams/{stream_id}/frames",
+            body=body,
+            content_type="application/x-ndjson",
+        ).expect(200)
+
+    def poll_matches(self, query_id: int) -> Dict:
+        """One poll: ``{"matches": [...], "lagged": n, "active": bool}``."""
+        return self.request(
+            "GET", f"/v1/queries/{query_id}/matches"
+        ).expect(200).payload
+
+    def flush(self) -> GatewayResponse:
+        """Barrier: force every posted frame through and deliver matches."""
+        return self.request("POST", "/v1/flush").expect(200)
+
+    def stream_health(self) -> Dict:
+        return self.healthz().expect(200).payload
+
+    def retained_matches(self, stream_id: str) -> List[Dict]:
+        return self.request(
+            "GET", f"/v1/streams/{stream_id}/matches"
+        ).expect(200).payload["retained"]
+
+    def repair(self) -> List[str]:
+        """Admin: re-adopt parked streams (requires the admin key)."""
+        return self.request_json(
+            "POST", "/v1/admin/repair"
+        ).expect(200).payload["revived"]
+
+    # -- streaming ------------------------------------------------------
+    def stream_matches(
+        self, query_id: int, limit: Optional[int] = None
+    ) -> Iterator[Dict]:
+        """Consume the chunked NDJSON match stream of one query.
+
+        Yields decoded events (``{"event": "match", ...}``, ``"lagged"``
+        notices) until the server sends the ``end`` event or closes.  Uses
+        a dedicated connection — the generator holds it until exhausted or
+        closed, so the client's main connection stays usable meanwhile.
+        """
+        path = f"/v1/queries/{query_id}/stream"
+        if limit is not None:
+            path += f"?limit={limit}"
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", path, headers=self._headers())
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    payload = json.loads(raw)
+                except ValueError:
+                    payload = raw.decode("utf-8", "replace")
+                raise GatewayError(response.status, payload)
+            # http.client decodes the chunked framing; each NDJSON event
+            # was sent as one chunk ending in a line feed, so readline()
+            # recovers event boundaries.
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line)
+                yield event
+                if event.get("event") == "end":
+                    return
+        finally:
+            conn.close()

@@ -16,11 +16,18 @@ from repro.session.backends import (
     PoolBackend,
     RouterBackend,
 )
-from repro.session.session import QueryHandle, QueryLike, Session
+from repro.session.dispatch import DispatcherClosedError, SessionDispatcher
+from repro.session.session import (
+    QueryHandle,
+    QueryLike,
+    Session,
+    UnknownStreamError,
+)
 
 __all__ = [
     "BACKENDS",
     "Backend",
+    "DispatcherClosedError",
     "InlineBackend",
     "PoolBackend",
     "Q",
@@ -29,4 +36,6 @@ __all__ = [
     "QueryLike",
     "RouterBackend",
     "Session",
+    "SessionDispatcher",
+    "UnknownStreamError",
 ]

@@ -1,0 +1,162 @@
+"""Single-thread serialization of a :class:`~repro.session.session.Session`.
+
+A ``Session`` is **not thread-safe**: its documented contract is a single
+caller (see the class docstring).  Every layer below it — engines, the
+router's shard maps, the pool's op log and flush barriers — assumes calls
+arrive one at a time, in order.  Two threads interleaving ``ingest`` calls
+would corrupt per-stream frame ordering even if each individual structure
+survived the race.
+
+:class:`SessionDispatcher` is the supported way to drive one session from
+many threads (or from an event loop): it owns a dedicated worker thread
+that *constructs* the session and executes every submitted operation on
+it, strictly in submission order.  Callers hand over closures and get
+:class:`concurrent.futures.Future`\\ s back::
+
+    dispatcher = SessionDispatcher(lambda: Session(backend="pool"))
+    handle = dispatcher.call(lambda s: s.register("car >= 2", window=30))
+    dispatcher.submit(lambda s: s.ingest("cam-01", frame))  # fire and wait later
+    dispatcher.call(lambda s: s.flush())
+    dispatcher.close()
+
+Because the session is created *inside* the worker thread, no other thread
+ever touches it — there is no hand-off moment where two threads share it.
+Flush-barrier semantics are preserved exactly: a barrier operation
+(``register``/``cancel``/``flush``/``close``) submitted after a batch of
+``ingest`` closures runs after all of them, just as in single-threaded
+code.
+
+The async service tier (:mod:`repro.serve`) bridges its event loop onto
+this class by wrapping the returned futures in
+``asyncio.wrap_future`` — one dispatcher (one thread) per pooled session.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from typing import Any, Callable, Optional, TypeVar
+
+T = TypeVar("T")
+
+#: Queue sentinel that tells the worker thread to close the session and
+#: exit.  Private object identity — user closures can never equal it.
+_SHUTDOWN = object()
+
+
+class DispatcherClosedError(RuntimeError):
+    """Raised by :meth:`SessionDispatcher.submit` after ``close()``."""
+
+
+class SessionDispatcher:
+    """One worker thread owning one session; all calls serialized through it.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable building the session (or any other
+        single-threaded resource) — invoked on the worker thread, so the
+        object is born and dies there.  If it raises, the constructor
+        re-raises the same exception and no thread is leaked.
+    name:
+        Thread name, for debugging and supervision dashboards.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Any],
+        name: str = "session-dispatcher",
+    ):
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+        self._resource: Any = None
+        self._thread = threading.Thread(
+            target=self._run, args=(factory,), name=name, daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._failure is not None:
+            failure, self._failure = self._failure, None
+            self._closed = True
+            raise failure
+
+    # -- worker thread --------------------------------------------------
+    def _run(self, factory: Callable[[], Any]) -> None:
+        try:
+            self._resource = factory()
+        except BaseException as exc:  # surfaced from __init__
+            self._failure = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                break
+            fn, future = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(fn(self._resource))
+            except BaseException as exc:
+                future.set_exception(exc)
+        # The session was born on this thread; it dies here too.
+        resource, self._resource = self._resource, None
+        close = getattr(resource, "close", None)
+        if close is not None:
+            close()
+
+    # -- caller side ----------------------------------------------------
+    def submit(self, fn: Callable[[Any], T]) -> "Future[T]":
+        """Enqueue ``fn(session)`` for the worker thread; return its future.
+
+        Operations run strictly in submission order.  Exceptions raised by
+        ``fn`` land on the future, not the worker thread.
+        """
+        with self._close_lock:
+            if self._closed:
+                raise DispatcherClosedError(
+                    "the dispatcher is closed; no further operations can "
+                    "reach its session"
+                )
+            future: "Future[T]" = Future()
+            self._queue.put((fn, future))
+            return future
+
+    def call(self, fn: Callable[[Any], T], timeout: Optional[float] = None) -> T:
+        """Blocking convenience: ``submit(fn).result(timeout)``."""
+        return self.submit(fn).result(timeout)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        return self._closed
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Drain pending operations, close the session, stop the thread.
+
+        Idempotent.  Operations submitted before ``close`` still run (in
+        order) before the session's own ``close()``; submissions after it
+        raise :class:`DispatcherClosedError`.
+        """
+        with self._close_lock:
+            if self._closed:
+                self._thread.join(timeout)
+                return
+            self._closed = True
+            self._queue.put(_SHUTDOWN)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "SessionDispatcher":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "closed" if self._closed else "open"
+        return f"SessionDispatcher({self._thread.name!r}, {state})"

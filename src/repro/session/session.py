@@ -39,6 +39,19 @@ the full registry — active queries, cancelled ids, registration frontiers,
 undelivered per-handle matches — alongside the backend state, in the same
 versioned codec the streaming runtime uses, and can be taken on a *live*
 pool (workers keep serving).
+
+Threading contract
+------------------
+A session is **single-caller**: one thread drives it at a time, and every
+layer below (engine frame ordering, shard batch buffers, the pool's op log
+and flush barriers) assumes calls arrive serialized.  The contract is
+*not* enforced with locks — two threads interleaving ``ingest`` would
+corrupt per-stream frame order before any individual structure noticed.
+To drive one session from many threads (or from an event loop, as
+:mod:`repro.serve` does), route every call through a
+:class:`~repro.session.dispatch.SessionDispatcher`, which owns the session
+on one worker thread and executes submitted operations strictly in
+submission order.
 """
 
 from __future__ import annotations
@@ -66,6 +79,26 @@ from repro.streaming.supervision import AutoRebalanceConfig, SupervisionConfig
 
 #: Everything :meth:`Session.register` accepts as a query.
 QueryLike = Union[str, QueryExpr, CNFQuery]
+
+
+class UnknownStreamError(KeyError):
+    """A stream id that has never ingested a frame on this session.
+
+    Raised by :meth:`Session.matches_for` uniformly across all three
+    backends, so callers (the service tier's 404 path in particular) can
+    tell "no such stream" from "a known stream with no retained matches"
+    without backend-specific probing.
+    """
+
+    def __init__(self, stream_id: str):
+        super().__init__(stream_id)
+        self.stream_id = stream_id
+
+    def __str__(self) -> str:
+        return (
+            f"unknown stream {self.stream_id!r}: no frame of this stream "
+            "has been ingested on this session"
+        )
 
 
 class QueryHandle:
@@ -584,8 +617,17 @@ class Session:
         return drained
 
     def matches_for(self, stream_id: str) -> List[QueryMatch]:
-        """One stream's retained (not yet drained) matches, canonical order."""
+        """One stream's retained (not yet drained) matches, canonical order.
+
+        A stream id that has never ingested a frame raises
+        :class:`UnknownStreamError` (a ``KeyError``) — identically on all
+        three backends, which each used to answer with whatever their
+        internals happened to do.  A *known* stream with nothing retained
+        returns ``[]``.
+        """
         self._require_open()
+        if stream_id not in self._frontiers:
+            raise UnknownStreamError(stream_id)
         return self._backend.matches_for(stream_id)
 
     def _record_fault(self, fault: Dict) -> None:

@@ -1,0 +1,193 @@
+"""The session dispatcher: one worker thread, serialized closures.
+
+A :class:`~repro.session.session.Session` is single-caller by contract;
+the gateway bridges its async loop onto that contract through
+:class:`~repro.session.dispatch.SessionDispatcher` — every operation is a
+closure queued to one worker thread that also *built* the session, so no
+two session calls ever overlap and flush-barrier semantics survive the
+thread hop.  These tests pin the bridge's invariants, including the
+concurrent-misuse case the dispatcher exists to prevent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.datamodel.observation import FrameObservation
+from repro.query.parser import parse_query
+from repro.session import (
+    DispatcherClosedError,
+    Session,
+    SessionDispatcher,
+)
+
+
+class Recorder:
+    """A resource that detects overlapping calls and records call order."""
+
+    def __init__(self):
+        self.calls = []
+        self.closed = False
+        self._inside = False
+        self._overlap = False
+        self.thread_ids = set()
+
+    def op(self, tag):
+        if self._inside:
+            self._overlap = True
+        self._inside = True
+        self.thread_ids.add(threading.get_ident())
+        time.sleep(0.001)
+        self.calls.append(tag)
+        self._inside = False
+        return tag
+
+    @property
+    def overlapped(self) -> bool:
+        return self._overlap
+
+    def close(self):
+        self.closed = True
+
+
+def test_ops_run_in_order_and_return_results():
+    with SessionDispatcher(Recorder) as dispatcher:
+        futures = [
+            dispatcher.submit(lambda r, i=i: r.op(i)) for i in range(20)
+        ]
+        assert [f.result(timeout=5) for f in futures] == list(range(20))
+
+
+def test_factory_runs_on_the_worker_thread():
+    built_on = []
+
+    def factory():
+        built_on.append(threading.get_ident())
+        return Recorder()
+
+    with SessionDispatcher(factory) as dispatcher:
+        used_on = dispatcher.call(lambda r: threading.get_ident())
+    assert built_on == [used_on]
+    assert used_on != threading.get_ident()
+
+
+def test_constructor_failure_propagates_without_a_leaked_thread():
+    before = threading.active_count()
+
+    def exploding_factory():
+        raise RuntimeError("no session for you")
+
+    with pytest.raises(RuntimeError, match="no session for you"):
+        SessionDispatcher(exploding_factory)
+    # The worker must have exited; give a scheduling grace period.
+    deadline = time.monotonic() + 2
+    while threading.active_count() > before and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert threading.active_count() <= before
+
+
+def test_close_drains_pending_ops_then_closes_the_resource():
+    dispatcher = SessionDispatcher(Recorder)
+    recorder = dispatcher.call(lambda r: r)
+    futures = [dispatcher.submit(lambda r, i=i: r.op(i)) for i in range(10)]
+    dispatcher.close()
+    assert [f.result(timeout=0) for f in futures] == list(range(10))
+    assert recorder.closed
+    assert dispatcher.closed
+    dispatcher.close()  # idempotent
+    with pytest.raises(DispatcherClosedError):
+        dispatcher.submit(lambda r: r.op("late"))
+
+
+def test_exceptions_travel_through_the_future():
+    def boom(recorder):
+        raise ValueError("inner failure")
+
+    with SessionDispatcher(Recorder) as dispatcher:
+        with pytest.raises(ValueError, match="inner failure"):
+            dispatcher.call(boom)
+        # The worker survives a failing op.
+        assert dispatcher.call(lambda r: r.op("after")) == "after"
+
+
+def test_concurrent_callers_are_serialized():
+    """Many threads hammering one dispatcher: no overlapping resource calls,
+    every op on the single worker thread."""
+    with SessionDispatcher(Recorder) as dispatcher:
+        recorder = dispatcher.call(lambda r: r)
+
+        def hammer(base):
+            for i in range(25):
+                dispatcher.call(lambda r, t=(base, i): r.op(t))
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not recorder.overlapped
+        assert len(recorder.calls) == 100
+        assert len(recorder.thread_ids) == 1
+
+
+def test_two_threads_through_one_session_dispatcher():
+    """The gateway-shaped misuse case: two producers share one Session via
+    the dispatcher and the result equals a sequential single-caller run.
+
+    Without the dispatcher this access pattern violates the session's
+    threading contract outright; through it, per-stream ingest order is
+    preserved (each thread owns its stream) and the flush barrier sees
+    every frame.
+    """
+    frames_a = [FrameObservation(i, {1: "person", 2: "car"}) for i in range(30)]
+    frames_b = [FrameObservation(i, {7: "person"}) for i in range(30)]
+
+    def factory():
+        query = parse_query("person >= 1", window=10, duration=5)
+        return Session("inline", queries=[query], restrict_labels=False)
+
+    with SessionDispatcher(factory) as dispatcher:
+        def feed(stream_id, frames):
+            for frame in frames:
+                dispatcher.call(
+                    lambda s, f=frame: s.ingest(stream_id, f)
+                )
+
+        threads = [
+            threading.Thread(target=feed, args=("cam-a", frames_a)),
+            threading.Thread(target=feed, args=("cam-b", frames_b)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        dispatcher.call(lambda s: s.flush())
+        got_a = dispatcher.call(lambda s: s.matches_for("cam-a"))
+        got_b = dispatcher.call(lambda s: s.matches_for("cam-b"))
+
+    with factory() as oracle:
+        for frame in frames_a:
+            oracle.ingest("cam-a", frame)
+        for frame in frames_b:
+            oracle.ingest("cam-b", frame)
+        oracle.flush()
+        want_a = oracle.matches_for("cam-a")
+        want_b = oracle.matches_for("cam-b")
+
+    assert got_a == want_a and got_b == want_b
+    assert want_a  # the workload actually produces matches
+
+
+def test_session_close_through_dispatcher_close():
+    dispatcher = SessionDispatcher(
+        lambda: Session("inline", queries=["car >= 1"])
+    )
+    session = dispatcher.call(lambda s: s)
+    assert not session.closed
+    dispatcher.close()
+    assert session.closed

@@ -1,0 +1,140 @@
+"""The load generator and serve benchmark: determinism and byte-identity.
+
+The generator's value rests on two properties: (1) its workloads are
+seeded, so an oracle can replay them exactly, and (2) what the gateway
+delivers under concurrent load is byte-identical to that oracle.  The
+fast tests here pin both on the inline backend; the pool fault leg runs
+in the ``slow``-marked test (and in the serve-smoke CI job via
+``--bench serve --smoke``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import Gateway, GatewayRunner
+from repro.serve.loadgen import (
+    canonical,
+    direct_oracle,
+    percentile,
+    run_tenants,
+    seeded_tenants,
+    summarize,
+)
+
+
+def test_seeded_workloads_are_deterministic():
+    first = seeded_tenants(2, seed=5, frames_per_feed=20)
+    second = seeded_tenants(2, seed=5, frames_per_feed=20)
+    for a, b in zip(first, second):
+        assert a.name == b.name and a.api_key == b.api_key
+        assert [str(q) for q in a.queries] == [str(q) for q in b.queries]
+        assert [
+            (s, f.frame_id, sorted(f.object_ids)) for s, f in a.events
+        ] == [
+            (s, f.frame_id, sorted(f.object_ids)) for s, f in b.events
+        ]
+    other_seed = seeded_tenants(2, seed=6, frames_per_feed=20)
+    assert canonical(direct_oracle(first[0])) != canonical(
+        direct_oracle(other_seed[0])
+    ) or first[0].events != other_seed[0].events
+
+
+def test_oracle_is_reproducible_and_keyed_per_query_and_stream():
+    workload = seeded_tenants(1, seed=0, frames_per_feed=40)[0]
+    expected = direct_oracle(workload)
+    assert expected, "the seeded workload must actually produce matches"
+    assert canonical(expected) == canonical(direct_oracle(workload))
+    for (local_qid, stream_id), events in expected.items():
+        assert all(e["query_id"] == local_qid for e in events)
+        assert all(e["stream"] == stream_id for e in events)
+        frame_ids = [e["frame_id"] for e in events]
+        assert frame_ids == sorted(frame_ids)  # per-stream order is frame order
+
+
+def test_percentile_nearest_rank():
+    assert percentile([], 0.5) == 0.0
+    assert percentile([3.0], 0.95) == 3.0
+    values = list(range(1, 101))
+    assert percentile(values, 0.0) == 1
+    assert percentile(values, 1.0) == 100
+    assert percentile(values, 0.5) == 51
+
+
+def test_concurrent_tenants_are_byte_identical_to_the_oracle():
+    workloads = seeded_tenants(3, seed=2, frames_per_feed=30)
+    gw = Gateway(
+        [w.config() for w in workloads], admin_key="adm", backend="inline"
+    )
+    with GatewayRunner(gw) as runner:
+        results, elapsed = run_tenants(workloads, runner.host, runner.port)
+    for result in results:
+        assert result.error is None, repr(result.error)
+        assert result.lagged == 0
+    for workload, result in zip(workloads, results):
+        assert canonical(direct_oracle(workload)) == canonical(
+            result.delivered
+        ), workload.name
+    summary = summarize(results, elapsed)
+    assert summary["tenants"] == 3
+    assert summary["frames_ingested"] == sum(
+        len(w.events) for w in workloads
+    )
+    assert summary["sustained_qps"] > 0
+    assert summary["errors"] == []
+
+
+def test_throttled_tenant_still_converges_to_the_oracle():
+    workloads = seeded_tenants(1, seed=3, frames_per_feed=20)
+    configs = [workloads[0].config(frames_per_sec=200)]
+    gw = Gateway(configs, admin_key="adm", backend="inline")
+    with GatewayRunner(gw) as runner:
+        results, _ = run_tenants(
+            workloads, runner.host, runner.port, batch_frames=4
+        )
+    result = results[0]
+    assert result.error is None, repr(result.error)
+    assert canonical(direct_oracle(workloads[0])) == canonical(
+        result.delivered
+    )
+
+
+def test_serve_benchmark_smoke_inline(tmp_path):
+    from repro.experiments.serve_bench import (
+        render_serve_report, run_serve_benchmark,
+    )
+
+    out = tmp_path / "BENCH_serve.json"
+    report = run_serve_benchmark(
+        num_tenants=2, smoke=True, backend="inline", with_fault=False,
+        output_path=str(out),
+    )
+    assert report["service"]["verification"]["ok"]
+    assert report["params"]["smoke"] is True
+    on_disk = json.loads(out.read_text())
+    assert on_disk["service"]["verification"]["ok"]
+    text = render_serve_report(report)
+    assert "byte_identical" in text and "2/2 tenants" in text
+
+
+@pytest.mark.slow
+def test_serve_benchmark_pool_fault_leg(tmp_path):
+    """The acceptance-shaped run: >= 4 tenants on the pool backend with an
+    injected worker fault — gateway stays up, /healthz degrades, healthy
+    sequences stay byte-identical, and repair restores full identity."""
+    from repro.experiments.serve_bench import run_serve_benchmark
+
+    report = run_serve_benchmark(
+        num_tenants=4, smoke=True, backend="pool", with_fault=True,
+        output_path=str(tmp_path / "BENCH_serve.json"),
+    )
+    assert report["service"]["verification"]["ok"]
+    fault = report["fault"]
+    assert fault["during_fault"]["healthz"] == "degraded"
+    assert fault["during_fault"]["parked_streams"]
+    assert fault["during_fault"]["violations"] == []
+    assert fault["after_repair"]["verification"]["ok"]
+    assert fault["after_repair"]["healthz"] == "ok"
+    assert fault["ok"]

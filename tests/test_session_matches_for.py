@@ -1,0 +1,66 @@
+"""``Session.matches_for`` on an unknown stream: one error, every backend.
+
+The gateway's 404 path for ``GET /v1/streams/{id}/matches`` depends on
+this contract: an id that never ingested a frame raises
+:class:`~repro.session.session.UnknownStreamError` (a ``KeyError``
+subclass naming the stream) uniformly across the inline, router and pool
+backends — rather than the empty list some backends would naturally
+return, which a service cannot distinguish from "known stream, no
+retained matches".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datamodel.observation import FrameObservation
+from repro.session import Session, UnknownStreamError
+
+BACKENDS = ["inline", "router", "pool"]
+
+
+def _session(backend: str) -> Session:
+    kwargs = {"restrict_labels": False}
+    if backend == "pool":
+        kwargs["num_workers"] = 2
+    return Session(backend, queries=["person >= 1"], **kwargs)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_unknown_stream_raises_before_any_ingest(backend):
+    with _session(backend) as session:
+        with pytest.raises(UnknownStreamError) as excinfo:
+            session.matches_for("never-seen")
+        assert excinfo.value.stream_id == "never-seen"
+        assert "never-seen" in str(excinfo.value)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_unknown_stream_raises_even_when_others_exist(backend):
+    with _session(backend) as session:
+        session.ingest("cam-a", FrameObservation(0, {1: "person"}))
+        session.flush()
+        session.matches_for("cam-a")  # known: no error
+        with pytest.raises(UnknownStreamError):
+            session.matches_for("cam-b")
+
+
+def test_unknown_stream_error_is_a_key_error():
+    # Callers that predate the dedicated type catch KeyError; both spellings
+    # must keep working.
+    with _session("inline") as session:
+        with pytest.raises(KeyError):
+            session.matches_for("nope")
+    assert issubclass(UnknownStreamError, KeyError)
+
+
+def test_known_stream_returns_matches_not_error():
+    from repro.query.parser import parse_query
+
+    query = parse_query("person >= 1", window=10, duration=3)
+    with Session("inline", queries=[query], restrict_labels=False) as session:
+        for i in range(10):
+            session.ingest("cam-a", FrameObservation(i, {1: "person"}))
+        session.flush()
+        matches = session.matches_for("cam-a")
+        assert matches and all(m.stream_id == "cam-a" for m in matches)

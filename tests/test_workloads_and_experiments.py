@@ -153,6 +153,17 @@ class TestExperimentsCLIValidation:
         ["--bench", "streaming", "--scenario", "skew"],
         ["--bench", "streaming", "--smoke"],
         ["--bench", "streaming", "--workers", "2"],
+        ["--tenants", "4"],                           # figures mode
+        ["--duration", "1.5"],                        # figures mode
+        ["--bench", "kernel", "--tenants", "4"],
+        ["--bench", "streaming", "--tenants", "4"],
+        ["--bench", "streaming", "--duration", "1.5"],
+        ["--bench", "pool", "--tenants", "4"],
+        ["--bench", "pool", "--duration", "1.5"],
+        ["--bench", "serve", "--feeds", "4"],
+        ["--bench", "serve", "--frames", "100"],
+        ["--bench", "serve", "--workers", "2"],
+        ["--bench", "serve", "--scenario", "skew"],
     ])
     def test_out_of_scope_flags_are_rejected(self, argv):
         with pytest.raises(SystemExit) as excinfo:
@@ -183,6 +194,36 @@ class TestExperimentsCLIValidation:
                                "--smoke", "--workers", "3"]) == 0
         assert run.call_args.kwargs["workers"] == 3
         assert run.call_args.kwargs["smoke"] is True
+
+    def test_serve_scoped_flags_still_parse_for_serve(self):
+        import repro.experiments.serve_bench as serve_bench
+        from unittest import mock
+        ok_report = {"service": {"verification": {"ok": True}}}
+        with mock.patch.object(serve_bench, "run_serve_benchmark",
+                               return_value=ok_report) as run, \
+             mock.patch.object(serve_bench, "render_serve_report",
+                               return_value=""):
+            assert self._main(["--bench", "serve", "--tenants", "6",
+                               "--duration", "0.5", "--smoke"]) == 0
+        assert run.call_args.kwargs["num_tenants"] == 6
+        assert run.call_args.kwargs["duration"] == 0.5
+        assert run.call_args.kwargs["smoke"] is True
+
+    def test_serve_error_names_serve_mode(self, capsys):
+        with pytest.raises(SystemExit):
+            self._main(["--bench", "pool", "--tenants", "4"])
+        err = capsys.readouterr().err
+        assert "--tenants" in err and "--bench serve" in err
+
+    def test_serve_exit_code_reflects_verification(self):
+        import repro.experiments.serve_bench as serve_bench
+        from unittest import mock
+        bad_report = {"service": {"verification": {"ok": False}}}
+        with mock.patch.object(serve_bench, "run_serve_benchmark",
+                               return_value=bad_report), \
+             mock.patch.object(serve_bench, "render_serve_report",
+                               return_value=""):
+            assert self._main(["--bench", "serve", "--smoke"]) == 1
 
 
 class TestWorkerDefaults:
