@@ -51,7 +51,7 @@ def main(argv=None) -> int:
     written = report.get("__written_to__")
     if written:
         print(f"\nwrote {written}")
-    return 0
+    return 0 if report["verification"]["ok"] else 1
 
 
 if __name__ == "__main__":

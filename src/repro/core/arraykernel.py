@@ -146,13 +146,13 @@ class ArraySSGGenerator(StrictStateGraphGenerator):
         self._free_slots: List[int] = []
         self._slot_hi = 0
         try:
-            self._np_threshold = max(
+            self._np_threshold = max(  # repro-lint: disable=CKPT-DRIFT -- env-derived tuning knob, re-read on construction; not checkpoint state
                 1, int(os.environ.get(THRESHOLD_ENV_VAR, DEFAULT_NP_THRESHOLD))
             )
         except ValueError:
             self._np_threshold = DEFAULT_NP_THRESHOLD
         try:
-            self._np_min_words = max(
+            self._np_min_words = max(  # repro-lint: disable=CKPT-DRIFT -- env-derived tuning knob, re-read on construction; not checkpoint state
                 1, int(os.environ.get(MIN_WORDS_ENV_VAR, DEFAULT_MIN_WORDS))
             )
         except ValueError:
@@ -164,7 +164,7 @@ class ArraySSGGenerator(StrictStateGraphGenerator):
         self._mask_words = 1
         #: Diagnostic: visits served by a flat-array shortcut (not part of
         #: GeneratorStats — checkpoint stats must match the oracle's).
-        self.trivial_visits = 0
+        self.trivial_visits = 0  # repro-lint: disable=CKPT-DRIFT -- process-local diagnostic counter, deliberately outside checkpoint bytes
 
     # ------------------------------------------------------------------
     # Flat-column lifecycle

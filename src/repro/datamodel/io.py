@@ -18,7 +18,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, List, Tuple, Union
 
 from repro.datamodel.observation import FrameObservation
 from repro.datamodel.relation import VideoRelation
@@ -58,7 +58,7 @@ def save_relation_csv(relation: VideoRelation, path: PathLike) -> None:
 def load_relation_csv(path: PathLike, name: str = "") -> VideoRelation:
     """Load a relation previously written by :func:`save_relation_csv`."""
     path = Path(path)
-    tuples = []
+    tuples: List[Tuple[int, int, str]] = []
     with path.open() as handle:
         first = handle.readline().strip()
         if first.startswith("#") and "num_frames=" in first:
@@ -110,7 +110,7 @@ def save_relation_jsonl(relation: VideoRelation, path: PathLike) -> None:
 def load_relation_jsonl(path: PathLike, name: str = "") -> VideoRelation:
     """Load a relation previously written by :func:`save_relation_jsonl`."""
     path = Path(path)
-    frames = []
+    frames: List[FrameObservation] = []
     with path.open() as handle:
         for line in handle:
             line = line.strip()

@@ -10,7 +10,18 @@ representation consumed by the MCOS generation layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 
 @dataclass(frozen=True)
@@ -100,7 +111,7 @@ class FrameObservation:
         """Return a copy of the id -> label mapping."""
         return dict(self._labels)
 
-    def to_record(self) -> list:
+    def to_record(self) -> List[Any]:
         """Serialise the frame as ``[frame_id, [[object_id, label], ...]]``.
 
         Objects are listed in ascending id order, so the record (and anything
@@ -113,7 +124,7 @@ class FrameObservation:
         ]
 
     @classmethod
-    def from_record(cls, record: list) -> "FrameObservation":
+    def from_record(cls, record: Sequence[Any]) -> "FrameObservation":
         """Rebuild a frame from a :meth:`to_record` payload."""
         try:
             frame_id, pairs = record

@@ -26,7 +26,7 @@ class VideoRelation:
     """
 
     def __init__(self, frames: Optional[Sequence[FrameObservation]] = None,
-                 name: str = "video"):
+                 name: str = "video") -> None:
         self._frames: List[FrameObservation] = []
         self.name = name
         if frames:
@@ -103,7 +103,7 @@ class VideoRelation:
         relation cut from the middle of a longer feed looks.
         """
         labels = labels or {}
-        frames = []
+        frames: List[FrameObservation] = []
         for offset, ids in enumerate(object_sets):
             frame_labels = {oid: labels.get(oid, default_label) for oid in ids}
             frames.append(FrameObservation(first_frame_id + offset, frame_labels))

@@ -20,7 +20,7 @@ class WindowView:
 
     __slots__ = ("_frames", "_window_size")
 
-    def __init__(self, frames: Sequence[FrameObservation], window_size: int):
+    def __init__(self, frames: Sequence[FrameObservation], window_size: int) -> None:
         self._frames: List[FrameObservation] = list(frames)
         self._window_size = window_size
 
@@ -84,7 +84,7 @@ class SlidingWindow:
     """
 
     def __init__(self, relation: VideoRelation, window_size: int,
-                 start: Optional[int] = None, stop: Optional[int] = None):
+                 start: Optional[int] = None, stop: Optional[int] = None) -> None:
         """``start``/``stop`` are *frame ids* (a half-open range); they
         default to the relation's full frame-id range, which need not begin
         at 0 for a relation cut from the middle of a longer feed."""

@@ -61,7 +61,7 @@ class TemporalVideoQueryEngine:
         if not self._queries:
             raise ValueError("the engine needs at least one query")
 
-        self._pruner: Optional[StatePruner] = None
+        self._pruner: Optional[StatePruner] = None  # repro-lint: disable=CKPT-DRIFT -- stateless policy object, rebuilt from config.enable_pruning on restore
         if self.config.enable_pruning:
             for query in self._queries:
                 require_pruning_compatible(query)
@@ -71,7 +71,7 @@ class TemporalVideoQueryEngine:
         #: Engine-owned object interner, shared with every generator the
         #: engine builds: masks stay compatible (and narrow, via recycling)
         #: across resets, which matters for long-running feeds.
-        self.interner = ObjectInterner()
+        self.interner = ObjectInterner()  # repro-lint: disable=CKPT-DRIFT -- shared reference; the generator's checkpoint round-trips the interner
         self.generator = self._build_generator()
         self._mcos_seconds = 0.0
         self._evaluation_seconds = 0.0
@@ -80,7 +80,7 @@ class TemporalVideoQueryEngine:
         #: Prune the engine's label map every this many frames (aligned with
         #: the generators' interner-compaction cadence), keeping long-running
         #: memory bounded by the window population.
-        self._prune_labels_every = 4 * self.config.window_size
+        self._prune_labels_every = 4 * self.config.window_size  # repro-lint: disable=CKPT-DRIFT -- derived from config.window_size, which round-trips
 
     # ------------------------------------------------------------------
     # Construction helpers

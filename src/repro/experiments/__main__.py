@@ -139,7 +139,9 @@ def main(argv=None) -> int:
             datasets=args.datasets or list(DEFAULT_DATASETS),
         )
         print(render_report(report))
-        return 0
+        # Like the serve bench, the exit code reflects verification: a
+        # fast array kernel that diverges from the oracle is a failure.
+        return 0 if report["verification"]["ok"] else 1
 
     if args.bench == "streaming":
         from repro.experiments.streaming_bench import (

@@ -103,6 +103,11 @@ def run_kernel_benchmark(
         for method, tot in totals.items()
     }
 
+    report["verification"] = _verify_dual_backend(
+        report, scale=scale, datasets=datasets, methods=methods,
+        window=window, duration=duration,
+    )
+
     baseline = _load_baseline(baseline_path)
     if baseline is not None:
         speedups = _speedups(report, baseline)
@@ -115,6 +120,71 @@ def run_kernel_benchmark(
             json.dump(report, handle, indent=2)
         report["__written_to__"] = os.path.abspath(output_path)
     return report
+
+
+def _verify_dual_backend(
+    report: Dict,
+    scale: float,
+    datasets: Sequence[str],
+    methods: Sequence[MCOSMethod],
+    window: int,
+    duration: int,
+) -> Dict:
+    """Re-run SSG on the pure-Python oracle and diff against the timed run.
+
+    The array kernel's contract is byte-identical results, so the bench
+    that advertises its speed also proves its correctness on the exact
+    datasets it timed: ``result_states`` and the full ``GeneratorStats``
+    must match the oracle's per dataset.  Mirrors the serve bench, where
+    the exit code reflects verification, not just completion.
+    """
+    if MCOSMethod.SSG not in methods:
+        return {"checked": False, "ok": True, "reason": "SSG not benchmarked"}
+    if report["kernel_backend"] != "array":
+        return {
+            "checked": False,
+            "ok": True,
+            "reason": "array backend not active; timed run already used "
+                      "the pure-Python oracle",
+        }
+    previous = os.environ.get("REPRO_KERNEL")
+    os.environ["REPRO_KERNEL"] = "python"
+    try:
+        mismatches = []
+        checked: Dict[str, Dict] = {}
+        for name in datasets:
+            relation = load_relation(name, scale=scale)
+            oracle = time_mcos_generation(
+                relation, MCOSMethod.SSG, window, duration
+            )
+            timed = report["datasets"][name]["methods"][MCOSMethod.SSG.value]
+            entry = {
+                "result_states": oracle.result_states,
+                "stats_match": oracle.stats.as_dict() == timed["stats"],
+            }
+            checked[name] = entry
+            if timed["result_states"] != oracle.result_states:
+                mismatches.append(
+                    f"{name}: result_states {timed['result_states']} (array) "
+                    f"!= {oracle.result_states} (python)"
+                )
+            if not entry["stats_match"]:
+                mismatches.append(
+                    f"{name}: GeneratorStats diverge between backends"
+                )
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_KERNEL", None)
+        else:
+            os.environ["REPRO_KERNEL"] = previous
+    return {
+        "checked": True,
+        "ok": not mismatches,
+        "backend": "array",
+        "reference": "python",
+        "datasets": checked,
+        "mismatches": mismatches,
+    }
 
 
 def _load_baseline(baseline_path: Optional[str]) -> Optional[Dict]:
@@ -187,6 +257,19 @@ def render_report(report: Dict) -> str:
                 f"{data['frames_per_sec']:10.1f} "
                 f"{(str(ratio) + 'x') if ratio else '-':>8s}"
             )
+    verification = report.get("verification")
+    if verification is not None:
+        if not verification.get("checked"):
+            lines.append(f"verification: skipped ({verification.get('reason')})")
+        elif verification["ok"]:
+            lines.append(
+                "verification: array kernel matches python oracle on "
+                f"{len(verification['datasets'])} dataset(s)"
+            )
+        else:
+            lines.append("verification: FAILED")
+            for mismatch in verification["mismatches"]:
+                lines.append(f"  {mismatch}")
     lines.append("")
     for method, data in report["fig10_stream"].items():
         ratio = speedups.get("fig10_stream", {}).get(method)

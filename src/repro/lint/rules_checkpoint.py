@@ -1,0 +1,172 @@
+"""Checkpoint-drift rules.
+
+The fields-added-but-not-serialized bug class: someone adds an attribute
+in ``__init__``, forgets to thread it through ``export_state`` /
+``import_state``, and every restored session silently diverges from the
+crashed one.  CKPT-PAIR proves serializer pairs complete; CKPT-DRIFT
+proves every ``__init__`` attribute reachable from both sides of the
+pair (transitively, through same-class helper calls) or explicitly
+baselined with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import FileContext, Rule, Violation
+
+#: (export side, import side) method-name pairs, in precedence order.
+SERIALIZER_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("export_state", "import_state"),
+    ("export_checkpoint", "import_checkpoint"),
+    ("_export_impl", "_import_impl"),
+    ("export_states", "import_states"),
+)
+
+#: Base-class names that supply no serializer half — a class whose only
+#: bases are these must define both sides of any pair itself.
+_TRIVIAL_BASES = frozenset({
+    "object", "ABC", "abc.ABC", "Protocol", "Generic", "Exception",
+})
+
+
+def _class_methods(klass: ast.ClassDef) -> Dict[str, ast.AST]:
+    """Directly defined methods of a class, by name."""
+    return {
+        stmt.name: stmt
+        for stmt in klass.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _has_nontrivial_base(ctx: FileContext, klass: ast.ClassDef) -> bool:
+    """True when the class inherits from something that may supply
+    serializer halves (anything but object/ABC/Protocol/...)."""
+    for base in klass.bases:
+        name = ctx.dotted_name(base) or ctx.terminal_name(base)
+        if name is None or name not in _TRIVIAL_BASES:
+            return True
+    return False
+
+
+def _init_attributes(init: ast.AST) -> List[Tuple[str, ast.AST]]:
+    """``self.x = ...`` assignments in ``__init__``, with their nodes."""
+    attrs: List[Tuple[str, ast.AST]] = []
+    seen: Set[str] = set()
+    for node in ast.walk(init):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and target.attr not in seen):
+                seen.add(target.attr)
+                attrs.append((target.attr, target))
+    return attrs
+
+
+def _reachable_attrs(methods: Dict[str, ast.AST], roots: List[str]) -> Set[str]:
+    """All ``self.<attr>`` names referenced from ``roots``, following
+    same-class ``self.m()`` calls transitively."""
+    attrs: Set[str] = set()
+    queue = [name for name in roots if name in methods]
+    visited: Set[str] = set()
+    while queue:
+        name = queue.pop()
+        if name in visited:
+            continue
+        visited.add(name)
+        for node in ast.walk(methods[name]):
+            if (isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"):
+                attrs.add(node.attr)
+                if node.attr in methods and node.attr not in visited:
+                    queue.append(node.attr)
+    return attrs
+
+
+class CheckpointPairRule(Rule):
+    """CKPT-PAIR: a class defining one serializer half defines both."""
+
+    rule_id = "CKPT-PAIR"
+    title = "export/import serializer pairs must be complete"
+    rationale = (
+        "a class that can export state but not import it (or vice versa) "
+        "cannot round-trip a checkpoint; restores either fail or fall "
+        "back to defaults and silently diverge"
+    )
+
+    def check(self, ctx: FileContext, options: Dict) -> Iterator[Violation]:
+        for klass in ast.walk(ctx.tree):
+            if not isinstance(klass, ast.ClassDef):
+                continue
+            if _has_nontrivial_base(ctx, klass):
+                # A subclass may legitimately override only one half;
+                # the base supplies the other.
+                continue
+            methods = _class_methods(klass)
+            for export_name, import_name in SERIALIZER_PAIRS:
+                has_export = export_name in methods
+                has_import = import_name in methods
+                if has_export == has_import:
+                    continue
+                present, missing = (
+                    (export_name, import_name) if has_export
+                    else (import_name, export_name)
+                )
+                yield self.violation(
+                    ctx, methods[present],
+                    f"class {klass.name} defines {present}() but not "
+                    f"{missing}(); checkpoints it writes cannot round-trip",
+                )
+
+
+class CheckpointDriftRule(Rule):
+    """CKPT-DRIFT: every __init__ attribute round-trips (or is baselined)."""
+
+    rule_id = "CKPT-DRIFT"
+    title = "__init__ attributes must reach both serializer halves"
+    rationale = (
+        "an attribute assigned in __init__ but absent from the export or "
+        "import closure is the fields-added-but-not-serialized bug: the "
+        "restored object silently differs from the checkpointed one"
+    )
+
+    def check(self, ctx: FileContext, options: Dict) -> Iterator[Violation]:
+        for klass in ast.walk(ctx.tree):
+            if not isinstance(klass, ast.ClassDef):
+                continue
+            methods = _class_methods(klass)
+            init = methods.get("__init__")
+            if init is None:
+                continue
+            export_roots = [e for e, _ in SERIALIZER_PAIRS if e in methods]
+            import_roots = [i for _, i in SERIALIZER_PAIRS if i in methods]
+            if not export_roots and not import_roots:
+                continue
+            export_attrs = _reachable_attrs(methods, export_roots)
+            import_attrs = _reachable_attrs(methods, import_roots)
+            for attr, node in _init_attributes(init):
+                missing = []
+                if export_roots and attr not in export_attrs:
+                    missing.append("/".join(export_roots))
+                if import_roots and attr not in import_attrs:
+                    missing.append("/".join(import_roots))
+                if not missing:
+                    continue
+                yield self.violation(
+                    ctx, node,
+                    f"attribute self.{attr} is assigned in "
+                    f"{klass.name}.__init__ but never referenced by "
+                    f"{' or '.join(missing)}; serialize it or baseline it "
+                    "with a reasoned suppression",
+                )
+
+
+CHECKPOINT_RULES: List[Rule] = [CheckpointPairRule(), CheckpointDriftRule()]

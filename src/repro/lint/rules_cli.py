@@ -1,0 +1,93 @@
+"""CLI-scoping rule.
+
+The PR 7/9 bug class: a flag documented as "--bench pool only" silently
+accepted (and ignored) under other benches.  Any argparse flag whose
+help text scopes it to a bench must have a matching ``parser.error``
+guard that rejects it out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from repro.lint.engine import FileContext, Rule, Violation
+
+
+class BenchScopeRule(Rule):
+    """CLI-BENCH-SCOPE: bench-scoped flags need a parser.error guard."""
+
+    rule_id = "CLI-BENCH-SCOPE"
+    title = "bench-scoped argparse flags must be guarded by parser.error"
+    rationale = (
+        "a flag whose help says it only applies to one --bench mode but "
+        "that is silently ignored elsewhere makes runs lie about their "
+        "configuration; out-of-scope use must be a hard usage error"
+    )
+
+    def check(self, ctx: FileContext, options: Dict) -> Iterator[Violation]:
+        guarded = self._guarded_dests(ctx)
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "add_argument"):
+                continue
+            dest = self._dest(node)
+            help_text = self._help_text(node)
+            if dest is None or help_text is None:
+                continue
+            if "--bench" not in help_text:
+                continue
+            if dest in guarded:
+                continue
+            yield self.violation(
+                ctx, node,
+                f"flag --{dest.replace('_', '-')} is documented as bench-"
+                "scoped but has no parser.error guard rejecting it under "
+                "other --bench modes",
+            )
+
+    @staticmethod
+    def _dest(node: ast.Call) -> Optional[str]:
+        for kw in node.keywords:
+            if kw.arg == "dest" and isinstance(kw.value, ast.Constant):
+                return str(kw.value.value)
+        for arg in node.args:
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str) \
+                    and arg.value.startswith("--"):
+                return arg.value.lstrip("-").replace("-", "_")
+        return None
+
+    @staticmethod
+    def _help_text(node: ast.Call) -> Optional[str]:
+        for kw in node.keywords:
+            if kw.arg == "help" and isinstance(kw.value, ast.Constant) \
+                    and isinstance(kw.value.value, str):
+                return kw.value.value
+        return None
+
+    @staticmethod
+    def _guarded_dests(ctx: FileContext) -> set:
+        """Dests referenced as ``args.<dest>`` inside an ``if`` whose
+        subtree also calls ``<parser>.error(...)`` — the guard shape."""
+        guarded = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.If):
+                continue
+            has_error = any(
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "error"
+                for sub in ast.walk(node)
+            )
+            if not has_error:
+                continue
+            for sub in ast.walk(node):
+                if (isinstance(sub, ast.Attribute)
+                        and isinstance(sub.value, ast.Name)
+                        and sub.value.id == "args"):
+                    guarded.add(sub.attr)
+        return guarded
+
+
+CLI_RULES: List[Rule] = [BenchScopeRule()]

@@ -36,11 +36,11 @@ class QueryExpr:
 
     __slots__ = ("_clauses",)
 
-    def __init__(self, clauses: Iterable[Iterable[Condition]]):
+    def __init__(self, clauses: Iterable[Iterable[Condition]]) -> None:
         normalized = tuple(tuple(clause) for clause in clauses)
         if not normalized or any(not clause for clause in normalized):
             raise ValueError("a query expression needs at least one condition")
-        self._clauses = normalized
+        self._clauses: Tuple[Clause, ...] = normalized
 
     @classmethod
     def atom(cls, condition: Condition) -> "QueryExpr":
@@ -115,7 +115,7 @@ class Q:
 
     __slots__ = ("_label",)
 
-    def __init__(self, label: str):
+    def __init__(self, label: str) -> None:
         self._label = label
 
     @property
@@ -132,7 +132,7 @@ class Q:
     def __le__(self, threshold: int) -> QueryExpr:
         return self._condition(Comparison.LE, threshold)
 
-    def __eq__(self, threshold) -> QueryExpr:  # type: ignore[override]
+    def __eq__(self, threshold: int) -> QueryExpr:  # type: ignore[override]
         return self._condition(Comparison.EQ, threshold)
 
     # ``__eq__`` no longer implements identity, so opt out of hashing (the

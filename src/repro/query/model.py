@@ -18,7 +18,18 @@ import enum
 import itertools
 import re
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 
 class Comparison(enum.Enum):
@@ -58,6 +69,12 @@ _RESERVED_LABELS = frozenset({"and", "or"})
 #: session facade.
 DEFAULT_WINDOW = 300
 DEFAULT_DURATION = 240
+
+#: Shape of :meth:`CNFQuery.structural_key`: the canonical disjunctions'
+#: sort keys plus the temporal parameters.
+_StructuralKey = Tuple[
+    Tuple[Tuple[Tuple[str, int, int], ...], ...], int, int
+]
 
 
 @dataclass(frozen=True)
@@ -229,7 +246,7 @@ class CNFQuery:
                 [[("car", ">=", 2), ("person", "<=", 3)], [("car", "<=", 5)]]
             )
         """
-        disjunctions = []
+        disjunctions: List[Disjunction] = []
         for group in groups:
             conditions = tuple(
                 Condition(label, Comparison(op), threshold)
@@ -238,7 +255,7 @@ class CNFQuery:
             disjunctions.append(Disjunction(conditions))
         return cls(tuple(disjunctions), window=window, duration=duration, name=name)
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, Any]:
         """Serialise the query as a JSON-friendly dict (see :meth:`from_dict`).
 
         Used by the streaming checkpoint format so that a shard snapshot is
@@ -257,7 +274,7 @@ class CNFQuery:
         }
 
     @classmethod
-    def from_dict(cls, payload: Mapping) -> "CNFQuery":
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CNFQuery":
         """Rebuild a query from a :meth:`to_dict` payload.
 
         Labels are restored through :meth:`Condition.trusted`: snapshots
@@ -307,7 +324,7 @@ class CNFQuery:
         ``self`` when already canonical.
         """
         clauses: List[Disjunction] = []
-        seen = set()
+        seen: Set[Tuple[Tuple[str, int, int], ...]] = set()
         for disjunction in self.disjunctions:
             ordered = disjunction.canonical()
             key = ordered.sort_key()
@@ -326,7 +343,7 @@ class CNFQuery:
             name=self.name,
         )
 
-    def structural_key(self) -> Tuple:
+    def structural_key(self) -> "_StructuralKey":
         """Hashable identity of the query's semantics (canonical clauses +
         temporal parameters); the basis of ``__eq__`` and ``__hash__``.
 
@@ -334,7 +351,7 @@ class CNFQuery:
         never change): equality scans over standing workloads and dict/set
         use would otherwise re-canonicalise on every comparison.
         """
-        cached = self.__dict__.get("_structural_key")
+        cached: Optional[_StructuralKey] = self.__dict__.get("_structural_key")
         if cached is None:
             canonical = self.canonical()
             cached = (

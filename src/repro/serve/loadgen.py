@@ -126,11 +126,11 @@ def direct_oracle(
     projection would couple the result to co-tenant queries).
     """
     session_kwargs.setdefault("restrict_labels", False)
-    session = Session(backend, **session_kwargs)
+    session = Session(backend, **session_kwargs)  # repro-lint: disable=CONC-SESSION-DISPATCH -- single-threaded oracle owns this Session exclusively; no dispatcher to race
     try:
         handles = [session.register(query) for query in workload.queries]
         for stream_id, frame in workload.events:
-            session.ingest(stream_id, frame)
+            session.ingest(stream_id, frame)  # repro-lint: disable=CONC-SESSION-DISPATCH -- single-threaded oracle owns this Session exclusively; no dispatcher to race
         session.flush()
         expected: Dict[Tuple[int, str], List[Dict]] = {}
         for local_qid, handle in enumerate(handles):
@@ -141,7 +141,7 @@ def direct_oracle(
                 )
         return expected
     finally:
-        session.close()
+        session.close()  # repro-lint: disable=CONC-SESSION-DISPATCH -- single-threaded oracle owns this Session exclusively; no dispatcher to race
 
 
 def canonical(events: Dict[Tuple[int, str], List[Dict]]) -> str:

@@ -52,3 +52,69 @@ def test_kernel_benchmark_without_baseline(tmp_path):
     )
     assert "speedup_vs_seed" not in report
     assert "__written_to__" not in report
+
+
+def test_kernel_benchmark_verifies_against_oracle():
+    """With numpy present the timed array run is re-checked on the oracle."""
+    report = run_kernel_benchmark(
+        scale=0.04, datasets=("V1",), repeats=1, output_path=None,
+    )
+    verification = report["verification"]
+    assert verification["ok"] is True
+    assert verification["checked"] is True
+    assert verification["backend"] == "array"
+    assert verification["datasets"]["V1"]["stats_match"] is True
+    assert "verification: array kernel matches python oracle" in render_report(report)
+
+
+def test_dual_backend_diff_catches_divergence():
+    """A doctored array-side result must fail verification."""
+    from repro.experiments.figures import _window_duration
+    from repro.experiments.kernel_bench import _verify_dual_backend
+    from repro.engine.config import MCOSMethod
+
+    report = run_kernel_benchmark(
+        scale=0.04, datasets=("V1",), repeats=1, output_path=None,
+    )
+    window, duration = _window_duration(0.04)
+    report["datasets"]["V1"]["methods"]["SSG"]["result_states"] += 1
+    verification = _verify_dual_backend(
+        report, scale=0.04, datasets=("V1",), methods=(MCOSMethod.SSG,),
+        window=window, duration=duration,
+    )
+    assert verification["ok"] is False
+    assert any("result_states" in m for m in verification["mismatches"])
+    report["verification"] = verification
+    assert "verification: FAILED" in render_report(report)
+
+
+def test_bench_kernel_exit_code_reflects_verification(monkeypatch, capsys):
+    """--bench kernel mirrors the serve bench: exit 1 on a failed diff."""
+    from repro.experiments.__main__ import main
+    from repro.experiments import kernel_bench
+
+    def fake_run(**kwargs):
+        return {
+            "benchmark": "kernel", "scale": 0.04, "window": 2, "duration": 2,
+            "repeats": 1, "kernel_backend": "array", "datasets": {},
+            "fig10_stream": {},
+            "verification": {
+                "checked": True, "ok": False, "backend": "array",
+                "reference": "python", "datasets": {},
+                "mismatches": ["V1: result_states 3 (array) != 2 (python)"],
+            },
+        }
+
+    monkeypatch.setattr(kernel_bench, "run_kernel_benchmark", fake_run)
+    assert main(["--bench", "kernel"]) == 1
+    assert "verification: FAILED" in capsys.readouterr().out
+
+    def fake_run_ok(**kwargs):
+        report = fake_run()
+        report["verification"] = {"checked": True, "ok": True,
+                                  "backend": "array", "reference": "python",
+                                  "datasets": {}, "mismatches": []}
+        return report
+
+    monkeypatch.setattr(kernel_bench, "run_kernel_benchmark", fake_run_ok)
+    assert main(["--bench", "kernel"]) == 0
